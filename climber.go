@@ -1,0 +1,329 @@
+// Package climber is a Go implementation of CLIMBER, the pivot-based
+// framework for approximate kNN similarity search over big data series
+// (Zhang, Eltabakh, Rundensteiner, Alnuaim — ICDE 2024, extended version
+// arXiv:2404.09637).
+//
+// CLIMBER represents each data series by a dual pivot-permutation-prefix
+// signature — a rank-sensitive P4→ vector (the IDs of its m nearest pivots,
+// closest first) and a rank-insensitive P4↛ vector (the same IDs sorted) —
+// and organises the dataset into a two-level disk-persistent index: coarse
+// data-series groups formed in the rank-insensitive space and fine-grained
+// Voronoi-aligned partitions carved by rank-sensitive tries. Queries
+// navigate the tiny in-memory skeleton to a handful of partitions and rank
+// candidates with the true Euclidean distance.
+//
+// # Quick start
+//
+//	db, err := climber.Build(dir, data)           // data: [][]float64, equal lengths
+//	res, err := db.Search(query, 100)             // top-100 approximate neighbours
+//	res, err := db.Search(query, 100, climber.WithVariant(climber.Adaptive4X))
+//
+// A built database persists under its directory and reopens with
+// climber.Open(dir).
+package climber
+
+import (
+	"fmt"
+	"path/filepath"
+
+	"climber/internal/cluster"
+	"climber/internal/core"
+	"climber/internal/metric"
+	"climber/internal/series"
+)
+
+// Result is one approximate nearest neighbour: the ID (the position of the
+// series in the build input) and its Euclidean distance to the query.
+type Result struct {
+	ID   int
+	Dist float64
+}
+
+// Stats describes the effort behind one query.
+type Stats struct {
+	// GroupsConsidered is the number of candidate groups after signature
+	// matching.
+	GroupsConsidered int
+	// PartitionsScanned is the number of physical partitions loaded.
+	PartitionsScanned int
+	// RecordsScanned is the number of raw series compared with the query.
+	RecordsScanned int
+	// BytesLoaded approximates the I/O volume of the query.
+	BytesLoaded int64
+}
+
+// Variant selects the query algorithm.
+type Variant = core.Variant
+
+// Query algorithm variants (paper Section VI).
+const (
+	// KNN is the base CLIMBER-kNN algorithm: one best-matching trie node.
+	KNN = core.VariantKNN
+	// Adaptive2X expands to more trie nodes, capped at 2x the base
+	// partition count.
+	Adaptive2X = core.VariantAdaptive2X
+	// Adaptive4X caps at 4x — the paper's default variation.
+	Adaptive4X = core.VariantAdaptive4X
+	// ODSmallest scans every group at the smallest overlap distance — an
+	// expensive high-recall upper bound.
+	ODSmallest = core.VariantODSmallest
+)
+
+// Option customises Build and Open.
+type Option func(*options)
+
+type options struct {
+	cfg     core.Config
+	nodes   int
+	workers int
+}
+
+// WithSegments sets the PAA segment count w (default 16).
+func WithSegments(w int) Option { return func(o *options) { o.cfg.Segments = w } }
+
+// WithPivots sets the number of Voronoi pivots r (default 200).
+func WithPivots(r int) Option { return func(o *options) { o.cfg.NumPivots = r } }
+
+// WithPrefixLen sets the pivot-permutation prefix length m (default 10).
+func WithPrefixLen(m int) Option { return func(o *options) { o.cfg.PrefixLen = m } }
+
+// WithCapacity sets the partition capacity in records.
+func WithCapacity(c int) Option { return func(o *options) { o.cfg.Capacity = c } }
+
+// WithSampleRate sets the skeleton-construction sampling fraction α.
+func WithSampleRate(a float64) Option { return func(o *options) { o.cfg.SampleRate = a } }
+
+// WithSeed fixes the random seed for reproducible builds.
+func WithSeed(s uint64) Option { return func(o *options) { o.cfg.Seed = s } }
+
+// WithBlockSize sets the raw-storage block size in records.
+func WithBlockSize(b int) Option { return func(o *options) { o.cfg.BlockSize = b } }
+
+// WithMaxCentroids caps the number of data-series groups.
+func WithMaxCentroids(n int) Option { return func(o *options) { o.cfg.MaxCentroids = n } }
+
+// WithLinearDecay switches pivot weighting from exponential to linear decay.
+func WithLinearDecay() Option {
+	return func(o *options) { o.cfg.Decay = metric.LinearDecay; o.cfg.Lambda = 0 }
+}
+
+// WithDecayRate sets the decay rate lambda in (0, 1].
+func WithDecayRate(l float64) Option { return func(o *options) { o.cfg.Lambda = l } }
+
+// WithNodes sets the number of simulated storage nodes (default 2).
+func WithNodes(n int) Option { return func(o *options) { o.nodes = n } }
+
+// WithWorkers sets the per-node worker parallelism (default 2).
+func WithWorkers(n int) Option { return func(o *options) { o.workers = n } }
+
+// SearchOption customises a single Search call.
+type SearchOption func(*core.SearchOptions)
+
+// WithVariant selects the query algorithm (default Adaptive4X, the paper's
+// default variation).
+func WithVariant(v Variant) SearchOption {
+	return func(s *core.SearchOptions) { s.Variant = v }
+}
+
+// WithMaxPartitions overrides the adaptive variants' partition cap.
+func WithMaxPartitions(n int) SearchOption {
+	return func(s *core.SearchOptions) { s.MaxPartitions = n }
+}
+
+// DB is a built CLIMBER database.
+type DB struct {
+	dir string
+	ix  *core.Index
+	cl  *cluster.Cluster
+}
+
+func buildOptions(opts []Option) options {
+	o := options{cfg: core.DefaultConfig(), nodes: 2, workers: 2}
+	for _, fn := range opts {
+		fn(&o)
+	}
+	return o
+}
+
+func newCluster(dir string, o options) (*cluster.Cluster, error) {
+	return cluster.New(cluster.Config{
+		NumNodes:       o.nodes,
+		WorkersPerNode: o.workers,
+		BaseDir:        filepath.Join(dir, "cluster"),
+	})
+}
+
+func indexPath(dir string) string { return filepath.Join(dir, "index.clms") }
+
+// Build constructs a CLIMBER database in dir over the given data series.
+// All series must have the same length. The input is copied; the returned
+// DB is ready to query and persists under dir for later Open calls.
+func Build(dir string, data [][]float64, opts ...Option) (*DB, error) {
+	if len(data) == 0 {
+		return nil, fmt.Errorf("climber: empty dataset")
+	}
+	ds := series.NewDatasetCap(len(data[0]), len(data))
+	for i, x := range data {
+		if len(x) != ds.Length() {
+			return nil, fmt.Errorf("climber: series %d has length %d, want %d", i, len(x), ds.Length())
+		}
+		ds.Append(x)
+	}
+	return BuildDataset(dir, ds, opts...)
+}
+
+// BuildDataset is Build over an already-materialised internal dataset; it
+// is the entry point used by the command-line tools and experiment
+// harnesses, which stream datasets without [][]float64 overhead.
+func BuildDataset(dir string, ds *series.Dataset, opts ...Option) (*DB, error) {
+	o := buildOptions(opts)
+	if err := o.cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cl, err := newCluster(dir, o)
+	if err != nil {
+		return nil, err
+	}
+	bs, err := cl.IngestBlocks(ds, o.cfg.BlockSize, "data")
+	if err != nil {
+		return nil, err
+	}
+	ix, err := core.Build(cl, bs, o.cfg, "climber")
+	if err != nil {
+		return nil, err
+	}
+	if err := core.SaveIndex(ix, indexPath(dir)); err != nil {
+		return nil, err
+	}
+	return &DB{dir: dir, ix: ix, cl: cl}, nil
+}
+
+// Open loads a database previously built in dir.
+func Open(dir string, opts ...Option) (*DB, error) {
+	o := buildOptions(opts)
+	cl, err := newCluster(dir, o)
+	if err != nil {
+		return nil, err
+	}
+	ix, err := core.OpenIndex(cl, indexPath(dir))
+	if err != nil {
+		return nil, err
+	}
+	return &DB{dir: dir, ix: ix, cl: cl}, nil
+}
+
+// Search returns the approximate k nearest neighbours of q, ascending by
+// Euclidean distance. The default algorithm is Adaptive4X.
+func (db *DB) Search(q []float64, k int, opts ...SearchOption) ([]Result, error) {
+	res, _, err := db.SearchWithStats(q, k, opts...)
+	return res, err
+}
+
+// SearchWithStats is Search plus the query's effort statistics.
+func (db *DB) SearchWithStats(q []float64, k int, opts ...SearchOption) ([]Result, Stats, error) {
+	so := core.SearchOptions{K: k, Variant: core.VariantAdaptive4X}
+	for _, fn := range opts {
+		fn(&so)
+	}
+	sr, err := db.ix.Search(q, so)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	out := make([]Result, len(sr.Results))
+	for i, r := range sr.Results {
+		out[i] = Result{ID: r.ID, Dist: r.Dist}
+	}
+	return out, Stats{
+		GroupsConsidered:  sr.Stats.GroupsConsidered,
+		PartitionsScanned: sr.Stats.PartitionsScanned,
+		RecordsScanned:    sr.Stats.RecordsScanned,
+		BytesLoaded:       sr.Stats.BytesLoaded,
+	}, nil
+}
+
+// Append inserts new data series into the database, routing them through
+// the existing index layout, and persists the updated manifest. The
+// assigned IDs (continuing the build sequence) are returned in input order.
+func (db *DB) Append(data [][]float64) ([]int, error) {
+	ids, err := db.ix.Append(data)
+	if err != nil {
+		return nil, err
+	}
+	if err := core.SaveIndex(db.ix, indexPath(db.dir)); err != nil {
+		return nil, err
+	}
+	return ids, nil
+}
+
+// SearchPrefix answers a query shorter than the indexed series length —
+// the PAA-family flexibility the paper highlights over DFT/wavelet indexes.
+// Candidates are ranked by Euclidean distance over the first len(q)
+// readings of each record. Requires Segments <= len(q) <= series length.
+func (db *DB) SearchPrefix(q []float64, k int, opts ...SearchOption) ([]Result, error) {
+	so := core.SearchOptions{K: k, Variant: core.VariantAdaptive4X}
+	for _, fn := range opts {
+		fn(&so)
+	}
+	sr, err := db.ix.SearchPrefix(q, so)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Result, len(sr.Results))
+	for i, r := range sr.Results {
+		out[i] = Result{ID: r.ID, Dist: r.Dist}
+	}
+	return out, nil
+}
+
+// SearchBatch answers many queries concurrently with the default Adaptive4X
+// algorithm; results align positionally with the queries.
+func (db *DB) SearchBatch(queries [][]float64, k int, opts ...SearchOption) ([][]Result, error) {
+	so := core.SearchOptions{K: k, Variant: core.VariantAdaptive4X}
+	for _, fn := range opts {
+		fn(&so)
+	}
+	batch, err := db.ix.SearchBatch(queries, so, 0)
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]Result, len(batch))
+	for i, sr := range batch {
+		rs := make([]Result, len(sr.Results))
+		for j, r := range sr.Results {
+			rs[j] = Result{ID: r.ID, Dist: r.Dist}
+		}
+		out[i] = rs
+	}
+	return out, nil
+}
+
+// Info summarises the database's shape.
+type Info struct {
+	SeriesLen     int
+	NumGroups     int
+	NumPartitions int
+	SkeletonBytes int
+	NumRecords    int
+}
+
+// Info reports the database's structural summary.
+func (db *DB) Info() Info {
+	total := 0
+	for _, c := range db.ix.Parts.Counts {
+		total += c
+	}
+	return Info{
+		SeriesLen:     db.ix.Skel.SeriesLen,
+		NumGroups:     db.ix.Skel.NumGroups(),
+		NumPartitions: db.ix.Skel.NumPartitions,
+		SkeletonBytes: db.ix.Skel.EncodedSize(),
+		NumRecords:    total,
+	}
+}
+
+// Dir returns the database's directory.
+func (db *DB) Dir() string { return db.dir }
+
+// Index exposes the underlying core index for advanced use (experiment
+// harnesses, inspection tools).
+func (db *DB) Index() *core.Index { return db.ix }

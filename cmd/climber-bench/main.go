@@ -1,0 +1,83 @@
+// Command climber-bench regenerates the paper's evaluation artefacts
+// (every figure and table of Section VII) at a chosen scale.
+//
+// Usage:
+//
+//	climber-bench -experiment fig7b -scale small
+//	climber-bench -experiment all -scale medium -out results.txt
+//
+// Experiment IDs: fig7a fig7b fig7cd fig8ab fig8cd fig9 fig10 fig11a
+// fig11b fig12 table1 (or "all"). Scales: small, medium, large. See
+// DESIGN.md for the experiment index and EXPERIMENTS.md for recorded
+// paper-vs-measured results.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"time"
+
+	"climber/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("climber-bench: ")
+
+	var (
+		experiment = flag.String("experiment", "all", "experiment id or 'all'")
+		scaleName  = flag.String("scale", "small", "scale preset: small, medium, large")
+		outPath    = flag.String("out", "", "also append output to this file")
+		workDir    = flag.String("work", "", "working directory for build artefacts (default: temp)")
+	)
+	flag.Parse()
+
+	scale, ok := experiments.Scales()[*scaleName]
+	if !ok {
+		log.Fatalf("unknown scale %q (small, medium, large)", *scaleName)
+	}
+
+	var ids []string
+	if *experiment == "all" {
+		ids = experiments.IDs()
+	} else {
+		if experiments.Registry()[*experiment] == nil {
+			log.Fatalf("unknown experiment %q; available: %v", *experiment, experiments.IDs())
+		}
+		ids = []string{*experiment}
+	}
+
+	var out io.Writer = os.Stdout
+	if *outPath != "" {
+		f, err := os.OpenFile(*outPath, os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		out = io.MultiWriter(os.Stdout, f)
+	}
+
+	work := *workDir
+	if work == "" {
+		var err error
+		work, err = os.MkdirTemp("", "climber-bench-")
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer os.RemoveAll(work)
+	}
+
+	fmt.Fprintf(out, "# climber-bench scale=%s experiments=%v %s\n\n",
+		scale.Name, ids, time.Now().Format(time.RFC3339))
+	for _, id := range ids {
+		start := time.Now()
+		fmt.Fprintf(out, "=== %s ===\n", id)
+		if err := experiments.Registry()[id](scale, work, out); err != nil {
+			log.Fatalf("%s: %v", id, err)
+		}
+		fmt.Fprintf(out, "(%s completed in %v)\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+}

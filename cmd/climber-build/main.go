@@ -1,0 +1,73 @@
+// Command climber-build constructs a CLIMBER index over a dataset file
+// produced by climber-gen.
+//
+// Usage:
+//
+//	climber-build -data rw.clmb -dir ./db -pivots 200 -prefix 10 -capacity 2000
+//
+// The resulting database directory is queried with climber-query and
+// inspected with climber-inspect.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"climber"
+	"climber/internal/dataset"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("climber-build: ")
+
+	var (
+		data     = flag.String("data", "", "dataset file from climber-gen (required)")
+		dir      = flag.String("dir", "", "output database directory (required)")
+		segments = flag.Int("segments", 16, "PAA segments w")
+		pivots   = flag.Int("pivots", 200, "number of pivots r")
+		prefix   = flag.Int("prefix", 10, "pivot prefix length m")
+		capacity = flag.Int("capacity", 2000, "partition capacity in records")
+		sample   = flag.Float64("sample", 0.1, "skeleton sampling rate alpha")
+		seed     = flag.Uint64("seed", 42, "build seed")
+		decay    = flag.String("decay", "exponential", "pivot weight decay: exponential or linear")
+	)
+	flag.Parse()
+	if *data == "" || *dir == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	ds, err := dataset.LoadFile(*data)
+	if err != nil {
+		log.Fatal(err)
+	}
+	opts := []climber.Option{
+		climber.WithSegments(*segments),
+		climber.WithPivots(*pivots),
+		climber.WithPrefixLen(*prefix),
+		climber.WithCapacity(*capacity),
+		climber.WithSampleRate(*sample),
+		climber.WithSeed(*seed),
+	}
+	if *decay == "linear" {
+		opts = append(opts, climber.WithLinearDecay())
+	}
+
+	db, err := climber.BuildDataset(*dir, ds, opts...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	info := db.Info()
+	stats := db.Index().Stats
+	fmt.Printf("built CLIMBER index in %s\n", *dir)
+	fmt.Printf("  records:        %d (length %d)\n", info.NumRecords, info.SeriesLen)
+	fmt.Printf("  groups:         %d (incl. fall-back G0)\n", info.NumGroups)
+	fmt.Printf("  partitions:     %d\n", info.NumPartitions)
+	fmt.Printf("  skeleton size:  %d bytes\n", info.SkeletonBytes)
+	fmt.Printf("  build time:     total=%v skeleton=%v conversion=%v redistribution=%v\n",
+		stats.Total.Round(1e6), stats.Skeleton.Round(1e6),
+		stats.Conversion.Round(1e6), stats.Redistribution.Round(1e6))
+}

@@ -1,0 +1,115 @@
+// Command climber-inspect prints the structure of a built CLIMBER database:
+// the group list with centroids (the paper's Figure 5 left side), trie
+// shapes, and partition occupancy.
+//
+// Usage:
+//
+//	climber-inspect -dir ./db [-groups] [-partitions]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"climber"
+	"climber/internal/storage"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("climber-inspect: ")
+
+	var (
+		dir        = flag.String("dir", "", "database directory (required)")
+		groups     = flag.Bool("groups", false, "list every group with its centroid and trie shape")
+		partitions = flag.Bool("partitions", false, "list per-partition record counts")
+		verify     = flag.Bool("verify", false, "checksum every partition file")
+	)
+	flag.Parse()
+	if *dir == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	db, err := climber.Open(*dir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	info := db.Info()
+	skel := db.Index().Skel
+	cfg := skel.Cfg
+
+	fmt.Printf("CLIMBER database %s\n", *dir)
+	fmt.Printf("  series length:  %d\n", info.SeriesLen)
+	fmt.Printf("  records:        %d\n", info.NumRecords)
+	fmt.Printf("  groups:         %d (incl. fall-back G0)\n", info.NumGroups)
+	fmt.Printf("  partitions:     %d\n", info.NumPartitions)
+	fmt.Printf("  skeleton size:  %d bytes\n", info.SkeletonBytes)
+	fmt.Printf("  config:         w=%d r=%d m=%d capacity=%d alpha=%.3f decay=%v seed=%d\n",
+		cfg.Segments, cfg.NumPivots, cfg.PrefixLen, cfg.Capacity, cfg.SampleRate, cfg.Decay, cfg.Seed)
+
+	desc := skel.Describe()
+	fmt.Printf("  trie forest:    %d nodes, %d leaves, max depth %d\n",
+		desc.TrieNodes, desc.TrieLeaves, desc.MaxDepth)
+	fmt.Printf("  leaf depths:    ")
+	for depth, cnt := range desc.DepthHistogram {
+		if cnt > 0 {
+			fmt.Printf("d%d:%d ", depth, cnt)
+		}
+	}
+	fmt.Println()
+	fmt.Printf("  partition est.: min=%d max=%d (capacity %d)\n",
+		desc.SmallestPartitionEst, desc.LargestPartitionEst, cfg.Capacity)
+
+	if *groups {
+		fmt.Println("groups:")
+		for gid := 0; gid < skel.NumGroups(); gid++ {
+			g := skel.Groups[gid]
+			nodes := g.Trie.Nodes()
+			leaves := g.Trie.Leaves()
+			centroid := "<*>"
+			if g.Centroid != nil {
+				centroid = g.Centroid.String()
+			}
+			fmt.Printf("  G%-4d centroid=%-40s est=%-8d trie: %d nodes, %d leaves, partitions=%v default=%d\n",
+				gid, centroid, g.Trie.Count, len(nodes), len(leaves),
+				skel.GroupPartitions(gid), g.DefaultPartition)
+		}
+	}
+
+	if *partitions {
+		fmt.Println("partitions:")
+		for pid, cnt := range db.Index().Parts.Counts {
+			est := 0
+			if pid < len(skel.PartitionEst) {
+				est = skel.PartitionEst[pid]
+			}
+			fmt.Printf("  beta%-4d records=%-8d estimated=%-8d path=%s\n",
+				pid, cnt, est, db.Index().Parts.Paths[pid])
+		}
+	}
+
+	if *verify {
+		bad := 0
+		for pid, path := range db.Index().Parts.Paths {
+			p, err := storage.OpenPartition(path)
+			if err != nil {
+				fmt.Printf("  beta%-4d OPEN FAILED: %v\n", pid, err)
+				bad++
+				continue
+			}
+			if err := p.Verify(); err != nil {
+				fmt.Printf("  beta%-4d CORRUPT: %v\n", pid, err)
+				bad++
+			}
+			p.Close()
+		}
+		if bad == 0 {
+			fmt.Printf("verify: all %d partitions intact\n", len(db.Index().Parts.Paths))
+		} else {
+			log.Fatalf("verify: %d of %d partitions corrupt", bad, len(db.Index().Parts.Paths))
+		}
+	}
+}

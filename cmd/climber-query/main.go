@@ -1,0 +1,193 @@
+// Command climber-query runs approximate kNN queries against a database
+// built by climber-build, optionally comparing against the exact answer to
+// report recall.
+//
+// Usage:
+//
+//	climber-query -dir ./db -data rw.clmb -id 17 -k 100 -variant adaptive-4x -exact
+//
+// The query series is drawn from the dataset file by record ID, matching
+// the paper's workload ("query objects are randomly selected from the
+// entire dataset").
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"climber"
+	"climber/internal/core"
+	"climber/internal/dataset"
+	"climber/internal/dss"
+	"climber/internal/series"
+)
+
+func parseVariant(s string) (climber.Variant, error) {
+	switch s {
+	case "knn":
+		return climber.KNN, nil
+	case "adaptive-2x":
+		return climber.Adaptive2X, nil
+	case "adaptive-4x":
+		return climber.Adaptive4X, nil
+	case "od-smallest":
+		return climber.ODSmallest, nil
+	default:
+		return 0, fmt.Errorf("unknown variant %q (knn, adaptive-2x, adaptive-4x, od-smallest)", s)
+	}
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("climber-query: ")
+
+	var (
+		dir     = flag.String("dir", "", "database directory (required)")
+		data    = flag.String("data", "", "dataset file the index was built from (required)")
+		id      = flag.Int("id", 0, "record ID to use as the query")
+		k       = flag.Int("k", 100, "answer size K")
+		variant = flag.String("variant", "adaptive-4x", "query algorithm: knn, adaptive-2x, adaptive-4x, od-smallest")
+		exact   = flag.Bool("exact", false, "also compute the exact answer and report recall")
+		show    = flag.Int("show", 10, "number of results to print")
+		sample  = flag.Int("sample", 0, "evaluate a workload of this many random queries instead of one -id query")
+		seed    = flag.Uint64("seed", 7, "workload sampling seed (with -sample)")
+		explain = flag.Bool("explain", false, "print the index-navigation trace")
+	)
+	flag.Parse()
+	if *dir == "" || *data == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	v, err := parseVariant(*variant)
+	if err != nil {
+		log.Fatal(err)
+	}
+	db, err := climber.Open(*dir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ds, err := dataset.LoadFile(*data)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *sample > 0 {
+		// The workload evaluator compares every variant; -variant applies
+		// to single-query mode only.
+		evaluateWorkload(db, ds, *sample, *k, *seed)
+		return
+	}
+	if *id < 0 || *id >= ds.Len() {
+		log.Fatalf("query id %d out of range [0, %d)", *id, ds.Len())
+	}
+	q := ds.Get(*id)
+
+	start := time.Now()
+	var res []climber.Result
+	var stats climber.Stats
+	if *explain {
+		sr, err := db.Index().Search(q, core.SearchOptions{K: *k, Variant: v, Explain: true})
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, r := range sr.Results {
+			res = append(res, climber.Result{ID: r.ID, Dist: r.Dist})
+		}
+		stats = climber.Stats{
+			GroupsConsidered:  sr.Stats.GroupsConsidered,
+			PartitionsScanned: sr.Stats.PartitionsScanned,
+			RecordsScanned:    sr.Stats.RecordsScanned,
+			BytesLoaded:       sr.Stats.BytesLoaded,
+		}
+		ex := sr.Explain
+		fmt.Printf("explain:\n")
+		fmt.Printf("  P4->  = %v\n", ex.RankSensitive)
+		fmt.Printf("  P4-/> = %v\n", ex.RankInsensitive)
+		fmt.Printf("  best OD = %d, candidate groups = %v, selected G%d\n",
+			ex.BestOD, ex.CandidateGroups, ex.SelectedGroup)
+		fmt.Printf("  trie path = %v (node size %d), partitions = %v\n",
+			ex.MatchedPath, ex.TargetNodeSize, ex.Partitions)
+	} else {
+		var err error
+		res, stats, err = db.SearchWithStats(q, *k, climber.WithVariant(v))
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	elapsed := time.Since(start)
+
+	fmt.Printf("query id=%d k=%d variant=%s: %v\n", *id, *k, *variant, elapsed.Round(time.Microsecond))
+	fmt.Printf("  groups=%d partitions=%d records=%d bytes=%d\n",
+		stats.GroupsConsidered, stats.PartitionsScanned, stats.RecordsScanned, stats.BytesLoaded)
+	n := *show
+	if n > len(res) {
+		n = len(res)
+	}
+	for i := 0; i < n; i++ {
+		fmt.Printf("  #%-3d id=%-8d dist=%.6f\n", i+1, res[i].ID, res[i].Dist)
+	}
+
+	if *exact {
+		exStart := time.Now()
+		exactRes := dss.SearchDataset(ds, q, *k)
+		exElapsed := time.Since(exStart)
+		approx := make([]series.Result, len(res))
+		for i, r := range res {
+			approx[i] = series.Result{ID: r.ID, Dist: r.Dist}
+		}
+		fmt.Printf("exact scan: %v, recall = %.3f\n",
+			exElapsed.Round(time.Microsecond), series.Recall(approx, exactRes))
+	}
+}
+
+// evaluateWorkload runs the paper's evaluation protocol against a built
+// database: sample queries uniformly from the dataset, compare every
+// variant's answers to the exact scan, report averages.
+func evaluateWorkload(db *climber.DB, ds *series.Dataset, n, k int, seed uint64) {
+	_, qs := dataset.Queries(ds, n, seed)
+	fmt.Printf("workload: %d queries, K=%d\n", len(qs), k)
+	exact := make([][]series.Result, len(qs))
+	exStart := time.Now()
+	for i, q := range qs {
+		exact[i] = dss.SearchDataset(ds, q, k)
+	}
+	fmt.Printf("ground truth (exact scans): %v total\n", time.Since(exStart).Round(time.Millisecond))
+
+	variants := []struct {
+		name string
+		v    climber.Variant
+	}{
+		{"knn", climber.KNN},
+		{"adaptive-2x", climber.Adaptive2X},
+		{"adaptive-4x", climber.Adaptive4X},
+		{"od-smallest", climber.ODSmallest},
+	}
+	fmt.Printf("%-12s %-8s %-12s %-12s %-10s\n", "variant", "recall", "avg-time", "records", "partitions")
+	for _, vc := range variants {
+		var recall float64
+		var records, parts int
+		var total time.Duration
+		for i, q := range qs {
+			start := time.Now()
+			res, stats, err := db.SearchWithStats(q, k, climber.WithVariant(vc.v))
+			if err != nil {
+				log.Fatal(err)
+			}
+			total += time.Since(start)
+			approx := make([]series.Result, len(res))
+			for j, r := range res {
+				approx[j] = series.Result{ID: r.ID, Dist: r.Dist}
+			}
+			recall += series.Recall(approx, exact[i])
+			records += stats.RecordsScanned
+			parts += stats.PartitionsScanned
+		}
+		nq := float64(len(qs))
+		fmt.Printf("%-12s %-8.3f %-12v %-12.0f %-10.1f\n",
+			vc.name, recall/nq, (total / time.Duration(len(qs))).Round(time.Microsecond),
+			float64(records)/nq, float64(parts)/nq)
+	}
+}

@@ -1,0 +1,187 @@
+package centroid
+
+import (
+	"math/rand/v2"
+	"sort"
+	"testing"
+
+	"climber/internal/metric"
+	"climber/internal/pivot"
+)
+
+func params() Params {
+	return Params{SampleRate: 0.1, Capacity: 100, Epsilon: 1, MaxCentroids: 0}
+}
+
+func TestComputePicksMostFrequentFirst(t *testing.T) {
+	list := []SigFreq{
+		{pivot.Signature{1, 2, 3}, 50},
+		{pivot.Signature{4, 5, 6}, 500},
+		{pivot.Signature{7, 8, 9}, 100},
+	}
+	got, err := Compute(list, params())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) == 0 || !got[0].Equal(pivot.Signature{4, 5, 6}) {
+		t.Fatalf("first centroid = %v, want <4,5,6>", got)
+	}
+}
+
+func TestComputeSkipsTooCloseCandidates(t *testing.T) {
+	p := params()
+	p.Epsilon = 2 // candidates with OD < 2 to an existing centroid are skipped
+	list := []SigFreq{
+		{pivot.Signature{1, 2, 3}, 500},
+		{pivot.Signature{1, 2, 4}, 400}, // OD to first = 1 < 2: skipped
+		{pivot.Signature{7, 8, 9}, 300}, // OD = 3: kept
+	}
+	got, err := Compute(list, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("got %d centroids, want 2: %v", len(got), got)
+	}
+	if !got[1].Equal(pivot.Signature{7, 8, 9}) {
+		t.Fatalf("second centroid = %v, want <7,8,9>", got[1])
+	}
+}
+
+func TestComputeStopsAtTinyGroups(t *testing.T) {
+	p := params()
+	p.SampleRate = 1.0
+	p.Capacity = 1000 // threshold α·c = 1000
+	list := []SigFreq{
+		{pivot.Signature{1, 2, 3}, 5000},
+		{pivot.Signature{4, 5, 6}, 10}, // est = 10 + small share < 1000: stop
+		{pivot.Signature{7, 8, 9}, 5},
+	}
+	got, err := Compute(list, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Fatalf("got %d centroids, want 1 (tiny-group stop): %v", len(got), got)
+	}
+}
+
+func TestComputeRespectsMaxCentroids(t *testing.T) {
+	p := params()
+	p.MaxCentroids = 2
+	var list []SigFreq
+	for i := 0; i < 10; i++ {
+		list = append(list, SigFreq{pivot.Signature{i * 3, i*3 + 1, i*3 + 2}, 1000 - i})
+	}
+	got, err := Compute(list, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("got %d centroids, want MaxCentroids = 2", len(got))
+	}
+}
+
+// Selected centroids must be pairwise at least epsilon apart in OD — the
+// coverage guarantee Algorithm 2 exists to provide.
+func TestComputeCentroidSeparationProperty(t *testing.T) {
+	rng := rand.New(rand.NewPCG(31, 7))
+	for trial := 0; trial < 20; trial++ {
+		var list []SigFreq
+		seen := map[string]bool{}
+		for i := 0; i < 200; i++ {
+			var ids []int
+			used := map[int]bool{}
+			for len(ids) < 4 {
+				v := rng.IntN(30)
+				if !used[v] {
+					used[v] = true
+					ids = append(ids, v)
+				}
+			}
+			sort.Ints(ids)
+			sig := pivot.Signature(ids)
+			if seen[sig.Key()] {
+				continue
+			}
+			seen[sig.Key()] = true
+			list = append(list, SigFreq{sig, 1 + rng.IntN(1000)})
+		}
+		p := Params{SampleRate: 0.05, Capacity: 50, Epsilon: 2}
+		got, err := Compute(list, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < len(got); i++ {
+			for j := i + 1; j < len(got); j++ {
+				if od := metric.OverlapDist(got[i], got[j]); od < p.Epsilon {
+					t.Fatalf("centroids %v and %v at OD %d < epsilon %d", got[i], got[j], od, p.Epsilon)
+				}
+			}
+		}
+	}
+}
+
+func TestComputeDeterministic(t *testing.T) {
+	list := []SigFreq{
+		{pivot.Signature{1, 2, 3}, 100},
+		{pivot.Signature{4, 5, 6}, 100}, // equal freq: tie broken by key
+		{pivot.Signature{7, 8, 9}, 100},
+	}
+	a, err := Compute(list, params())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Compute(list, params())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatal("non-deterministic centroid count")
+	}
+	for i := range a {
+		if !a[i].Equal(b[i]) {
+			t.Fatal("non-deterministic centroid order")
+		}
+	}
+}
+
+func TestComputeValidation(t *testing.T) {
+	list := []SigFreq{{pivot.Signature{1, 2}, 1}}
+	bad := []Params{
+		{SampleRate: 0, Capacity: 10, Epsilon: 1},
+		{SampleRate: 2, Capacity: 10, Epsilon: 1},
+		{SampleRate: 0.5, Capacity: 0, Epsilon: 1},
+		{SampleRate: 0.5, Capacity: 10, Epsilon: -1},
+		{SampleRate: 0.5, Capacity: 10, Epsilon: 1, MaxCentroids: -2},
+	}
+	for i, p := range bad {
+		if _, err := Compute(list, p); err == nil {
+			t.Errorf("params %d should fail validation", i)
+		}
+	}
+	if _, err := Compute(nil, params()); err == nil {
+		t.Error("empty list should fail")
+	}
+	mixed := []SigFreq{{pivot.Signature{1, 2}, 1}, {pivot.Signature{1, 2, 3}, 1}}
+	if _, err := Compute(mixed, params()); err == nil {
+		t.Error("mixed lengths should fail")
+	}
+	neg := []SigFreq{{pivot.Signature{1, 2}, -5}}
+	if _, err := Compute(neg, params()); err == nil {
+		t.Error("negative freq should fail")
+	}
+}
+
+func TestComputeDoesNotMutateInput(t *testing.T) {
+	list := []SigFreq{
+		{pivot.Signature{1, 2, 3}, 10},
+		{pivot.Signature{4, 5, 6}, 20},
+	}
+	if _, err := Compute(list, params()); err != nil {
+		t.Fatal(err)
+	}
+	if list[0].Freq != 10 || !list[0].Sig.Equal(pivot.Signature{1, 2, 3}) {
+		t.Fatal("Compute reordered or mutated its input")
+	}
+}

@@ -1,0 +1,220 @@
+// Package cluster simulates the distributed execution environment CLIMBER's
+// prototype runs on (paper Section VII-A: Apache Spark over a 2-node HDFS
+// cluster). It provides exactly the primitives the index-construction and
+// query algorithms assume:
+//
+//   - block-structured storage of the raw dataset across node directories,
+//     with a capacity-bounded block size (the HDFS 64/128 MB blocks);
+//   - partition-level sampling — selecting whole random blocks so that
+//     skeleton construction avoids a full scan (paper Section V);
+//   - parallel scans executed by a pool of workers (one pool per "node");
+//   - a shuffle/re-distribution operation that routes every record to a
+//     target (partition, cluster) and writes the final partition files
+//     (paper Figure 6, Step 4);
+//   - broadcast bookkeeping for the index skeleton and pivot set.
+//
+// The substitution preserves behaviour because CLIMBER's algorithms only
+// interact with the environment through these operations; the statistics
+// the simulator records (bytes moved, records shuffled) drive the
+// construction-cost experiments.
+package cluster
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+
+	"climber/internal/series"
+	"climber/internal/storage"
+)
+
+// Config sizes the simulated cluster.
+type Config struct {
+	// NumNodes is the number of simulated storage/compute nodes.
+	NumNodes int
+	// WorkersPerNode is the number of concurrent workers per node; total
+	// parallelism is NumNodes * WorkersPerNode.
+	WorkersPerNode int
+	// BaseDir is the root directory holding per-node storage directories.
+	BaseDir string
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.NumNodes <= 0 {
+		return fmt.Errorf("cluster: NumNodes must be positive, got %d", c.NumNodes)
+	}
+	if c.WorkersPerNode <= 0 {
+		return fmt.Errorf("cluster: WorkersPerNode must be positive, got %d", c.WorkersPerNode)
+	}
+	if c.BaseDir == "" {
+		return fmt.Errorf("cluster: BaseDir is required")
+	}
+	return nil
+}
+
+// Stats aggregates the I/O and shuffle accounting of a cluster. All fields
+// are updated atomically and safe to read concurrently.
+type Stats struct {
+	BlocksWritten    atomic.Int64
+	BlocksRead       atomic.Int64
+	RecordsShuffled  atomic.Int64
+	BytesWritten     atomic.Int64
+	BytesRead        atomic.Int64
+	BroadcastBytes   atomic.Int64
+	PartitionsLoaded atomic.Int64
+}
+
+// Cluster is a simulated multi-node environment. It is safe for concurrent
+// use.
+type Cluster struct {
+	cfg      Config
+	nodeDirs []string
+	Stats    Stats
+}
+
+// New creates the cluster and its per-node directories.
+func New(cfg Config) (*Cluster, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	c := &Cluster{cfg: cfg}
+	for i := 0; i < cfg.NumNodes; i++ {
+		dir := filepath.Join(cfg.BaseDir, fmt.Sprintf("node%02d", i))
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("cluster: create node dir: %w", err)
+		}
+		c.nodeDirs = append(c.nodeDirs, dir)
+	}
+	return c, nil
+}
+
+// Workers returns the total worker parallelism.
+func (c *Cluster) Workers() int { return c.cfg.NumNodes * c.cfg.WorkersPerNode }
+
+// NodeDir returns the storage directory of node i.
+func (c *Cluster) NodeDir(i int) string { return c.nodeDirs[i] }
+
+// NumNodes returns the configured node count.
+func (c *Cluster) NumNodes() int { return c.cfg.NumNodes }
+
+// Broadcast records the dissemination of sideband state (pivots, index
+// skeleton) to every node, mirroring the paper's Step 4 broadcast. The
+// simulated cost is size bytes per receiving node.
+func (c *Cluster) Broadcast(sizeBytes int) {
+	c.Stats.BroadcastBytes.Add(int64(sizeBytes) * int64(c.cfg.NumNodes))
+}
+
+// BlockSet references the raw dataset stored as block files spread across
+// the cluster's nodes.
+type BlockSet struct {
+	Paths     []string
+	SeriesLen int
+	Total     int // total records across all blocks
+}
+
+// IngestBlocks writes the dataset into block files of at most blockSize
+// records, distributed round-robin across node directories — the layout the
+// paper assumes for its partition-level sampling ("the original dataset in
+// most applications gets stored across partitions without any special or
+// custom organization").
+func (c *Cluster) IngestBlocks(ds *series.Dataset, blockSize int, name string) (*BlockSet, error) {
+	if blockSize <= 0 {
+		return nil, fmt.Errorf("cluster: block size must be positive, got %d", blockSize)
+	}
+	bs := &BlockSet{SeriesLen: ds.Length(), Total: ds.Len()}
+	blockIdx := 0
+	for lo := 0; lo < ds.Len(); lo += blockSize {
+		hi := lo + blockSize
+		if hi > ds.Len() {
+			hi = ds.Len()
+		}
+		node := blockIdx % c.cfg.NumNodes
+		path := filepath.Join(c.nodeDirs[node], fmt.Sprintf("%s-block%05d.clmb", name, blockIdx))
+		bw, err := storage.NewBlockWriter(path, ds.Length())
+		if err != nil {
+			return nil, err
+		}
+		for id := lo; id < hi; id++ {
+			if err := bw.Append(id, ds.Get(id)); err != nil {
+				bw.Close()
+				return nil, err
+			}
+		}
+		if err := bw.Close(); err != nil {
+			return nil, err
+		}
+		c.Stats.BlocksWritten.Add(1)
+		c.Stats.BytesWritten.Add(int64((hi - lo) * storage.RecordBytes(ds.Length())))
+		bs.Paths = append(bs.Paths, path)
+		blockIdx++
+	}
+	return bs, nil
+}
+
+// SampleBlocks selects whole blocks uniformly at random so that roughly
+// rate × Total records are covered, never fewer than one block. This is the
+// paper's partition-level sampling (Section V): a subset of data partitions
+// is read in full, avoiding a scatter-read of individual records.
+func (c *Cluster) SampleBlocks(bs *BlockSet, rate float64, rng *rand.Rand) []string {
+	if rate >= 1 {
+		out := make([]string, len(bs.Paths))
+		copy(out, bs.Paths)
+		return out
+	}
+	n := int(float64(len(bs.Paths))*rate + 0.5)
+	if n < 1 {
+		n = 1
+	}
+	perm := rng.Perm(len(bs.Paths))
+	out := make([]string, n)
+	for i := 0; i < n; i++ {
+		out[i] = bs.Paths[perm[i]]
+	}
+	return out
+}
+
+// ScanBlocks streams every record of the listed blocks through fn using the
+// cluster's worker pool. fn is invoked concurrently from multiple workers
+// and must be safe for that; the values slice is only valid during the
+// call.
+func (c *Cluster) ScanBlocks(paths []string, fn func(id int, values []float64) error) error {
+	work := make(chan string, len(paths))
+	for _, p := range paths {
+		work <- p
+	}
+	close(work)
+
+	var wg sync.WaitGroup
+	errCh := make(chan error, c.Workers())
+	for w := 0; w < c.Workers(); w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for path := range work {
+				info, err := storage.StatBlock(path)
+				if err != nil {
+					errCh <- err
+					return
+				}
+				if err := storage.ScanBlock(path, fn); err != nil {
+					errCh <- err
+					return
+				}
+				c.Stats.BlocksRead.Add(1)
+				c.Stats.BytesRead.Add(int64(info.Count * storage.RecordBytes(info.SeriesLen)))
+			}
+		}()
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

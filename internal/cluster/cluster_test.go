@@ -1,0 +1,220 @@
+package cluster
+
+import (
+	"math/rand/v2"
+	"sync"
+	"testing"
+
+	"climber/internal/dataset"
+	"climber/internal/series"
+	"climber/internal/storage"
+)
+
+func testCluster(t *testing.T) *Cluster {
+	t.Helper()
+	c, err := New(Config{NumNodes: 2, WorkersPerNode: 2, BaseDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestConfigValidate(t *testing.T) {
+	bad := []Config{
+		{NumNodes: 0, WorkersPerNode: 1, BaseDir: "x"},
+		{NumNodes: 1, WorkersPerNode: 0, BaseDir: "x"},
+		{NumNodes: 1, WorkersPerNode: 1, BaseDir: ""},
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("config %d should fail validation", i)
+		}
+	}
+}
+
+func TestIngestAndScanBlocks(t *testing.T) {
+	c := testCluster(t)
+	ds := dataset.RandomWalk(32, 100, 7)
+	bs, err := c.IngestBlocks(ds, 30, "rw")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bs.Paths) != 4 { // ceil(100/30)
+		t.Fatalf("got %d blocks, want 4", len(bs.Paths))
+	}
+	if bs.Total != 100 {
+		t.Fatalf("Total = %d, want 100", bs.Total)
+	}
+
+	var mu sync.Mutex
+	seen := make(map[int]int)
+	err = c.ScanBlocks(bs.Paths, func(id int, values []float64) error {
+		mu.Lock()
+		seen[id]++
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != 100 {
+		t.Fatalf("scanned %d distinct records, want 100", len(seen))
+	}
+	for id, n := range seen {
+		if n != 1 {
+			t.Fatalf("record %d scanned %d times", id, n)
+		}
+	}
+	if got := c.Stats.BlocksRead.Load(); got != 4 {
+		t.Fatalf("BlocksRead = %d, want 4", got)
+	}
+}
+
+func TestScanBlocksValuesMatchDataset(t *testing.T) {
+	c := testCluster(t)
+	ds := dataset.RandomWalk(16, 20, 3)
+	bs, err := c.IngestBlocks(ds, 7, "rw")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	err = c.ScanBlocks(bs.Paths, func(id int, values []float64) error {
+		mu.Lock()
+		defer mu.Unlock()
+		want := ds.Get(id)
+		for j := range values {
+			if float32(want[j]) != float32(values[j]) {
+				t.Errorf("record %d value %d = %g, want %g", id, j, values[j], want[j])
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSampleBlocks(t *testing.T) {
+	c := testCluster(t)
+	ds := dataset.RandomWalk(16, 200, 9)
+	bs, err := c.IngestBlocks(ds, 10, "rw") // 20 blocks
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewPCG(5, 5))
+	sample := c.SampleBlocks(bs, 0.25, rng)
+	if len(sample) != 5 {
+		t.Fatalf("sampled %d blocks, want 5", len(sample))
+	}
+	// Distinct paths.
+	seen := map[string]bool{}
+	for _, p := range sample {
+		if seen[p] {
+			t.Fatalf("block %s sampled twice", p)
+		}
+		seen[p] = true
+	}
+	// A tiny rate still samples at least one block.
+	if got := c.SampleBlocks(bs, 0.0001, rng); len(got) != 1 {
+		t.Fatalf("minimum sample = %d blocks, want 1", len(got))
+	}
+	// Rate 1 returns everything.
+	if got := c.SampleBlocks(bs, 1.0, rng); len(got) != 20 {
+		t.Fatalf("full sample = %d blocks, want 20", len(got))
+	}
+}
+
+func TestShuffle(t *testing.T) {
+	c := testCluster(t)
+	ds := dataset.RandomWalk(16, 90, 2)
+	bs, err := c.IngestBlocks(ds, 25, "rw")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Route by id modulo 3 partitions, cluster = id modulo 2.
+	ps, err := c.Shuffle(bs, 3, "rw", func(id int, values []float64) (Route, error) {
+		return Route{Partition: id % 3, Cluster: storage.ClusterID(id % 2)}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ps.Paths) != 3 {
+		t.Fatalf("got %d partitions, want 3", len(ps.Paths))
+	}
+	total := 0
+	for pid, cnt := range ps.Counts {
+		if cnt != 30 {
+			t.Fatalf("partition %d holds %d records, want 30", pid, cnt)
+		}
+		total += cnt
+	}
+	if total != 90 {
+		t.Fatalf("shuffle moved %d records, want 90", total)
+	}
+	if got := c.Stats.RecordsShuffled.Load(); got != 90 {
+		t.Fatalf("RecordsShuffled = %d, want 90", got)
+	}
+
+	// Verify partition contents: every record in the right partition and
+	// cluster.
+	for pid := range ps.Paths {
+		p, err := c.OpenPartition(ps, pid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		err = p.ScanAll(func(id int, values []float64) error {
+			if id%3 != pid {
+				t.Errorf("record %d landed in partition %d", id, pid)
+			}
+			return nil
+		})
+		p.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := c.Stats.PartitionsLoaded.Load(); got != 3 {
+		t.Fatalf("PartitionsLoaded = %d, want 3", got)
+	}
+}
+
+func TestShuffleRejectsBadPartition(t *testing.T) {
+	c := testCluster(t)
+	ds := dataset.RandomWalk(16, 10, 2)
+	bs, err := c.IngestBlocks(ds, 5, "rw")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = c.Shuffle(bs, 2, "rw", func(id int, values []float64) (Route, error) {
+		return Route{Partition: 7}, nil
+	})
+	if err == nil {
+		t.Fatal("out-of-range partition route accepted")
+	}
+}
+
+func TestIngestBlocksValidation(t *testing.T) {
+	c := testCluster(t)
+	ds := series.NewDataset(4)
+	if _, err := c.IngestBlocks(ds, 0, "x"); err == nil {
+		t.Fatal("zero block size accepted")
+	}
+}
+
+func TestBroadcastAccounting(t *testing.T) {
+	c := testCluster(t)
+	c.Broadcast(1000)
+	if got := c.Stats.BroadcastBytes.Load(); got != 2000 { // 2 nodes
+		t.Fatalf("BroadcastBytes = %d, want 2000", got)
+	}
+}
+
+func TestWorkers(t *testing.T) {
+	c := testCluster(t)
+	if c.Workers() != 4 {
+		t.Fatalf("Workers = %d, want 4", c.Workers())
+	}
+	if c.NumNodes() != 2 {
+		t.Fatalf("NumNodes = %d, want 2", c.NumNodes())
+	}
+}

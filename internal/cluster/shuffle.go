@@ -1,0 +1,91 @@
+package cluster
+
+import (
+	"fmt"
+	"path/filepath"
+	"sync"
+
+	"climber/internal/storage"
+)
+
+// Route is the destination of one record after re-distribution: a physical
+// partition and the record cluster (trie node) within it.
+type Route struct {
+	Partition int
+	Cluster   storage.ClusterID
+}
+
+// PartitionSet references the physical partition files produced by a
+// shuffle, indexed by partition ID.
+type PartitionSet struct {
+	Paths     []string
+	SeriesLen int
+	Counts    []int // records per partition
+}
+
+// Shuffle re-distributes the entire dataset into physical partitions
+// (paper Figure 6, Step 4): workers scan the raw blocks in parallel, route
+// every record via the provided function (which encapsulates signature
+// generation plus group/trie navigation), and the records are regrouped
+// into per-partition, per-cluster files. Partition files land on nodes
+// round-robin, mirroring HDFS placement.
+//
+// route is invoked concurrently and must be safe for that.
+func (c *Cluster) Shuffle(bs *BlockSet, numPartitions int, name string,
+	route func(id int, values []float64) (Route, error)) (*PartitionSet, error) {
+	if numPartitions <= 0 {
+		return nil, fmt.Errorf("cluster: shuffle needs at least one partition, got %d", numPartitions)
+	}
+	writers := make([]*storage.PartitionWriter, numPartitions)
+	locks := make([]sync.Mutex, numPartitions)
+	for i := range writers {
+		writers[i] = storage.NewPartitionWriter(bs.SeriesLen)
+	}
+
+	err := c.ScanBlocks(bs.Paths, func(id int, values []float64) error {
+		r, err := route(id, values)
+		if err != nil {
+			return err
+		}
+		if r.Partition < 0 || r.Partition >= numPartitions {
+			return fmt.Errorf("cluster: record %d routed to invalid partition %d of %d", id, r.Partition, numPartitions)
+		}
+		locks[r.Partition].Lock()
+		err = writers[r.Partition].Append(r.Cluster, id, values)
+		locks[r.Partition].Unlock()
+		if err != nil {
+			return err
+		}
+		c.Stats.RecordsShuffled.Add(1)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	ps := &PartitionSet{SeriesLen: bs.SeriesLen, Paths: make([]string, numPartitions), Counts: make([]int, numPartitions)}
+	for i, w := range writers {
+		node := i % c.cfg.NumNodes
+		path := filepath.Join(c.nodeDirs[node], fmt.Sprintf("%s-part%05d.clmp", name, i))
+		if err := w.Flush(path); err != nil {
+			return nil, err
+		}
+		ps.Paths[i] = path
+		ps.Counts[i] = w.Count()
+		c.Stats.BytesWritten.Add(int64(w.Count() * storage.RecordBytes(bs.SeriesLen)))
+	}
+	return ps, nil
+}
+
+// OpenPartition opens one physical partition for reading and accounts for
+// the load in the cluster statistics (the dominant query-time cost in the
+// paper is "the number of partitions touched").
+func (c *Cluster) OpenPartition(ps *PartitionSet, id int) (*storage.Partition, error) {
+	p, err := storage.OpenPartition(ps.Paths[id])
+	if err != nil {
+		return nil, err
+	}
+	c.Stats.PartitionsLoaded.Add(1)
+	c.Stats.BytesRead.Add(int64(p.Count() * storage.RecordBytes(p.SeriesLen())))
+	return p, nil
+}

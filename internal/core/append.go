@@ -1,0 +1,114 @@
+package core
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"os"
+	"sort"
+
+	"climber/internal/storage"
+)
+
+// Append inserts new data series into a built index without rebuilding the
+// skeleton: each record is routed through the existing pivots, groups, and
+// tries (exactly like Step 4 of construction) and appended to its partition
+// file. Appended records receive IDs continuing the build sequence; the
+// assigned IDs are returned in input order.
+//
+// The skeleton's partitioning was derived from the original sample, so a
+// heavily appended index drifts from its capacity targets — like the
+// paper's prototype, rebuilding is the answer once partitions grow far past
+// the capacity constraint (the soft-constraint discussion of Section V).
+//
+// Concurrency: Append replaces partition files atomically (write-temp +
+// rename), so queries running concurrently see either the old or the new
+// file — both are consistent snapshots. Concurrent Append calls, however,
+// must be serialised by the caller: two appends may interleave ID
+// assignment and lose records.
+func (ix *Index) Append(records [][]float64) ([]int, error) {
+	if len(records) == 0 {
+		return nil, nil
+	}
+	for i, r := range records {
+		if len(r) != ix.Skel.SeriesLen {
+			return nil, fmt.Errorf("core: appended record %d has length %d, index stores %d",
+				i, len(r), ix.Skel.SeriesLen)
+		}
+	}
+	nextID := 0
+	for _, c := range ix.Parts.Counts {
+		nextID += c
+	}
+
+	// Route every record, grouping by destination partition.
+	byPartition := make(map[int][]pendingRecord)
+	ids := make([]int, len(records))
+	for i, r := range records {
+		id := nextID + i
+		ids[i] = id
+		rng := rand.New(rand.NewPCG(ix.Skel.Cfg.Seed, uint64(id)+0x9e3779b97f4a7c15))
+		route := ix.Skel.RouteRecord(r, rng)
+		byPartition[route.Partition] = append(byPartition[route.Partition],
+			pendingRecord{id: id, cluster: route.Cluster, values: r})
+	}
+
+	// Rewrite each affected partition with the new records merged in.
+	// Partition files are immutable cluster-contiguous layouts, so append
+	// is read-modify-replace — cheap because partitions are capacity
+	// bounded.
+	pids := make([]int, 0, len(byPartition))
+	for pid := range byPartition {
+		pids = append(pids, pid)
+	}
+	sort.Ints(pids)
+	for _, pid := range pids {
+		if err := ix.appendToPartition(pid, byPartition[pid]); err != nil {
+			return nil, err
+		}
+	}
+	return ids, nil
+}
+
+// pendingRecord is one appended series awaiting its partition rewrite.
+type pendingRecord struct {
+	id      int
+	cluster storage.ClusterID
+	values  []float64
+}
+
+func (ix *Index) appendToPartition(pid int, recs []pendingRecord) error {
+	path := ix.Parts.Paths[pid]
+	w := storage.NewPartitionWriter(ix.Parts.SeriesLen)
+
+	existing, err := storage.OpenPartition(path)
+	if err != nil {
+		return err
+	}
+	for _, ci := range existing.Clusters() {
+		cid := ci.ID
+		err := existing.ScanCluster(cid, func(id int, values []float64) error {
+			return w.Append(cid, id, values)
+		})
+		if err != nil {
+			existing.Close()
+			return err
+		}
+	}
+	existing.Close()
+
+	for _, r := range recs {
+		if err := w.Append(r.cluster, r.id, r.values); err != nil {
+			return err
+		}
+	}
+
+	tmp := path + ".tmp"
+	if err := w.Flush(tmp); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("core: replace partition %d: %w", pid, err)
+	}
+	ix.Parts.Counts[pid] = w.Count()
+	return nil
+}

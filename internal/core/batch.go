@@ -1,0 +1,44 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// SearchBatch answers many kNN queries concurrently, mirroring the paper's
+// distributed query evaluation (Section VI): the skeleton is shared
+// read-only across workers and each query independently loads the
+// partitions it needs. workers <= 0 uses GOMAXPROCS.
+//
+// Results are positionally aligned with the queries. The first error
+// aborts the batch.
+func (ix *Index) SearchBatch(queries [][]float64, opts SearchOptions, workers int) ([]*SearchResult, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	out := make([]*SearchResult, len(queries))
+	errs := make([]error, len(queries))
+	work := make(chan int, len(queries))
+	for i := range queries {
+		work <- i
+	}
+	close(work)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				out[i], errs[i] = ix.Search(queries[i], opts)
+			}
+		}()
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("core: batch query %d: %w", i, err)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,64 @@
+package core
+
+import "sort"
+
+// Description summarises an index skeleton's structure — the numbers an
+// operator needs to judge a build: group balance, trie shapes, partition
+// fill.
+type Description struct {
+	NumGroups     int
+	NumPartitions int
+	SkeletonBytes int
+
+	// GroupSizes holds each group's estimated membership, indexed by group
+	// ID (entry 0 = fall-back G0).
+	GroupSizes []int
+	// TrieNodes and TrieLeaves count the whole forest.
+	TrieNodes  int
+	TrieLeaves int
+	// DepthHistogram[d] counts trie leaves at depth d.
+	DepthHistogram []int
+	// MaxDepth is the deepest leaf across all groups.
+	MaxDepth int
+	// PartitionEst mirrors the skeleton's per-partition estimates.
+	PartitionEst []int
+	// LargestPartitionEst and SmallestPartitionEst bound the estimated
+	// partition occupancy (the capacity constraint is soft; these show the
+	// spread).
+	LargestPartitionEst  int
+	SmallestPartitionEst int
+}
+
+// Describe computes the skeleton's structural summary.
+func (s *Skeleton) Describe() Description {
+	d := Description{
+		NumGroups:     s.NumGroups(),
+		NumPartitions: s.NumPartitions,
+		SkeletonBytes: s.EncodedSize(),
+		GroupSizes:    make([]int, s.NumGroups()),
+		PartitionEst:  append([]int(nil), s.PartitionEst...),
+	}
+	for gid, g := range s.Groups {
+		d.GroupSizes[gid] = g.Trie.Count
+		for _, n := range g.Trie.Nodes() {
+			d.TrieNodes++
+			if n.IsLeaf() {
+				d.TrieLeaves++
+				for len(d.DepthHistogram) <= n.Depth {
+					d.DepthHistogram = append(d.DepthHistogram, 0)
+				}
+				d.DepthHistogram[n.Depth]++
+				if n.Depth > d.MaxDepth {
+					d.MaxDepth = n.Depth
+				}
+			}
+		}
+	}
+	if len(d.PartitionEst) > 0 {
+		sorted := append([]int(nil), d.PartitionEst...)
+		sort.Ints(sorted)
+		d.SmallestPartitionEst = sorted[0]
+		d.LargestPartitionEst = sorted[len(sorted)-1]
+	}
+	return d
+}

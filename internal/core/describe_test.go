@@ -1,0 +1,48 @@
+package core
+
+import (
+	"testing"
+
+	"climber/internal/dataset"
+)
+
+func TestDescribe(t *testing.T) {
+	cfg := testConfig()
+	sample := dataset.RandomWalk(64, 400, 3)
+	skel, err := BuildSkeleton(sample, 64, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := skel.Describe()
+	if d.NumGroups != skel.NumGroups() || d.NumPartitions != skel.NumPartitions {
+		t.Fatalf("shape mismatch: %+v", d)
+	}
+	if d.SkeletonBytes != skel.EncodedSize() {
+		t.Fatalf("SkeletonBytes = %d, want %d", d.SkeletonBytes, skel.EncodedSize())
+	}
+	if d.TrieLeaves == 0 || d.TrieNodes < d.TrieLeaves {
+		t.Fatalf("implausible trie counts: %+v", d)
+	}
+	// The depth histogram must sum to the leaf count.
+	sum := 0
+	for _, c := range d.DepthHistogram {
+		sum += c
+	}
+	if sum != d.TrieLeaves {
+		t.Fatalf("depth histogram sums to %d, leaves %d", sum, d.TrieLeaves)
+	}
+	if d.MaxDepth >= len(d.DepthHistogram) && d.TrieLeaves > 0 {
+		t.Fatalf("MaxDepth %d outside histogram of length %d", d.MaxDepth, len(d.DepthHistogram))
+	}
+	// Group sizes must sum to the scaled estimates of the whole sample.
+	total := 0
+	for _, gs := range d.GroupSizes {
+		total += gs
+	}
+	if total <= 0 {
+		t.Fatal("group sizes sum to zero")
+	}
+	if d.SmallestPartitionEst > d.LargestPartitionEst {
+		t.Fatalf("partition bounds inverted: %+v", d)
+	}
+}

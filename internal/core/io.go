@@ -1,0 +1,387 @@
+package core
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+
+	"climber/internal/cluster"
+	"climber/internal/grouping"
+	"climber/internal/metric"
+	"climber/internal/paa"
+	"climber/internal/pivot"
+	"climber/internal/trie"
+)
+
+// The skeleton file is the serialised global index — the structure the
+// paper broadcasts to every worker and whose size Figure 8 reports. The
+// format is a flat little-endian layout: config, pivot coordinates, then
+// each group's centroid and trie in DFS preorder.
+const (
+	skeletonMagic   = "CLMS"
+	skeletonVersion = 1
+)
+
+type countingWriter struct{ n int64 }
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	c.n += int64(len(p))
+	return len(p), nil
+}
+
+// EncodedSize returns the byte size of the serialised skeleton — the
+// "global index size" metric of Figures 8(b)/(d) and 12.
+func (s *Skeleton) EncodedSize() int {
+	var cw countingWriter
+	if err := s.Encode(&cw); err != nil {
+		return 0 // cannot happen with a non-failing writer
+	}
+	return int(cw.n)
+}
+
+type binWriter struct {
+	w   io.Writer
+	err error
+	buf [8]byte
+}
+
+func (b *binWriter) u64(v uint64) {
+	if b.err != nil {
+		return
+	}
+	binary.LittleEndian.PutUint64(b.buf[:], v)
+	_, b.err = b.w.Write(b.buf[:])
+}
+func (b *binWriter) i64(v int64)   { b.u64(uint64(v)) }
+func (b *binWriter) i(v int)       { b.i64(int64(v)) }
+func (b *binWriter) f64(v float64) { b.u64(math.Float64bits(v)) }
+func (b *binWriter) raw(p []byte) {
+	if b.err != nil {
+		return
+	}
+	_, b.err = b.w.Write(p)
+}
+
+type binReader struct {
+	r   io.Reader
+	err error
+	buf [8]byte
+}
+
+func (b *binReader) u64() uint64 {
+	if b.err != nil {
+		return 0
+	}
+	if _, err := io.ReadFull(b.r, b.buf[:]); err != nil {
+		b.err = err
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b.buf[:])
+}
+func (b *binReader) i64() int64   { return int64(b.u64()) }
+func (b *binReader) i() int       { return int(b.i64()) }
+func (b *binReader) f64() float64 { return math.Float64frombits(b.u64()) }
+func (b *binReader) raw(p []byte) {
+	if b.err != nil {
+		return
+	}
+	if _, err := io.ReadFull(b.r, p); err != nil {
+		b.err = err
+	}
+}
+
+// Encode serialises the skeleton.
+func (s *Skeleton) Encode(w io.Writer) error {
+	bw := &binWriter{w: w}
+	bw.raw([]byte(skeletonMagic))
+	bw.i(skeletonVersion)
+
+	// Config.
+	c := s.Cfg
+	bw.i(c.Segments)
+	bw.i(c.NumPivots)
+	bw.i(c.PrefixLen)
+	bw.i(c.Capacity)
+	bw.f64(c.SampleRate)
+	bw.i(c.Epsilon)
+	bw.i(c.MaxCentroids)
+	bw.i(int(c.Decay))
+	bw.f64(c.Lambda)
+	bw.u64(c.Seed)
+	bw.i(c.BlockSize)
+	if c.DisableWDTieBreak {
+		bw.i(1)
+	} else {
+		bw.i(0)
+	}
+	bw.i(s.SeriesLen)
+
+	// Pivots (dimension is Segments).
+	flat := s.Pivots.Flat()
+	bw.i(len(flat))
+	for _, v := range flat {
+		bw.f64(v)
+	}
+
+	// Groups.
+	bw.i(len(s.Groups))
+	for _, g := range s.Groups {
+		bw.i(len(g.Centroid))
+		for _, id := range g.Centroid {
+			bw.i(id)
+		}
+		bw.i(g.DefaultPartition)
+		bw.i64(g.ClusterBase)
+		encodeTrie(bw, g.Trie)
+	}
+
+	bw.i(s.NumPartitions)
+	bw.i(len(s.PartitionEst))
+	for _, v := range s.PartitionEst {
+		bw.i(v)
+	}
+	return bw.err
+}
+
+func encodeTrie(bw *binWriter, n *trie.Node) {
+	bw.i(n.ID)
+	bw.i(n.Pivot)
+	bw.i(n.Depth)
+	bw.i(n.Count)
+	bw.i(len(n.Partitions))
+	for _, p := range n.Partitions {
+		bw.i(p)
+	}
+	bw.i(len(n.Children))
+	for _, c := range n.Children {
+		encodeTrie(bw, c)
+	}
+}
+
+func decodeTrie(br *binReader) *trie.Node {
+	n := &trie.Node{}
+	n.ID = br.i()
+	n.Pivot = br.i()
+	n.Depth = br.i()
+	n.Count = br.i()
+	nParts := br.i()
+	if br.err != nil || nParts < 0 || nParts > 1<<24 {
+		br.err = fmt.Errorf("core: corrupt trie partition count")
+		return n
+	}
+	n.Partitions = make([]int, nParts)
+	for i := range n.Partitions {
+		n.Partitions[i] = br.i()
+	}
+	nChildren := br.i()
+	if br.err != nil || nChildren < 0 || nChildren > 1<<24 {
+		br.err = fmt.Errorf("core: corrupt trie fanout")
+		return n
+	}
+	for i := 0; i < nChildren; i++ {
+		n.Children = append(n.Children, decodeTrie(br))
+	}
+	return n
+}
+
+// DecodeSkeleton reads a skeleton serialised by Encode and reconstructs the
+// derived components (transformer, weigher, assigner).
+func DecodeSkeleton(r io.Reader) (*Skeleton, error) {
+	br := &binReader{r: r}
+	magic := make([]byte, 4)
+	br.raw(magic)
+	if br.err == nil && string(magic) != skeletonMagic {
+		return nil, fmt.Errorf("core: bad skeleton magic %q", magic)
+	}
+	if v := br.i(); br.err == nil && v != skeletonVersion {
+		return nil, fmt.Errorf("core: unsupported skeleton version %d", v)
+	}
+
+	var c Config
+	c.Segments = br.i()
+	c.NumPivots = br.i()
+	c.PrefixLen = br.i()
+	c.Capacity = br.i()
+	c.SampleRate = br.f64()
+	c.Epsilon = br.i()
+	c.MaxCentroids = br.i()
+	c.Decay = metric.DecayKind(br.i())
+	c.Lambda = br.f64()
+	c.Seed = br.u64()
+	c.BlockSize = br.i()
+	c.DisableWDTieBreak = br.i() != 0
+	seriesLen := br.i()
+	if br.err != nil {
+		return nil, fmt.Errorf("core: read skeleton config: %w", br.err)
+	}
+	if err := c.Validate(); err != nil {
+		return nil, fmt.Errorf("core: skeleton config: %w", err)
+	}
+
+	nFlat := br.i()
+	if br.err != nil || nFlat < 0 || nFlat != c.NumPivots*c.Segments {
+		return nil, fmt.Errorf("core: corrupt pivot payload (%d values for %d x %d)", nFlat, c.NumPivots, c.Segments)
+	}
+	pivots := make([][]float64, c.NumPivots)
+	for i := range pivots {
+		p := make([]float64, c.Segments)
+		for j := range p {
+			p[j] = br.f64()
+		}
+		pivots[i] = p
+	}
+	pset, err := pivot.NewSet(pivots, c.PrefixLen)
+	if err != nil {
+		return nil, err
+	}
+
+	nGroups := br.i()
+	if br.err != nil || nGroups <= 0 || nGroups > 1<<24 {
+		return nil, fmt.Errorf("core: corrupt group count %d", nGroups)
+	}
+	groups := make([]*Group, nGroups)
+	var centroids []pivot.Signature
+	for gid := 0; gid < nGroups; gid++ {
+		g := &Group{ID: gid}
+		cLen := br.i()
+		if br.err != nil || cLen < 0 || cLen > 1<<20 {
+			return nil, fmt.Errorf("core: corrupt centroid length")
+		}
+		if cLen > 0 {
+			g.Centroid = make(pivot.Signature, cLen)
+			for i := range g.Centroid {
+				g.Centroid[i] = br.i()
+			}
+		}
+		g.DefaultPartition = br.i()
+		g.ClusterBase = br.i64()
+		g.Trie = decodeTrie(br)
+		if br.err != nil {
+			return nil, fmt.Errorf("core: read group %d: %w", gid, br.err)
+		}
+		// Node IDs must be the DFS preorder 0..n-1 before indexNodes may
+		// build its dense lookup table; anything else is corruption.
+		nodes := g.Trie.Nodes()
+		seen := make([]bool, len(nodes))
+		for _, nd := range nodes {
+			if nd.ID < 0 || nd.ID >= len(nodes) || seen[nd.ID] {
+				return nil, fmt.Errorf("core: group %d has corrupt trie node IDs", gid)
+			}
+			seen[nd.ID] = true
+		}
+		g.indexNodes()
+		groups[gid] = g
+		if gid > 0 {
+			centroids = append(centroids, g.Centroid)
+		}
+	}
+
+	numPartitions := br.i()
+	nEst := br.i()
+	if br.err != nil || nEst < 0 || nEst > 1<<24 {
+		return nil, fmt.Errorf("core: corrupt partition estimates")
+	}
+	est := make([]int, nEst)
+	for i := range est {
+		est[i] = br.i()
+	}
+	if br.err != nil {
+		return nil, fmt.Errorf("core: read skeleton: %w", br.err)
+	}
+
+	tr, err := paa.NewTransformer(seriesLen, c.Segments)
+	if err != nil {
+		return nil, err
+	}
+	weigher, err := metric.NewWeigher(c.PrefixLen, c.Decay, c.Lambda)
+	if err != nil {
+		return nil, err
+	}
+	assigner, err := grouping.NewAssigner(centroids, weigher)
+	if err != nil {
+		return nil, err
+	}
+	assigner.UseWeightTieBreak = !c.DisableWDTieBreak
+	return &Skeleton{
+		Cfg:           c,
+		SeriesLen:     seriesLen,
+		Transformer:   tr,
+		Pivots:        pset,
+		Weigher:       weigher,
+		Assigner:      assigner,
+		Groups:        groups,
+		NumPartitions: numPartitions,
+		PartitionEst:  est,
+	}, nil
+}
+
+// SaveIndex persists an index's metadata — the skeleton plus the partition
+// manifest — to one file. Partition files stay where the cluster wrote
+// them.
+func SaveIndex(ix *Index, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("core: create index file: %w", err)
+	}
+	w := bufio.NewWriter(f)
+	if err := ix.Skel.Encode(w); err != nil {
+		f.Close()
+		return fmt.Errorf("core: encode skeleton: %w", err)
+	}
+	bw := &binWriter{w: w}
+	bw.i(ix.Parts.SeriesLen)
+	bw.i(len(ix.Parts.Paths))
+	for i, p := range ix.Parts.Paths {
+		bw.i(len(p))
+		bw.raw([]byte(p))
+		bw.i(ix.Parts.Counts[i])
+	}
+	if bw.err != nil {
+		f.Close()
+		return fmt.Errorf("core: encode manifest: %w", bw.err)
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return fmt.Errorf("core: flush index file: %w", err)
+	}
+	return f.Close()
+}
+
+// OpenIndex loads index metadata saved by SaveIndex and attaches it to the
+// given cluster for partition I/O accounting.
+func OpenIndex(cl *cluster.Cluster, path string) (*Index, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("core: open index file: %w", err)
+	}
+	defer f.Close()
+	r := bufio.NewReader(f)
+	skel, err := DecodeSkeleton(r)
+	if err != nil {
+		return nil, err
+	}
+	br := &binReader{r: r}
+	parts := &cluster.PartitionSet{}
+	parts.SeriesLen = br.i()
+	n := br.i()
+	if br.err != nil || n < 0 || n > 1<<24 {
+		return nil, fmt.Errorf("core: corrupt partition manifest")
+	}
+	for i := 0; i < n; i++ {
+		pl := br.i()
+		if br.err != nil || pl < 0 || pl > 1<<16 {
+			return nil, fmt.Errorf("core: corrupt partition path length")
+		}
+		p := make([]byte, pl)
+		br.raw(p)
+		parts.Paths = append(parts.Paths, string(p))
+		parts.Counts = append(parts.Counts, br.i())
+	}
+	if br.err != nil {
+		return nil, fmt.Errorf("core: read manifest: %w", br.err)
+	}
+	return &Index{Skel: skel, Cl: cl, Parts: parts}, nil
+}

@@ -1,0 +1,83 @@
+package core
+
+import (
+	"bytes"
+	"math/rand/v2"
+	"testing"
+
+	"climber/internal/dataset"
+)
+
+// DecodeSkeleton must reject corrupted inputs with an error — never panic,
+// never hang, never return a half-built skeleton silently. We flip bytes at
+// random positions of a valid encoding and also truncate at every 64-byte
+// boundary.
+func TestDecodeSkeletonCorruptionRobustness(t *testing.T) {
+	cfg := testConfig()
+	sample := dataset.RandomWalk(64, 400, 3)
+	skel, err := BuildSkeleton(sample, 64, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := skel.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	valid := buf.Bytes()
+
+	rng := rand.New(rand.NewPCG(77, 88))
+	for trial := 0; trial < 200; trial++ {
+		corrupted := make([]byte, len(valid))
+		copy(corrupted, valid)
+		// Flip 1-4 random bytes.
+		for f := 0; f < 1+rng.IntN(4); f++ {
+			corrupted[rng.IntN(len(corrupted))] ^= byte(1 + rng.IntN(255))
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("trial %d: DecodeSkeleton panicked: %v", trial, r)
+				}
+			}()
+			back, err := DecodeSkeleton(bytes.NewReader(corrupted))
+			// Either an error, or a structurally coherent skeleton (byte
+			// flips in pivot coordinates or counts can decode fine).
+			if err == nil && back == nil {
+				t.Fatalf("trial %d: nil skeleton without error", trial)
+			}
+		}()
+	}
+
+	for cut := 0; cut < len(valid); cut += 64 {
+		if _, err := DecodeSkeleton(bytes.NewReader(valid[:cut])); err == nil {
+			t.Fatalf("truncation at %d bytes decoded without error", cut)
+		}
+	}
+}
+
+func TestDisableWDTieBreakRoundTrip(t *testing.T) {
+	cfg := testConfig()
+	cfg.DisableWDTieBreak = true
+	sample := dataset.RandomWalk(64, 400, 3)
+	skel, err := BuildSkeleton(sample, 64, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if skel.Assigner.UseWeightTieBreak {
+		t.Fatal("assigner still uses WD tie-break with DisableWDTieBreak set")
+	}
+	var buf bytes.Buffer
+	if err := skel.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeSkeleton(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Assigner.UseWeightTieBreak {
+		t.Fatal("DisableWDTieBreak lost in serialisation round trip")
+	}
+	if !back.Cfg.DisableWDTieBreak {
+		t.Fatal("config flag lost in round trip")
+	}
+}

@@ -1,0 +1,111 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"climber/internal/paa"
+	"climber/internal/series"
+)
+
+// SearchPrefix answers an approximate kNN query whose series is *shorter*
+// than the indexed length — the flexibility the paper credits the
+// PAA/SAX-family representations with ("they allow for queries shorter
+// than the length on which the index is built", Section II), which DFT- and
+// wavelet-based indexes cannot offer.
+//
+// The query is PAA-segmented into the same w segments as the index (so the
+// pivot space lines up), routed through groups and tries as usual, and
+// candidates are ranked by the Euclidean distance over the first len(q)
+// readings of each record. The query must satisfy w <= len(q) <= n.
+func (ix *Index) SearchPrefix(q []float64, opts SearchOptions) (*SearchResult, error) {
+	skel := ix.Skel
+	if opts.K <= 0 {
+		return nil, fmt.Errorf("core: K must be positive, got %d", opts.K)
+	}
+	if len(q) == skel.SeriesLen {
+		return ix.Search(q, opts)
+	}
+	if len(q) > skel.SeriesLen {
+		return nil, fmt.Errorf("core: prefix query length %d exceeds indexed length %d", len(q), skel.SeriesLen)
+	}
+	if len(q) < skel.Cfg.Segments {
+		return nil, fmt.Errorf("core: prefix query length %d is below the segment count %d", len(q), skel.Cfg.Segments)
+	}
+
+	// Segment the short query into the same w segments the pivots live in.
+	tr, err := paa.NewTransformer(len(q), skel.Cfg.Segments)
+	if err != nil {
+		return nil, err
+	}
+	paaQ := tr.Transform(q)
+	rs, ri := skel.Pivots.Dual(paaQ)
+	cands, bestOD := skel.Assigner.Candidates(rs, ri)
+	base := ix.selectTarget(cands, rs, bestOD)
+	stats := QueryStats{
+		GroupsConsidered: len(cands),
+		TargetNodeSize:   base.node.Count,
+		TargetPathLen:    base.pathLen,
+	}
+
+	var plan scanPlan
+	switch opts.Variant {
+	case VariantODSmallest:
+		plan = ix.planODSmallest(ri, bestOD)
+	case VariantAdaptive2X, VariantAdaptive4X:
+		plan = ix.planAdaptive(base, rs, ri, bestOD, opts)
+	default:
+		plan = ix.planKNN(base)
+	}
+
+	// Rank candidates by ED over the stored records' first len(q) readings.
+	top := series.NewTopK(opts.K)
+	prefixLen := len(q)
+	err = ix.executePlanPrefix(plan, nil, q, prefixLen, top, true, &stats)
+	if err != nil {
+		return nil, err
+	}
+	if opts.Variant != VariantODSmallest && top.Len() < opts.K {
+		widened := make(scanPlan, len(plan))
+		for pid := range plan {
+			widened[pid] = nil
+		}
+		if err := ix.executePlanPrefix(widened, plan, q, prefixLen, top, false, &stats); err != nil {
+			return nil, err
+		}
+	}
+
+	results := top.Results()
+	for i := range results {
+		results[i].Dist = math.Sqrt(results[i].Dist)
+	}
+	out := &SearchResult{Results: results, Stats: stats}
+	if opts.Explain {
+		pids := make([]int, 0, len(plan))
+		for pid := range plan {
+			pids = append(pids, pid)
+		}
+		sort.Ints(pids)
+		out.Explain = &Explanation{
+			RankSensitive:   rs.Clone(),
+			RankInsensitive: ri.Clone(),
+			BestOD:          bestOD,
+			CandidateGroups: append([]int(nil), cands...),
+			SelectedGroup:   base.group.ID,
+			MatchedPath:     rs[:base.pathLen].Clone(),
+			TargetNodeSize:  base.node.Count,
+			Partitions:      pids,
+		}
+	}
+	return out, nil
+}
+
+// executePlanPrefix is executePlan with distances restricted to the first
+// prefixLen readings of each record.
+func (ix *Index) executePlanPrefix(plan, done scanPlan, q []float64, prefixLen int, top *series.TopK, countLoads bool, stats *QueryStats) error {
+	return ix.executePlanDist(plan, done, top, countLoads, stats,
+		func(values []float64, bound float64) float64 {
+			return series.SqDistEarlyAbandon(q, values[:prefixLen], bound)
+		})
+}

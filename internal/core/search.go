@@ -1,0 +1,548 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"climber/internal/pivot"
+	"climber/internal/series"
+	"climber/internal/storage"
+	"climber/internal/trie"
+)
+
+// Variant selects the query-processing strategy (paper Section VI and the
+// experimental variations of Section VII-A).
+type Variant int
+
+const (
+	// VariantKNN is Algorithm 3: a single best-matching trie node, with
+	// expansion only within the already-loaded partition(s) when the node
+	// holds fewer than K records.
+	VariantKNN Variant = iota
+	// VariantAdaptive2X is CLIMBER-kNN-Adaptive capped at 2x the partitions
+	// of the base algorithm.
+	VariantAdaptive2X
+	// VariantAdaptive4X caps at 4x — the paper's default variation.
+	VariantAdaptive4X
+	// VariantODSmallest scans every partition of every group whose Overlap
+	// Distance to the query is smallest (Algorithm 3 stopped at Line 6) —
+	// the upper-bound ablation of Figure 11(b).
+	VariantODSmallest
+)
+
+// String names the variant as in the paper's plots.
+func (v Variant) String() string {
+	switch v {
+	case VariantKNN:
+		return "CLIMBER-kNN"
+	case VariantAdaptive2X:
+		return "CLIMBER-kNN-Adaptive-2X"
+	case VariantAdaptive4X:
+		return "CLIMBER-kNN-Adaptive-4X"
+	case VariantODSmallest:
+		return "OD-Smallest"
+	default:
+		return fmt.Sprintf("Variant(%d)", int(v))
+	}
+}
+
+// partitionFactor returns the adaptive partition-cap multiplier relative to
+// the base CLIMBER-kNN partition count.
+func (v Variant) partitionFactor() int {
+	switch v {
+	case VariantAdaptive2X:
+		return 2
+	case VariantAdaptive4X:
+		return 4
+	default:
+		return 1
+	}
+}
+
+// SearchOptions parameterise one kNN query.
+type SearchOptions struct {
+	// K is the answer-set size (paper default 500).
+	K int
+	// Variant selects the algorithm; the zero value is CLIMBER-kNN.
+	Variant Variant
+	// MaxPartitions, when positive, overrides the variant's partition cap
+	// (the paper's MaxNumPartitions configuration parameter).
+	MaxPartitions int
+	// Explain attaches the index-navigation trace to the result.
+	Explain bool
+}
+
+// Explanation traces how Algorithm 3 navigated the index for one query —
+// the operator-facing counterpart of the paper's Example 2 walkthrough.
+type Explanation struct {
+	// RankSensitive and RankInsensitive are the query's P4 dual signature.
+	RankSensitive, RankInsensitive pivot.Signature
+	// BestOD is the smallest Overlap Distance to any group centroid; equal
+	// to the prefix length when the query fell back to G0.
+	BestOD int
+	// CandidateGroups are the group IDs surviving the OD/WD filtering.
+	CandidateGroups []int
+	// SelectedGroup is the group whose trie was chosen.
+	SelectedGroup int
+	// MatchedPath is the pivot-ID prefix matched inside the group's trie
+	// (the root-to-GN path of Example 2).
+	MatchedPath pivot.Signature
+	// TargetNodeSize is the estimated membership of the matched node.
+	TargetNodeSize int
+	// Partitions are the physical partitions the plan scanned.
+	Partitions []int
+}
+
+// QueryStats reports where a query's effort went — the metrics behind
+// Figures 7, 9, 11 and 12.
+type QueryStats struct {
+	// GroupsConsidered is |GList| after the OD/WD filtering.
+	GroupsConsidered int
+	// TargetNodeSize is the (estimated) record count of the best-matching
+	// trie node (the capacity "m" stressed by Figure 11(a)).
+	TargetNodeSize int
+	// TargetPathLen is the matched root-to-node path length.
+	TargetPathLen int
+	// PartitionsScanned counts distinct partitions loaded.
+	PartitionsScanned int
+	// RecordsScanned counts raw series compared with ED.
+	RecordsScanned int
+	// BytesLoaded approximates I/O as full-partition loads, the unit the
+	// paper's query-time model charges for.
+	BytesLoaded int64
+}
+
+// SearchResult is the approximate answer set with its statistics. Distances
+// are true (non-squared) Euclidean distances, ascending. Explain is non-nil
+// only when requested via SearchOptions.Explain.
+type SearchResult struct {
+	Results []series.Result
+	Stats   QueryStats
+	Explain *Explanation
+}
+
+// target is one (group, trie node) candidate selected for scanning.
+type target struct {
+	group   *Group
+	node    *trie.Node
+	od      int
+	pathLen int
+}
+
+// scanPlan maps a partition ID to the record clusters to scan inside it;
+// a nil cluster set means "scan the whole partition".
+type scanPlan map[int]map[storage.ClusterID]struct{}
+
+// Search answers an approximate kNN query (paper Definition 4) using the
+// configured variant.
+func (ix *Index) Search(q []float64, opts SearchOptions) (*SearchResult, error) {
+	if opts.K <= 0 {
+		return nil, fmt.Errorf("core: K must be positive, got %d", opts.K)
+	}
+	if len(q) != ix.Skel.SeriesLen {
+		return nil, fmt.Errorf("core: query length %d, index expects %d", len(q), ix.Skel.SeriesLen)
+	}
+	skel := ix.Skel
+
+	// Lines 2-4 of Algorithm 3: transform the query exactly as records were
+	// transformed during Step 4.
+	paaQ := skel.Transformer.Transform(q)
+	rs, ri := skel.Pivots.Dual(paaQ)
+
+	// Lines 5-9: best group(s) by OD, ties broken by WD.
+	cands, bestOD := skel.Assigner.Candidates(rs, ri)
+
+	// Lines 10-19: per-group trie descent and tie-breaking.
+	base := ix.selectTarget(cands, rs, bestOD)
+	stats := QueryStats{
+		GroupsConsidered: len(cands),
+		TargetNodeSize:   base.node.Count,
+		TargetPathLen:    base.pathLen,
+	}
+
+	var plan scanPlan
+	switch opts.Variant {
+	case VariantODSmallest:
+		plan = ix.planODSmallest(ri, bestOD)
+	case VariantAdaptive2X, VariantAdaptive4X:
+		plan = ix.planAdaptive(base, rs, ri, bestOD, opts)
+	default:
+		plan = ix.planKNN(base)
+	}
+
+	top := series.NewTopK(opts.K)
+	if err := ix.executePlan(plan, nil, q, top, true, &stats); err != nil {
+		return nil, err
+	}
+
+	// Within-partition expansion: when the scanned trie nodes hold fewer
+	// than K records, widen to every cluster of the already-loaded
+	// partitions (Section VII-A: CLIMBER-kNN "expands the search within the
+	// same partition"; the adaptive variants inherit the same final step so
+	// their candidate set is always a superset of CLIMBER-kNN's, as in
+	// Figure 9). The partitions are in memory already, so the widening
+	// charges no additional loads.
+	if opts.Variant != VariantODSmallest && top.Len() < opts.K {
+		widened := make(scanPlan, len(plan))
+		for pid := range plan {
+			widened[pid] = nil
+		}
+		if err := ix.executePlan(widened, plan, q, top, false, &stats); err != nil {
+			return nil, err
+		}
+	}
+
+	results := top.Results()
+	for i := range results {
+		results[i].Dist = math.Sqrt(results[i].Dist)
+	}
+	out := &SearchResult{Results: results, Stats: stats}
+	if opts.Explain {
+		pids := make([]int, 0, len(plan))
+		for pid := range plan {
+			pids = append(pids, pid)
+		}
+		sort.Ints(pids)
+		out.Explain = &Explanation{
+			RankSensitive:   rs.Clone(),
+			RankInsensitive: ri.Clone(),
+			BestOD:          bestOD,
+			CandidateGroups: append([]int(nil), cands...),
+			SelectedGroup:   base.group.ID,
+			MatchedPath:     rs[:base.pathLen].Clone(),
+			TargetNodeSize:  base.node.Count,
+			Partitions:      pids,
+		}
+	}
+	return out, nil
+}
+
+// selectTarget applies the tie-breaking of Algorithm 3 Lines 10-19 over the
+// candidate groups: deepest matched path first, then largest node, then the
+// lowest group ID (a deterministic stand-in for the paper's random pick
+// among equally well-matching groups, chosen so repeated runs are
+// comparable).
+func (ix *Index) selectTarget(cands []int, rs pivot.Signature, bestOD int) target {
+	best := target{pathLen: -1}
+	for _, gid := range cands {
+		g := ix.Skel.Groups[gid]
+		node, pathLen := g.Trie.Descend(rs)
+		cand := target{group: g, node: node, od: bestOD, pathLen: pathLen}
+		switch {
+		case best.group == nil,
+			cand.pathLen > best.pathLen,
+			cand.pathLen == best.pathLen && cand.node.Count > best.node.Count:
+			best = cand
+		}
+	}
+	return best
+}
+
+// clustersUnder returns the global record-cluster IDs of the subtree rooted
+// at a node, including the group's overflow cluster when the node is the
+// group root (overflow records belong to the group but to no complete
+// root-to-leaf path).
+func clustersUnder(g *Group, n *trie.Node) []storage.ClusterID {
+	leafIDs := n.LeafIDsUnder()
+	out := make([]storage.ClusterID, 0, len(leafIDs)+1)
+	for _, id := range leafIDs {
+		out = append(out, g.ClusterOf(g.node(id)))
+	}
+	if n == g.Trie {
+		out = append(out, g.OverflowCluster())
+	}
+	return out
+}
+
+// partitionsOf returns the partitions covering a node, falling back to the
+// group's partition set for a childless root.
+func partitionsOf(g *Group, n *trie.Node) []int {
+	if len(n.Partitions) > 0 {
+		return n.Partitions
+	}
+	return []int{g.DefaultPartition}
+}
+
+// addTarget folds one (group, node) target into a scan plan.
+func (p scanPlan) addTarget(g *Group, n *trie.Node) {
+	parts := partitionsOf(g, n)
+	clusters := clustersUnder(g, n)
+	for _, pid := range parts {
+		set, ok := p[pid]
+		if !ok {
+			set = make(map[storage.ClusterID]struct{})
+			p[pid] = set
+		}
+		if set == nil {
+			continue // whole partition already planned
+		}
+		for _, c := range clusters {
+			set[c] = struct{}{}
+		}
+	}
+}
+
+// addWholePartition plans a full scan of one partition.
+func (p scanPlan) addWholePartition(pid int) { p[pid] = nil }
+
+// planKNN builds the scan plan of plain CLIMBER-kNN: the base target only.
+func (ix *Index) planKNN(base target) scanPlan {
+	plan := make(scanPlan)
+	plan.addTarget(base.group, base.node)
+	return plan
+}
+
+// planODSmallest scans every partition of every group at the smallest OD.
+func (ix *Index) planODSmallest(ri pivot.Signature, bestOD int) scanPlan {
+	plan := make(scanPlan)
+	gids, _ := ix.Skel.Assigner.BestByOverlap(ri)
+	if bestOD == ix.Skel.Cfg.PrefixLen {
+		gids = []int{0}
+	}
+	for _, gid := range gids {
+		for _, pid := range ix.Skel.GroupPartitions(gid) {
+			plan.addWholePartition(pid)
+		}
+	}
+	return plan
+}
+
+// planAdaptive implements CLIMBER-kNN-Adaptive (Section VI): when the base
+// trie node holds fewer than K records, the search expands to further
+// best-matching trie nodes — the deepest match of every group within the
+// smallest OD, then their parents (the 2nd-longest matches) — until the
+// selected nodes' sizes sum past K, bounded by the variant's partition cap.
+func (ix *Index) planAdaptive(base target, rs, ri pivot.Signature, bestOD int, opts SearchOptions) scanPlan {
+	plan := make(scanPlan)
+	plan.addTarget(base.group, base.node)
+	if base.node.Count >= opts.K {
+		return plan // behaves exactly like CLIMBER-kNN (Figure 9 observation 2)
+	}
+
+	maxParts := opts.Variant.partitionFactor() * len(partitionsOf(base.group, base.node))
+	if opts.MaxPartitions > 0 {
+		maxParts = opts.MaxPartitions
+	}
+
+	// Memorised candidates: deepest node per group within the smallest OD,
+	// plus each node's ancestors as progressively coarser fallbacks.
+	var cands []target
+	for _, gid := range ix.Skel.Assigner.GroupsWithinOD(ri, bestOD) {
+		g := ix.Skel.Groups[gid]
+		node, pathLen := g.Trie.Descend(rs)
+		if g == base.group && node == base.node {
+			node = parentOf(g.Trie, node) // base already planned; offer its parent
+			pathLen--
+		}
+		for node != nil && pathLen >= 0 {
+			cands = append(cands, target{group: g, node: node, od: bestOD, pathLen: pathLen})
+			node = parentOf(g.Trie, node)
+			pathLen--
+		}
+	}
+	// Rank: deeper matches first, then larger nodes, then group ID.
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].pathLen != cands[j].pathLen {
+			return cands[i].pathLen > cands[j].pathLen
+		}
+		if cands[i].node.Count != cands[j].node.Count {
+			return cands[i].node.Count > cands[j].node.Count
+		}
+		return cands[i].group.ID < cands[j].group.ID
+	})
+
+	covered := base.node.Count
+	for _, c := range cands {
+		if covered >= opts.K {
+			break
+		}
+		if wouldExceedPartitionCap(plan, c, maxParts) {
+			continue
+		}
+		before := planSize(plan)
+		plan.addTarget(c.group, c.node)
+		if planSize(plan) > before { // the target added new clusters
+			covered += c.node.Count
+		}
+	}
+	return plan
+}
+
+// parentOf finds the parent of a node within a trie (tries are small; a
+// DFS walk is cheap and avoids storing parent pointers in every node).
+func parentOf(root, child *trie.Node) *trie.Node {
+	if root == child {
+		return nil
+	}
+	var found *trie.Node
+	var walk func(*trie.Node) bool
+	walk = func(n *trie.Node) bool {
+		for _, c := range n.Children {
+			if c == child {
+				found = n
+				return true
+			}
+			if walk(c) {
+				return true
+			}
+		}
+		return false
+	}
+	walk(root)
+	return found
+}
+
+// wouldExceedPartitionCap reports whether adding the target would grow the
+// plan's distinct-partition count beyond maxParts.
+func wouldExceedPartitionCap(plan scanPlan, c target, maxParts int) bool {
+	extra := 0
+	for _, pid := range partitionsOf(c.group, c.node) {
+		if _, ok := plan[pid]; !ok {
+			extra++
+		}
+	}
+	return len(plan)+extra > maxParts
+}
+
+// planSize counts the clusters planned (whole-partition entries count as 1).
+func planSize(plan scanPlan) int {
+	n := 0
+	for _, set := range plan {
+		if set == nil {
+			n++
+			continue
+		}
+		n += len(set)
+	}
+	return n
+}
+
+// executePlan scans the planned clusters, folding candidates into top with
+// early-abandoning squared Euclidean distance. Clusters already covered by
+// the done plan are skipped (CLIMBER-kNN's within-partition widening must
+// not compare a record twice). countLoads charges partition loads to the
+// statistics; the widening pass passes false because its partitions are
+// already resident.
+//
+// Multi-partition plans (the adaptive variants and OD-Smallest) scan their
+// partitions concurrently — the distributed execution of the paper, where
+// the selected partitions live on different workers. The top-k accumulator
+// is shared under a mutex with a lock-free bound cache so early abandoning
+// stays effective across workers.
+func (ix *Index) executePlan(plan, done scanPlan, q []float64, top *series.TopK, countLoads bool, stats *QueryStats) error {
+	return ix.executePlanDist(plan, done, top, countLoads, stats,
+		func(values []float64, bound float64) float64 {
+			return series.SqDistEarlyAbandon(q, values, bound)
+		})
+}
+
+// executePlanDist is the traversal shared by full-length and prefix
+// queries: dist computes a squared distance for a candidate, early
+// abandoning against bound (+Inf while the accumulator is not full).
+func (ix *Index) executePlanDist(plan, done scanPlan, top *series.TopK, countLoads bool, stats *QueryStats,
+	dist func(values []float64, bound float64) float64) error {
+	pids := make([]int, 0, len(plan))
+	for pid := range plan {
+		pids = append(pids, pid)
+	}
+	sort.Ints(pids)
+
+	var mu sync.Mutex
+	var boundBits atomic.Uint64
+	if b, ok := top.Bound(); ok {
+		boundBits.Store(math.Float64bits(b))
+	} else {
+		boundBits.Store(math.Float64bits(math.Inf(1)))
+	}
+	var recordsScanned atomic.Int64
+
+	scan := func(id int, values []float64) error {
+		recordsScanned.Add(1)
+		bound := math.Float64frombits(boundBits.Load())
+		d := dist(values, bound)
+		if d >= bound {
+			return nil
+		}
+		mu.Lock()
+		top.Push(id, d)
+		if b, ok := top.Bound(); ok {
+			boundBits.Store(math.Float64bits(b))
+		}
+		mu.Unlock()
+		return nil
+	}
+
+	scanPartition := func(pid int) error {
+		p, err := ix.Cl.OpenPartition(ix.Parts, pid)
+		if err != nil {
+			return err
+		}
+		defer p.Close()
+		if countLoads {
+			mu.Lock()
+			stats.PartitionsScanned++
+			stats.BytesLoaded += int64(p.Count() * storage.RecordBytes(p.SeriesLen()))
+			mu.Unlock()
+		}
+		var doneSet map[storage.ClusterID]struct{}
+		if done != nil {
+			doneSet = done[pid]
+		}
+		want := plan[pid]
+		if want == nil { // whole partition
+			for _, ci := range p.Clusters() {
+				if doneSet != nil {
+					if _, ok := doneSet[ci.ID]; ok {
+						continue
+					}
+				}
+				if err := p.ScanCluster(ci.ID, scan); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		ids := make([]storage.ClusterID, 0, len(want))
+		for c := range want {
+			if doneSet != nil {
+				if _, ok := doneSet[c]; ok {
+					continue
+				}
+			}
+			ids = append(ids, c)
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		return p.ScanClusters(ids, scan)
+	}
+
+	var err error
+	if len(pids) <= 1 {
+		for _, pid := range pids {
+			if e := scanPartition(pid); e != nil {
+				err = e
+			}
+		}
+	} else {
+		errs := make([]error, len(pids))
+		var wg sync.WaitGroup
+		for i, pid := range pids {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				errs[i] = scanPartition(pid)
+			}()
+		}
+		wg.Wait()
+		for _, e := range errs {
+			if e != nil {
+				err = e
+				break
+			}
+		}
+	}
+	stats.RecordsScanned += int(recordsScanned.Load())
+	return err
+}

@@ -1,0 +1,99 @@
+package dataset
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+
+	"climber/internal/series"
+)
+
+// LoadCSV reads a dataset from a CSV file with one data series per row
+// (readings as numeric columns). Every row must have the same number of
+// columns. When normalize is true each series is z-normalised after
+// parsing — the preprocessing the whole SAX/CLIMBER pipeline assumes.
+//
+// This is the ingestion path for users bringing their own data; the
+// synthetic generators cover the paper's benchmarks.
+func LoadCSV(path string, normalize bool) (*series.Dataset, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("dataset: open csv: %w", err)
+	}
+	defer f.Close()
+	return ReadCSV(f, normalize)
+}
+
+// ReadCSV is LoadCSV over an arbitrary reader.
+func ReadCSV(r io.Reader, normalize bool) (*series.Dataset, error) {
+	cr := csv.NewReader(r)
+	cr.ReuseRecord = true
+	var ds *series.Dataset
+	var buf []float64
+	row := 0
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("dataset: csv row %d: %w", row+1, err)
+		}
+		if ds == nil {
+			if len(rec) == 0 {
+				return nil, fmt.Errorf("dataset: csv has empty first row")
+			}
+			ds = series.NewDataset(len(rec))
+			buf = make([]float64, len(rec))
+		}
+		if len(rec) != len(buf) {
+			return nil, fmt.Errorf("dataset: csv row %d has %d columns, want %d", row+1, len(rec), len(buf))
+		}
+		for i, cell := range rec {
+			v, err := strconv.ParseFloat(cell, 64)
+			if err != nil {
+				return nil, fmt.Errorf("dataset: csv row %d column %d: %w", row+1, i+1, err)
+			}
+			buf[i] = v
+		}
+		if normalize {
+			series.ZNormalize(buf)
+		}
+		ds.Append(buf)
+		row++
+	}
+	if ds == nil {
+		return nil, fmt.Errorf("dataset: csv is empty")
+	}
+	return ds, nil
+}
+
+// SlidingWindows cuts one long sequence into a dataset of fixed-length
+// windows advancing by stride — the standard construction of data-series
+// collections from long recordings (the paper's DNA strings are "divided
+// into subsequences", its EEG records "split into 256 points"). Each
+// window is z-normalised when normalize is true.
+func SlidingWindows(long []float64, windowLen, stride int, normalize bool) (*series.Dataset, error) {
+	if windowLen <= 0 {
+		return nil, fmt.Errorf("dataset: window length must be positive, got %d", windowLen)
+	}
+	if stride <= 0 {
+		return nil, fmt.Errorf("dataset: stride must be positive, got %d", stride)
+	}
+	if len(long) < windowLen {
+		return nil, fmt.Errorf("dataset: sequence of %d readings is shorter than the window %d", len(long), windowLen)
+	}
+	n := (len(long)-windowLen)/stride + 1
+	ds := series.NewDatasetCap(windowLen, n)
+	buf := make([]float64, windowLen)
+	for i := 0; i+windowLen <= len(long); i += stride {
+		copy(buf, long[i:i+windowLen])
+		if normalize {
+			series.ZNormalize(buf)
+		}
+		ds.Append(buf)
+	}
+	return ds, nil
+}

@@ -1,0 +1,139 @@
+package dataset
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"climber/internal/series"
+)
+
+func TestReadCSV(t *testing.T) {
+	in := "1,2,3\n4,5,6\n7,8,9\n"
+	ds, err := ReadCSV(strings.NewReader(in), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Len() != 3 || ds.Length() != 3 {
+		t.Fatalf("shape %dx%d, want 3x3", ds.Len(), ds.Length())
+	}
+	if got := ds.Get(1); got[0] != 4 || got[2] != 6 {
+		t.Fatalf("row 1 = %v", got)
+	}
+}
+
+func TestReadCSVNormalizes(t *testing.T) {
+	ds, err := ReadCSV(strings.NewReader("2,4,6,8\n"), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := ds.Get(0)
+	if m := series.Mean(x); math.Abs(m) > 1e-12 {
+		t.Fatalf("mean = %g after normalisation", m)
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	if _, err := ReadCSV(strings.NewReader(""), false); err == nil {
+		t.Error("empty csv accepted")
+	}
+	if _, err := ReadCSV(strings.NewReader("1,2\n3\n"), false); err == nil {
+		t.Error("ragged csv accepted")
+	}
+	if _, err := ReadCSV(strings.NewReader("1,x\n"), false); err == nil {
+		t.Error("non-numeric cell accepted")
+	}
+}
+
+func TestLoadCSV(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "d.csv")
+	if err := os.WriteFile(path, []byte("1,2\n3,4\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ds, err := LoadCSV(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", ds.Len())
+	}
+	if _, err := LoadCSV(filepath.Join(t.TempDir(), "missing.csv"), false); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestSlidingWindows(t *testing.T) {
+	long := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	ds, err := SlidingWindows(long, 4, 2, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Windows: [1..4], [3..6], [5..8], [7..10].
+	if ds.Len() != 4 {
+		t.Fatalf("got %d windows, want 4", ds.Len())
+	}
+	if got := ds.Get(1); got[0] != 3 || got[3] != 6 {
+		t.Fatalf("window 1 = %v", got)
+	}
+	// Stride 1 covers every offset.
+	ds1, err := SlidingWindows(long, 4, 1, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds1.Len() != 7 {
+		t.Fatalf("stride-1 windows = %d, want 7", ds1.Len())
+	}
+}
+
+func TestSlidingWindowsNormalize(t *testing.T) {
+	long := make([]float64, 100)
+	for i := range long {
+		long[i] = float64(i * i)
+	}
+	ds, err := SlidingWindows(long, 10, 10, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < ds.Len(); i++ {
+		if m := series.Mean(ds.Get(i)); math.Abs(m) > 1e-9 {
+			t.Fatalf("window %d mean %g", i, m)
+		}
+	}
+}
+
+func TestSlidingWindowsErrors(t *testing.T) {
+	if _, err := SlidingWindows([]float64{1, 2}, 0, 1, false); err == nil {
+		t.Error("zero window accepted")
+	}
+	if _, err := SlidingWindows([]float64{1, 2}, 2, 0, false); err == nil {
+		t.Error("zero stride accepted")
+	}
+	if _, err := SlidingWindows([]float64{1, 2}, 5, 1, false); err == nil {
+		t.Error("window longer than sequence accepted")
+	}
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	ds := RandomWalk(32, 50, 5)
+	path := filepath.Join(t.TempDir(), "d.clmb")
+	if err := SaveFile(path, ds); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != ds.Len() || back.Length() != ds.Length() {
+		t.Fatalf("shape changed: %dx%d", back.Len(), back.Length())
+	}
+	for i := 0; i < ds.Len(); i++ {
+		a, b := ds.Get(i), back.Get(i)
+		for j := range a {
+			if float32(a[j]) != float32(b[j]) {
+				t.Fatalf("series %d reading %d: %g vs %g", i, j, a[j], b[j])
+			}
+		}
+	}
+}

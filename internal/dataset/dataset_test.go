@@ -1,0 +1,202 @@
+package dataset
+
+import (
+	"math"
+	"testing"
+
+	"climber/internal/series"
+)
+
+func TestGeneratorsBasicShape(t *testing.T) {
+	cases := []struct {
+		name   string
+		ds     *series.Dataset
+		length int
+	}{
+		{"randomwalk", RandomWalk(RandomWalkLength, 50, 1), RandomWalkLength},
+		{"sift", SIFTLike(50, 1), SIFTLength},
+		{"dna", DNAWalk(50, 1), DNALength},
+		{"eeg", EEG(50, 1), EEGLength},
+	}
+	for _, c := range cases {
+		if c.ds.Len() != 50 {
+			t.Errorf("%s: Len = %d, want 50", c.name, c.ds.Len())
+		}
+		if c.ds.Length() != c.length {
+			t.Errorf("%s: Length = %d, want %d", c.name, c.ds.Length(), c.length)
+		}
+	}
+}
+
+// Every generated series must be z-normalised (the pipeline invariant).
+func TestGeneratorsZNormalised(t *testing.T) {
+	for _, name := range Names() {
+		ds, err := ByName(name, 30, 42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < ds.Len(); i++ {
+			x := ds.Get(i)
+			if m := series.Mean(x); math.Abs(m) > 1e-9 {
+				t.Fatalf("%s series %d mean = %g", name, i, m)
+			}
+			sd := series.StdDev(x)
+			if math.Abs(sd-1) > 1e-9 && sd != 0 {
+				t.Fatalf("%s series %d stddev = %g", name, i, sd)
+			}
+		}
+	}
+}
+
+func TestGeneratorsDeterministic(t *testing.T) {
+	for _, name := range Names() {
+		a, err := ByName(name, 20, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := ByName(name, 20, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < a.Len(); i++ {
+			xa, xb := a.Get(i), b.Get(i)
+			for j := range xa {
+				if xa[j] != xb[j] {
+					t.Fatalf("%s: series %d differs between runs of the same seed", name, i)
+				}
+			}
+		}
+	}
+}
+
+func TestGeneratorsSeedSensitivity(t *testing.T) {
+	a := RandomWalk(64, 5, 1)
+	b := RandomWalk(64, 5, 2)
+	same := true
+	for j := 0; j < 64 && same; j++ {
+		if a.Get(0)[j] != b.Get(0)[j] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical series")
+	}
+}
+
+func TestByNameUnknown(t *testing.T) {
+	if _, err := ByName("bogus", 10, 1); err == nil {
+		t.Fatal("unknown dataset name accepted")
+	}
+}
+
+func TestByNameAliases(t *testing.T) {
+	for _, alias := range []string{"rw", "texmex"} {
+		if _, err := ByName(alias, 5, 1); err != nil {
+			t.Errorf("alias %q rejected: %v", alias, err)
+		}
+	}
+}
+
+func TestQueries(t *testing.T) {
+	ds := RandomWalk(32, 100, 3)
+	ids, qs := Queries(ds, 10, 5)
+	if len(ids) != 10 || len(qs) != 10 {
+		t.Fatalf("got %d ids, %d queries, want 10 each", len(ids), len(qs))
+	}
+	seen := map[int]bool{}
+	for i, id := range ids {
+		if seen[id] {
+			t.Fatalf("query id %d selected twice", id)
+		}
+		seen[id] = true
+		// The query must be a faithful copy of the dataset series.
+		want := ds.Get(id)
+		for j := range want {
+			if qs[i][j] != want[j] {
+				t.Fatalf("query %d differs from dataset series %d", i, id)
+			}
+		}
+	}
+	// Queries are copies: mutating one must not corrupt the dataset.
+	qs[0][0] = 12345
+	if ds.Get(ids[0])[0] == 12345 {
+		t.Fatal("query aliases dataset storage")
+	}
+}
+
+func TestQueriesMoreThanDataset(t *testing.T) {
+	ds := RandomWalk(16, 5, 3)
+	ids, _ := Queries(ds, 50, 1)
+	if len(ids) != 5 {
+		t.Fatalf("requesting more queries than records should clamp: got %d", len(ids))
+	}
+}
+
+// The EEG generator must produce a small fraction of burst (seizure-like)
+// records; we detect them via excess kurtosis of the distribution of series
+// against a smooth baseline. This is a smoke test of the generator's
+// bimodality, not a statistical assertion.
+func TestEEGHasVariedEnergy(t *testing.T) {
+	ds := EEG(400, 11)
+	var maxAbs []float64
+	for i := 0; i < ds.Len(); i++ {
+		x := ds.Get(i)
+		m := 0.0
+		for _, v := range x {
+			if a := math.Abs(v); a > m {
+				m = a
+			}
+		}
+		maxAbs = append(maxAbs, m)
+	}
+	lo, hi := maxAbs[0], maxAbs[0]
+	for _, v := range maxAbs {
+		lo = math.Min(lo, v)
+		hi = math.Max(hi, v)
+	}
+	if hi-lo < 0.3 {
+		t.Fatalf("EEG peak amplitudes suspiciously uniform: range [%g, %g]", lo, hi)
+	}
+}
+
+// The DNA walk uses ±1/±2 steps: before normalisation consecutive raw
+// values differ by at most 2, so after z-normalisation the series must
+// still be continuous (no jumps above ~4 sigma-steps). Sanity-check the
+// converted geometry.
+func TestDNAWalkContinuity(t *testing.T) {
+	ds := DNAWalk(20, 5)
+	for i := 0; i < ds.Len(); i++ {
+		x := ds.Get(i)
+		maxStep := 0.0
+		for j := 1; j < len(x); j++ {
+			if s := math.Abs(x[j] - x[j-1]); s > maxStep {
+				maxStep = s
+			}
+		}
+		if maxStep > 4 {
+			t.Fatalf("series %d has a %g jump; DNA walks must be continuous", i, maxStep)
+		}
+	}
+}
+
+func TestSIFTLikeClustered(t *testing.T) {
+	// Clustered data: the minimum pairwise distance among 60 vectors should
+	// be clearly below the average (cluster members are close). A weak but
+	// deterministic geometry check.
+	ds := SIFTLike(60, 13)
+	minD, sumD, n := math.Inf(1), 0.0, 0
+	for i := 0; i < ds.Len(); i++ {
+		for j := i + 1; j < ds.Len(); j++ {
+			d := series.Dist(ds.Get(i), ds.Get(j))
+			if d < minD {
+				minD = d
+			}
+			sumD += d
+			n++
+		}
+	}
+	avg := sumD / float64(n)
+	if minD > avg*0.8 {
+		t.Fatalf("SIFT-like data not clustered: min %g vs avg %g", minD, avg)
+	}
+}

@@ -1,0 +1,48 @@
+package dataset
+
+import (
+	"fmt"
+
+	"climber/internal/series"
+	"climber/internal/storage"
+)
+
+// SaveFile writes a dataset to a single block-format file, the interchange
+// format of the command-line tools.
+func SaveFile(path string, ds *series.Dataset) error {
+	bw, err := storage.NewBlockWriter(path, ds.Length())
+	if err != nil {
+		return err
+	}
+	for id := 0; id < ds.Len(); id++ {
+		if err := bw.Append(id, ds.Get(id)); err != nil {
+			bw.Close()
+			return err
+		}
+	}
+	return bw.Close()
+}
+
+// LoadFile reads a dataset saved by SaveFile. Record IDs must be the dense
+// sequence 0..n-1 (the format SaveFile produces); any other layout is
+// rejected so positional IDs stay meaningful.
+func LoadFile(path string) (*series.Dataset, error) {
+	info, err := storage.StatBlock(path)
+	if err != nil {
+		return nil, err
+	}
+	ds := series.NewDatasetCap(info.SeriesLen, info.Count)
+	next := 0
+	err = storage.ScanBlock(path, func(id int, values []float64) error {
+		if id != next {
+			return fmt.Errorf("dataset: non-sequential record id %d at position %d", id, next)
+		}
+		ds.Append(values)
+		next++
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return ds, nil
+}

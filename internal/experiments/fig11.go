@@ -1,0 +1,132 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"climber/internal/core"
+	"climber/internal/dataset"
+	"climber/internal/dss"
+	"climber/internal/series"
+)
+
+// Fig11Adaptive reproduces Figure 11(a): the recall boost the adaptive
+// variants deliver over plain CLIMBER-kNN when the requested K exceeds the
+// capacity m of the best-matching trie node. For each query the harness
+// first discovers m (the paper's stress-test protocol), then evaluates K in
+// {m, 2m, 4m, 8m, 10m}.
+func Fig11Adaptive(s Scale, workDir string, out io.Writer) error {
+	n := s.BaseSize
+	e, err := newEnv(workDir, "randomwalk", n, 9876)
+	if err != nil {
+		return err
+	}
+	ix, err := core.Build(e.cl, e.bs, climberConfig(s, n), "climber-fig11a")
+	if err != nil {
+		return fmt.Errorf("fig11a: climber build: %w", err)
+	}
+	_, qs := dataset.Queries(e.ds, s.Queries, 654)
+
+	multiples := []int{1, 2, 4, 8, 10}
+	type acc struct{ knn, a2, a4 float64 }
+	sums := make([]acc, len(multiples))
+	counted := make([]int, len(multiples))
+
+	for _, q := range qs {
+		// Discover the target trie node's capacity m with a probe query.
+		probe, err := ix.Search(q, core.SearchOptions{K: 1, Variant: core.VariantKNN})
+		if err != nil {
+			return err
+		}
+		m := probe.Stats.TargetNodeSize
+		if m < 1 {
+			m = 1
+		}
+		for i, mult := range multiples {
+			k := m * mult
+			if k < 1 {
+				k = 1
+			}
+			if k > e.ds.Len() {
+				k = e.ds.Len()
+			}
+			exact := dss.SearchDataset(e.ds, q, k)
+			rKNN, err := ix.Search(q, core.SearchOptions{K: k, Variant: core.VariantKNN})
+			if err != nil {
+				return err
+			}
+			r2, err := ix.Search(q, core.SearchOptions{K: k, Variant: core.VariantAdaptive2X})
+			if err != nil {
+				return err
+			}
+			r4, err := ix.Search(q, core.SearchOptions{K: k, Variant: core.VariantAdaptive4X})
+			if err != nil {
+				return err
+			}
+			sums[i].knn += series.Recall(rKNN.Results, exact)
+			sums[i].a2 += series.Recall(r2.Results, exact)
+			sums[i].a4 += series.Recall(r4.Results, exact)
+			counted[i]++
+		}
+	}
+
+	t := &Table{
+		Caption: fmt.Sprintf("Figure 11(a) — recall boost of adaptive variants vs K (RandomWalk, size=%d); m = target trie-node capacity", n),
+		Header:  []string{"K", "kNN-recall", "2X-boost-%", "4X-boost-%"},
+	}
+	labels := []string{"m", "2m", "4m", "8m", "10m"}
+	for i := range multiples {
+		nq := float64(counted[i])
+		knn := sums[i].knn / nq
+		boost2 := (sums[i].a2/nq - knn) * 100
+		boost4 := (sums[i].a4/nq - knn) * 100
+		t.Add(labels[i], knn, fmt.Sprintf("%.1f", boost2), fmt.Sprintf("%.1f", boost4))
+	}
+	return t.Write(out)
+}
+
+// Fig11ODSmallest reproduces Figure 11(b): the OD-Smallest algorithm's
+// relative data access and recall against the three CLIMBER variants on the
+// DNA and EEG datasets. The paper's finding: OD-Smallest scans 6-7x more
+// data for < 10% recall improvement over Adaptive-4X.
+func Fig11ODSmallest(s Scale, workDir string, out io.Writer) error {
+	t := &Table{
+		Caption: fmt.Sprintf("Figure 11(b) — OD-Smallest relative score (OD-Smallest / variant), size=%d, K=%d", s.BaseSize, s.K),
+		Header:  []string{"dataset", "variant", "data-access-ratio", "recall-ratio"},
+	}
+	for _, name := range []string{"dna", "eeg"} {
+		n := s.BaseSize
+		e, err := newEnv(workDir, name, n, 1928)
+		if err != nil {
+			return err
+		}
+		ix, err := core.Build(e.cl, e.bs, climberConfig(s, n), "climber-fig11b-"+name)
+		if err != nil {
+			return fmt.Errorf("fig11b %s: %w", name, err)
+		}
+		_, qs := dataset.Queries(e.ds, s.Queries, 333)
+		exact := groundTruth(e.ds, qs, s.K)
+
+		odRes, err := evaluate(qs, exact, s.K, climberSearch(ix, core.VariantODSmallest))
+		if err != nil {
+			return err
+		}
+		for _, v := range []core.Variant{core.VariantKNN, core.VariantAdaptive2X, core.VariantAdaptive4X} {
+			res, err := evaluate(qs, exact, s.K, climberSearch(ix, v))
+			if err != nil {
+				return err
+			}
+			dataRatio := odRes.AvgRecords / maxF(res.AvgRecords, 1)
+			recallRatio := odRes.Recall / maxF(res.Recall, 1e-9)
+			t.Add(name, v.String(), dataRatio, recallRatio)
+		}
+	}
+	return t.Write(out)
+}
+
+func maxF(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

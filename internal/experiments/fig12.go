@@ -1,0 +1,82 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"climber/internal/core"
+	"climber/internal/dataset"
+)
+
+// Fig12PrefixLen reproduces Figure 12: the impact of the pivot-prefix
+// length m on four metrics — global index size, index construction time,
+// query response time, and recall — each reported relative to the default
+// m = 10 (the paper's reference point). Expected shapes: index size and
+// construction time grow with m and then stabilise; recall peaks around
+// m = 10-20 and degrades for very short or very long prefixes.
+func Fig12PrefixLen(s Scale, workDir string, out io.Writer) error {
+	prefixLens := []int{6, 8, 10, 15, 20, 25, 30, 35, 40}
+	n := s.BaseSize
+	e, err := newEnv(workDir, "randomwalk", n, 7531)
+	if err != nil {
+		return err
+	}
+	_, qs := dataset.Queries(e.ds, s.Queries, 111)
+	exact := groundTruth(e.ds, qs, s.K)
+
+	type point struct {
+		indexBytes int
+		buildMs    int64
+		queryMs    float64
+		recall     float64
+	}
+	points := make(map[int]point, len(prefixLens))
+	for _, m := range prefixLens {
+		cfg := climberConfig(s, n)
+		cfg.PrefixLen = m
+		if cfg.NumPivots < m {
+			cfg.NumPivots = m
+		}
+		cfg = clampPivots(cfg, n)
+		if cfg.PrefixLen > cfg.NumPivots {
+			cfg.PrefixLen = cfg.NumPivots
+		}
+		ix, err := core.Build(e.cl, e.bs, cfg, fmt.Sprintf("climber-m%d", m))
+		if err != nil {
+			return fmt.Errorf("fig12 m=%d: %w", m, err)
+		}
+		res, err := evaluate(qs, exact, s.K, climberSearch(ix, core.VariantAdaptive4X))
+		if err != nil {
+			return err
+		}
+		points[m] = point{
+			indexBytes: ix.Skel.EncodedSize(),
+			buildMs:    ix.Stats.Total.Milliseconds(),
+			queryMs:    float64(res.AvgTime.Microseconds()) / 1000,
+			recall:     res.Recall,
+		}
+	}
+
+	ref := points[10]
+	t := &Table{
+		Caption: fmt.Sprintf("Figure 12 — metrics relative to prefix length 10 (RandomWalk, size=%d, K=%d); reference absolutes: index=%dB build=%dms query=%.2fms recall=%.3f",
+			n, s.K, ref.indexBytes, ref.buildMs, ref.queryMs, ref.recall),
+		Header: []string{"prefix", "index-size-x", "build-time-x", "query-time-x", "recall-x"},
+	}
+	for _, m := range prefixLens {
+		p := points[m]
+		t.Add(m,
+			ratio(float64(p.indexBytes), float64(ref.indexBytes)),
+			ratio(float64(p.buildMs), float64(ref.buildMs)),
+			ratio(p.queryMs, ref.queryMs),
+			ratio(p.recall, ref.recall))
+	}
+	return t.Write(out)
+}
+
+func ratio(v, ref float64) string {
+	if ref == 0 {
+		return "n/a"
+	}
+	return fmt.Sprintf("%.2fx", v/ref)
+}

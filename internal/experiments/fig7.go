@@ -1,0 +1,118 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"climber/internal/core"
+	"climber/internal/dataset"
+	"climber/internal/dpisax"
+	"climber/internal/tardis"
+)
+
+// fig7Eval builds all four systems over one dataset and evaluates the query
+// workload, returning one evalResult per system keyed by the paper's
+// labels.
+func fig7Eval(s Scale, workDir, dsName string, n int) (map[string]evalResult, error) {
+	e, err := newEnv(workDir, dsName, n, 1234)
+	if err != nil {
+		return nil, err
+	}
+	_, qs := dataset.Queries(e.ds, s.Queries, 777)
+	exact := groundTruth(e.ds, qs, s.K)
+
+	out := make(map[string]evalResult)
+
+	cix, err := core.Build(e.cl, e.bs, climberConfig(s, n), "climber-"+dsName)
+	if err != nil {
+		return nil, fmt.Errorf("fig7 %s: climber build: %w", dsName, err)
+	}
+	if out["CLIMBER"], err = evaluate(qs, exact, s.K, climberSearch(cix, core.VariantAdaptive4X)); err != nil {
+		return nil, err
+	}
+
+	tix, err := tardis.Build(e.cl, e.bs, tardisConfig(s, n), "tardis-"+dsName)
+	if err != nil {
+		return nil, fmt.Errorf("fig7 %s: tardis build: %w", dsName, err)
+	}
+	if out["TARDIS"], err = evaluate(qs, exact, s.K, tardisSearch(tix)); err != nil {
+		return nil, err
+	}
+
+	dix, err := dpisax.Build(e.cl, e.bs, dpisaxConfig(s, n), "dpisax-"+dsName)
+	if err != nil {
+		return nil, fmt.Errorf("fig7 %s: dpisax build: %w", dsName, err)
+	}
+	if out["DPiSAX"], err = evaluate(qs, exact, s.K, dpisaxSearch(dix)); err != nil {
+		return nil, err
+	}
+
+	if out["Dss"], err = evaluate(qs, exact, s.K, dssSearch(e)); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+var fig7Systems = []string{"CLIMBER", "DPiSAX", "TARDIS", "Dss"}
+
+// Fig7QueryTime reproduces Figure 7(a): query execution time per dataset
+// and algorithm at the base dataset size.
+func Fig7QueryTime(s Scale, workDir string, out io.Writer) error {
+	t := &Table{
+		Caption: fmt.Sprintf("Figure 7(a) — query execution time (ms), size=%d, K=%d", s.BaseSize, s.K),
+		Header:  append([]string{"dataset"}, fig7Systems...),
+	}
+	for _, name := range DatasetNames() {
+		res, err := fig7Eval(s, workDir, name, s.BaseSize)
+		if err != nil {
+			return err
+		}
+		t.Add(name, ms(res["CLIMBER"].AvgTime), ms(res["DPiSAX"].AvgTime),
+			ms(res["TARDIS"].AvgTime), ms(res["Dss"].AvgTime))
+	}
+	return t.Write(out)
+}
+
+// Fig7Recall reproduces Figure 7(b): recall per dataset and algorithm.
+func Fig7Recall(s Scale, workDir string, out io.Writer) error {
+	t := &Table{
+		Caption: fmt.Sprintf("Figure 7(b) — query recall, size=%d, K=%d", s.BaseSize, s.K),
+		Header:  append([]string{"dataset"}, fig7Systems...),
+	}
+	for _, name := range DatasetNames() {
+		res, err := fig7Eval(s, workDir, name, s.BaseSize)
+		if err != nil {
+			return err
+		}
+		t.Add(name, res["CLIMBER"].Recall, res["DPiSAX"].Recall,
+			res["TARDIS"].Recall, res["Dss"].Recall)
+	}
+	return t.Write(out)
+}
+
+// Fig7Scale reproduces Figures 7(c) and 7(d): query time and recall on
+// RandomWalk while the dataset size grows.
+func Fig7Scale(s Scale, workDir string, out io.Writer) error {
+	tTime := &Table{
+		Caption: fmt.Sprintf("Figure 7(c) — query time (ms) vs dataset size (RandomWalk, K=%d)", s.K),
+		Header:  append([]string{"size"}, fig7Systems...),
+	}
+	tRecall := &Table{
+		Caption: fmt.Sprintf("Figure 7(d) — recall vs dataset size (RandomWalk, K=%d)", s.K),
+		Header:  append([]string{"size"}, fig7Systems...),
+	}
+	for _, n := range s.Sizes {
+		res, err := fig7Eval(s, workDir, "randomwalk", n)
+		if err != nil {
+			return err
+		}
+		tTime.Add(n, ms(res["CLIMBER"].AvgTime), ms(res["DPiSAX"].AvgTime),
+			ms(res["TARDIS"].AvgTime), ms(res["Dss"].AvgTime))
+		tRecall.Add(n, res["CLIMBER"].Recall, res["DPiSAX"].Recall,
+			res["TARDIS"].Recall, res["Dss"].Recall)
+	}
+	if err := tTime.Write(out); err != nil {
+		return err
+	}
+	return tRecall.Write(out)
+}

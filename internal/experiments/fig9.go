@@ -1,0 +1,90 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"climber/internal/core"
+	"climber/internal/dataset"
+	"climber/internal/dpisax"
+	"climber/internal/tardis"
+)
+
+// Fig9KSweep reproduces Figure 9: recall (a) and query time (b) while the
+// answer size K varies from small to stress-test values. The paper sweeps
+// K in {50, 100, 500, 1000, 2000} at terabyte scale; we sweep proportional
+// multiples of the scale's base K.
+func Fig9KSweep(s Scale, workDir string, out io.Writer) error {
+	n := s.BaseSize
+	e, err := newEnv(workDir, "randomwalk", n, 555)
+	if err != nil {
+		return err
+	}
+	_, qs := dataset.Queries(e.ds, s.Queries, 888)
+
+	cix, err := core.Build(e.cl, e.bs, climberConfig(s, n), "climber-fig9")
+	if err != nil {
+		return fmt.Errorf("fig9: climber build: %w", err)
+	}
+	tix, err := tardis.Build(e.cl, e.bs, tardisConfig(s, n), "tardis-fig9")
+	if err != nil {
+		return fmt.Errorf("fig9: tardis build: %w", err)
+	}
+	dix, err := dpisax.Build(e.cl, e.bs, dpisaxConfig(s, n), "dpisax-fig9")
+	if err != nil {
+		return fmt.Errorf("fig9: dpisax build: %w", err)
+	}
+
+	// K multiples mirroring the paper's 50..2000 sweep around K=500:
+	// 0.1x, 0.2x, 1x, 2x, 4x of the scale's base K.
+	kValues := []int{s.K / 10, s.K / 5, s.K, s.K * 2, s.K * 4}
+	for i, k := range kValues {
+		if k < 1 {
+			kValues[i] = 1
+		}
+	}
+
+	systems := []struct {
+		name   string
+		search func(k int) searchFunc
+	}{
+		{"CLIMBER-kNN", func(int) searchFunc { return climberSearch(cix, core.VariantKNN) }},
+		{"CLIMBER-Adaptive-2X", func(int) searchFunc { return climberSearch(cix, core.VariantAdaptive2X) }},
+		{"CLIMBER-Adaptive-4X", func(int) searchFunc { return climberSearch(cix, core.VariantAdaptive4X) }},
+		{"TARDIS", func(int) searchFunc { return tardisSearch(tix) }},
+		{"DPiSAX", func(int) searchFunc { return dpisaxSearch(dix) }},
+		{"Dss", func(int) searchFunc { return dssSearch(e) }},
+	}
+
+	header := []string{"system"}
+	for _, k := range kValues {
+		header = append(header, fmt.Sprintf("K=%d", k))
+	}
+	tRecall := &Table{
+		Caption: fmt.Sprintf("Figure 9(a) — recall vs K (RandomWalk, size=%d)", n),
+		Header:  header,
+	}
+	tTime := &Table{
+		Caption: fmt.Sprintf("Figure 9(b) — query time (ms) vs K (RandomWalk, size=%d)", n),
+		Header:  header,
+	}
+	for _, sys := range systems {
+		recallRow := []any{sys.name}
+		timeRow := []any{sys.name}
+		for _, k := range kValues {
+			exact := groundTruth(e.ds, qs, k)
+			r, err := evaluate(qs, exact, k, sys.search(k))
+			if err != nil {
+				return fmt.Errorf("fig9 %s K=%d: %w", sys.name, k, err)
+			}
+			recallRow = append(recallRow, r.Recall)
+			timeRow = append(timeRow, ms(r.AvgTime))
+		}
+		tRecall.Add(recallRow...)
+		tTime.Add(timeRow...)
+	}
+	if err := tRecall.Write(out); err != nil {
+		return err
+	}
+	return tTime.Write(out)
+}

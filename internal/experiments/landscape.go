@@ -1,0 +1,115 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"climber/internal/core"
+	"climber/internal/dataset"
+	"climber/internal/hnsw"
+	"climber/internal/lsh"
+	"climber/internal/odyssey"
+	"climber/internal/series"
+	"climber/internal/tardis"
+)
+
+// Landscape renders the paper's Section II landscape as one measured table:
+// every family of kNN technique the paper positions CLIMBER against —
+// exact scan (Dss), exact in-memory with pruning (Odyssey), hashing
+// (ChainLink-style LSH, "recall is around 30%"), graph (HNSW, "reaching 90%
+// and higher" but with very heavy construction), the iSAX-tree systems
+// (TARDIS as their best), and CLIMBER itself.
+func Landscape(s Scale, workDir string, out io.Writer) error {
+	n := s.BaseSize
+	e, err := newEnv(workDir, "randomwalk", n, 4242)
+	if err != nil {
+		return err
+	}
+	_, qs := dataset.Queries(e.ds, s.Queries, 21)
+	exact := groundTruth(e.ds, qs, s.K)
+
+	t := &Table{
+		Caption: fmt.Sprintf("Section II landscape — technique families on one workload (RandomWalk, size=%d, K=%d)", n, s.K),
+		Header:  []string{"family", "system", "build-ms", "recall", "query-ms"},
+	}
+
+	// Exact distributed scan: no build, recall 1.
+	dssRes, err := evaluate(qs, exact, s.K, dssSearch(e))
+	if err != nil {
+		return err
+	}
+	t.Add("exact scan", "Dss", 0, dssRes.Recall, ms(dssRes.AvgTime))
+
+	// Exact in-memory with iSAX pruning.
+	oStart := time.Now()
+	oEng, err := odyssey.Build(e.ds, odyssey.DefaultConfig())
+	if err != nil {
+		return err
+	}
+	oBuild := time.Since(oStart)
+	oRes, err := evaluate(qs, exact, s.K, func(q []float64, k int) ([]series.Result, int, int, error) {
+		res, st, err := oEng.Search(q, k)
+		return res, 0, st.SeriesScanned, err
+	})
+	if err != nil {
+		return err
+	}
+	t.Add("exact in-memory", "Odyssey", oBuild.Milliseconds(), oRes.Recall, ms(oRes.AvgTime))
+
+	// Hashing (ChainLink-style LSH).
+	lStart := time.Now()
+	lIx, err := lsh.Build(e.ds, lsh.DefaultConfig())
+	if err != nil {
+		return err
+	}
+	lBuild := time.Since(lStart)
+	lRes, err := evaluate(qs, exact, s.K, func(q []float64, k int) ([]series.Result, int, int, error) {
+		res, st, err := lIx.Search(q, k)
+		return res, 0, st.Candidates, err
+	})
+	if err != nil {
+		return err
+	}
+	t.Add("hashing (LSH)", "ChainLink-style", lBuild.Milliseconds(), lRes.Recall, ms(lRes.AvgTime))
+
+	// Graph (HNSW).
+	hStart := time.Now()
+	graph, err := hnsw.Build(e.ds, hnsw.DefaultConfig())
+	if err != nil {
+		return err
+	}
+	hBuild := time.Since(hStart)
+	hRes, err := evaluate(qs, exact, s.K, func(q []float64, k int) ([]series.Result, int, int, error) {
+		res, err := graph.Search(q, k)
+		return res, 0, 0, err
+	})
+	if err != nil {
+		return err
+	}
+	t.Add("graph", "HNSW", hBuild.Milliseconds(), hRes.Recall, ms(hRes.AvgTime))
+
+	// Disk-based iSAX tree (the stronger baseline).
+	tix, err := tardis.Build(e.cl, e.bs, tardisConfig(s, n), "tardis-landscape")
+	if err != nil {
+		return err
+	}
+	tRes, err := evaluate(qs, exact, s.K, tardisSearch(tix))
+	if err != nil {
+		return err
+	}
+	t.Add("iSAX tree", "TARDIS", tix.Stats.Total.Milliseconds(), tRes.Recall, ms(tRes.AvgTime))
+
+	// CLIMBER.
+	cix, err := core.Build(e.cl, e.bs, climberConfig(s, n), "climber-landscape")
+	if err != nil {
+		return err
+	}
+	cRes, err := evaluate(qs, exact, s.K, climberSearch(cix, core.VariantAdaptive4X))
+	if err != nil {
+		return err
+	}
+	t.Add("pivot (this paper)", "CLIMBER", cix.Stats.Total.Milliseconds(), cRes.Recall, ms(cRes.AvgTime))
+
+	return t.Write(out)
+}

@@ -1,0 +1,118 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"climber/internal/core"
+	"climber/internal/dataset"
+	"climber/internal/hnsw"
+	"climber/internal/odyssey"
+	"climber/internal/series"
+)
+
+// Table1Systems reproduces Table I: CLIMBER vs Odyssey vs ParlayANN-HNSW
+// across growing dataset sizes, reporting Index Construction Time (I.C.T),
+// Query Response Time (Q.R.T), and Results' Recall (R.R). The in-memory
+// systems carry memory budgets calibrated so they hit their wall partway
+// through the sweep, reproducing the paper's "X" cells: Odyssey fails at
+// the second-to-last size, ParlayANN (single-node) at the midpoint.
+func Table1Systems(s Scale, workDir string, out io.Writer) error {
+	sizes := append(append([]int{}, s.Sizes...), s.Sizes[len(s.Sizes)-1]*3/2)
+
+	// Budgets: Odyssey (distributed memory) holds every size but the last
+	// two; HNSW (single node) only the first half — mirroring Table I where
+	// ParlayANN fails first and Odyssey later.
+	odysseyIdx := len(sizes) - 3
+	if odysseyIdx < 0 {
+		odysseyIdx = 0
+	}
+	hnswIdx := len(sizes)/2 - 1
+	if hnswIdx < 0 {
+		hnswIdx = 0
+	}
+	odysseyBudget := odyssey.MemoryFootprint(sizes[odysseyIdx], dataset.RandomWalkLength, 16)
+	hnswBudget := hnsw.MemoryFootprint(sizes[hnswIdx], dataset.RandomWalkLength, 16)
+
+	t := &Table{
+		Caption: fmt.Sprintf("Table I — CLIMBER vs Odyssey vs ParlayANN-HNSW (RandomWalk, K=%d); X = exceeds memory budget", s.K),
+		Header:  []string{"size", "metric", "CLIMBER", "Odyssey", "ParlayANN"},
+	}
+
+	for _, n := range sizes {
+		e, err := newEnv(workDir, "randomwalk", n, 8642)
+		if err != nil {
+			return err
+		}
+		_, qs := dataset.Queries(e.ds, s.Queries, 246)
+		exact := groundTruth(e.ds, qs, s.K)
+
+		// --- CLIMBER ------------------------------------------------------
+		cix, err := core.Build(e.cl, e.bs, climberConfig(s, n), "climber-t1")
+		if err != nil {
+			return fmt.Errorf("table1 n=%d: climber: %w", n, err)
+		}
+		cRes, err := evaluate(qs, exact, s.K, climberSearch(cix, core.VariantAdaptive4X))
+		if err != nil {
+			return err
+		}
+		cICT := cix.Stats.Total
+
+		// --- Odyssey -------------------------------------------------------
+		oICT, oQRT, oRR := "X", "X", "X"
+		oCfg := odyssey.DefaultConfig()
+		oCfg.MemoryBudgetBytes = odysseyBudget
+		oStart := time.Now()
+		oEng, err := odyssey.Build(e.ds, oCfg)
+		switch {
+		case errors.Is(err, odyssey.ErrOutOfMemory):
+			// X cells stand.
+		case err != nil:
+			return fmt.Errorf("table1 n=%d: odyssey: %w", n, err)
+		default:
+			oBuild := time.Since(oStart)
+			r, err := evaluate(qs, exact, s.K, func(q []float64, k int) ([]series.Result, int, int, error) {
+				res, stats, err := oEng.Search(q, k)
+				return res, 0, stats.SeriesScanned, err
+			})
+			if err != nil {
+				return err
+			}
+			oICT, oQRT, oRR = fmtMs(oBuild), ms(r.AvgTime), fmt.Sprintf("%.3f", r.Recall)
+		}
+
+		// --- ParlayANN (HNSW) ----------------------------------------------
+		hICT, hQRT, hRR := "X", "X", "X"
+		hCfg := hnsw.DefaultConfig()
+		hCfg.MemoryBudgetBytes = hnswBudget
+		hStart := time.Now()
+		graph, err := hnsw.Build(e.ds, hCfg)
+		switch {
+		case errors.Is(err, hnsw.ErrOutOfMemory):
+			// X cells stand.
+		case err != nil:
+			return fmt.Errorf("table1 n=%d: hnsw: %w", n, err)
+		default:
+			hBuild := time.Since(hStart)
+			r, err := evaluate(qs, exact, s.K, func(q []float64, k int) ([]series.Result, int, int, error) {
+				res, err := graph.Search(q, k)
+				return res, 0, 0, err
+			})
+			if err != nil {
+				return err
+			}
+			hICT, hQRT, hRR = fmtMs(hBuild), ms(r.AvgTime), fmt.Sprintf("%.3f", r.Recall)
+		}
+
+		t.Add(n, "I.C.T(ms)", fmtMs(cICT), oICT, hICT)
+		t.Add(n, "Q.R.T(ms)", ms(cRes.AvgTime), oQRT, hQRT)
+		t.Add(n, "R.R", fmt.Sprintf("%.3f", cRes.Recall), oRR, hRR)
+	}
+	return t.Write(out)
+}
+
+func fmtMs(d time.Duration) string {
+	return fmt.Sprintf("%d", d.Milliseconds())
+}

@@ -1,0 +1,191 @@
+package grouping
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"climber/internal/metric"
+	"climber/internal/pivot"
+)
+
+func exampleAssigner(t *testing.T) *Assigner {
+	t.Helper()
+	w := metric.MustWeigher(3, metric.ExponentialDecay, 0.5)
+	a, err := NewAssigner([]pivot.Signature{
+		{1, 2, 3}, // group 1 (the paper's G1, centroid o1)
+		{2, 4, 5}, // group 2 (the paper's G2, centroid o2)
+	}, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+// The paper's Example 1, object X: P4→ = <3,4,1>, P4↛ = <1,3,4>.
+// OD(X, o1) = 1 < OD(X, o2) = 2 — unique smallest, assign to G1.
+func TestAssignExample1X(t *testing.T) {
+	a := exampleAssigner(t)
+	rng := rand.New(rand.NewPCG(1, 1))
+	got := a.Assign(pivot.Signature{3, 4, 1}, pivot.Signature{1, 3, 4}, rng)
+	if got != 1 {
+		t.Fatalf("X assigned to group %d, want 1", got)
+	}
+}
+
+// Example 1, object Y: P4→ = <4,2,1>, P4↛ = <1,2,4>.
+// OD tie (1, 1); WD(Y, o1) = 1 > WD(Y, o2) = 0.25 — assign to G2.
+func TestAssignExample1Y(t *testing.T) {
+	a := exampleAssigner(t)
+	rng := rand.New(rand.NewPCG(1, 1))
+	got := a.Assign(pivot.Signature{4, 2, 1}, pivot.Signature{1, 2, 4}, rng)
+	if got != 2 {
+		t.Fatalf("Y assigned to group %d, want 2", got)
+	}
+}
+
+// Example 1, object Z: P4→ = <6,2,7>, P4↛ = <2,6,7>.
+// OD tie (2, 2); WD tie (1.25, 1.25) — random assignment to G1 or G2,
+// and both outcomes must occur over many seeds.
+func TestAssignExample1ZRandomTieBreak(t *testing.T) {
+	a := exampleAssigner(t)
+	seen := map[int]int{}
+	for seed := uint64(0); seed < 64; seed++ {
+		rng := rand.New(rand.NewPCG(seed, seed+1))
+		got := a.Assign(pivot.Signature{6, 2, 7}, pivot.Signature{2, 6, 7}, rng)
+		if got != 1 && got != 2 {
+			t.Fatalf("Z assigned to group %d, want 1 or 2", got)
+		}
+		seen[got]++
+	}
+	if seen[1] == 0 || seen[2] == 0 {
+		t.Fatalf("random tie-break never chose one side: %v", seen)
+	}
+}
+
+// An object sharing no pivot with any centroid goes to the fall-back group
+// G0 (Algorithm 1, Lines 3-5).
+func TestAssignFallback(t *testing.T) {
+	a := exampleAssigner(t)
+	rng := rand.New(rand.NewPCG(1, 1))
+	got := a.Assign(pivot.Signature{7, 8, 9}, pivot.Signature{7, 8, 9}, rng)
+	if got != FallbackGroup {
+		t.Fatalf("disjoint object assigned to group %d, want fall-back %d", got, FallbackGroup)
+	}
+}
+
+func TestCandidatesExposesTies(t *testing.T) {
+	a := exampleAssigner(t)
+	// Z from Example 1 ties in both OD and WD: both groups remain.
+	ids, bestOD := a.Candidates(pivot.Signature{6, 2, 7}, pivot.Signature{2, 6, 7})
+	if bestOD != 2 {
+		t.Fatalf("bestOD = %d, want 2", bestOD)
+	}
+	if len(ids) != 2 || ids[0] != 1 || ids[1] != 2 {
+		t.Fatalf("candidates = %v, want [1 2]", ids)
+	}
+	// Y resolves by WD to exactly group 2.
+	ids, _ = a.Candidates(pivot.Signature{4, 2, 1}, pivot.Signature{1, 2, 4})
+	if len(ids) != 1 || ids[0] != 2 {
+		t.Fatalf("Y candidates = %v, want [2]", ids)
+	}
+	// Disjoint: the fall-back group is the only candidate.
+	ids, bestOD = a.Candidates(pivot.Signature{7, 8, 9}, pivot.Signature{7, 8, 9})
+	if bestOD != 3 || len(ids) != 1 || ids[0] != FallbackGroup {
+		t.Fatalf("disjoint candidates = %v (bestOD %d), want [0] with OD 3", ids, bestOD)
+	}
+}
+
+func TestBestByOverlap(t *testing.T) {
+	a := exampleAssigner(t)
+	ids, od := a.BestByOverlap(pivot.Signature{1, 3, 4})
+	if od != 1 || len(ids) != 1 || ids[0] != 1 {
+		t.Fatalf("BestByOverlap = %v, %d; want [1], 1", ids, od)
+	}
+}
+
+func TestGroupsWithinOD(t *testing.T) {
+	a := exampleAssigner(t)
+	// <1,2,4>: OD to o1 = 1, OD to o2 = 1.
+	got := a.GroupsWithinOD(pivot.Signature{1, 2, 4}, 1)
+	if len(got) != 2 {
+		t.Fatalf("GroupsWithinOD(1) = %v, want both groups", got)
+	}
+	got = a.GroupsWithinOD(pivot.Signature{1, 2, 4}, 0)
+	if len(got) != 0 {
+		t.Fatalf("GroupsWithinOD(0) = %v, want none", got)
+	}
+}
+
+func TestNewAssignerValidation(t *testing.T) {
+	w := metric.MustWeigher(3, metric.ExponentialDecay, 0.5)
+	if _, err := NewAssigner(nil, w); err == nil {
+		t.Error("empty centroid list should fail")
+	}
+	if _, err := NewAssigner([]pivot.Signature{{1, 2}}, w); err == nil {
+		t.Error("centroid length mismatch should fail")
+	}
+}
+
+func TestAssignerAccessors(t *testing.T) {
+	a := exampleAssigner(t)
+	if a.NumGroups() != 3 {
+		t.Fatalf("NumGroups = %d, want 3 (fall-back + 2)", a.NumGroups())
+	}
+	if a.Centroid(0) != nil {
+		t.Fatal("fall-back centroid should be nil")
+	}
+	if !a.Centroid(2).Equal(pivot.Signature{2, 4, 5}) {
+		t.Fatalf("Centroid(2) = %v", a.Centroid(2))
+	}
+	if a.Weigher() == nil {
+		t.Fatal("Weigher accessor returned nil")
+	}
+}
+
+// Assignment must be a pure function of the signatures except for the
+// documented random final tie-break.
+func TestAssignDeterministicWithoutTies(t *testing.T) {
+	a := exampleAssigner(t)
+	for seed := uint64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewPCG(seed, 99))
+		if got := a.Assign(pivot.Signature{3, 4, 1}, pivot.Signature{1, 3, 4}, rng); got != 1 {
+			t.Fatalf("seed %d changed a tie-free assignment to %d", seed, got)
+		}
+	}
+}
+
+// With the WD tie-break disabled (the dual-representation ablation), OD
+// ties must pass through unresolved so the caller's random stage decides.
+func TestDisabledWeightTieBreak(t *testing.T) {
+	a := exampleAssigner(t)
+	a.UseWeightTieBreak = false
+	// Y from Example 1 ties on OD; with WD disabled both groups survive.
+	ids, _ := a.Candidates(pivot.Signature{4, 2, 1}, pivot.Signature{1, 2, 4})
+	if len(ids) != 2 {
+		t.Fatalf("candidates with WD disabled = %v, want both tied groups", ids)
+	}
+	// Assign distributes Y randomly across the tie instead of always
+	// choosing G2.
+	seen := map[int]bool{}
+	for seed := uint64(0); seed < 64; seed++ {
+		rng := rand.New(rand.NewPCG(seed, 3))
+		seen[a.Assign(pivot.Signature{4, 2, 1}, pivot.Signature{1, 2, 4}, rng)] = true
+	}
+	if !seen[1] || !seen[2] {
+		t.Fatalf("random-only tie-break never chose one side: %v", seen)
+	}
+}
+
+// The centroid slices passed to NewAssigner must be defensively copied.
+func TestNewAssignerCopiesCentroids(t *testing.T) {
+	w := metric.MustWeigher(3, metric.ExponentialDecay, 0.5)
+	c := pivot.Signature{1, 2, 3}
+	a, err := NewAssigner([]pivot.Signature{c}, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c[0] = 99
+	if !a.Centroid(1).Equal(pivot.Signature{1, 2, 3}) {
+		t.Fatal("assigner shares storage with caller's centroid")
+	}
+}

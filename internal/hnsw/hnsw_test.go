@@ -1,0 +1,186 @@
+package hnsw
+
+import (
+	"errors"
+	"testing"
+
+	"climber/internal/dataset"
+	"climber/internal/dss"
+	"climber/internal/series"
+)
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	bad := []Config{
+		{M: 1, EfConstruction: 10, EfSearch: 10},
+		{M: 8, EfConstruction: 0, EfSearch: 10},
+		{M: 8, EfConstruction: 10, EfSearch: 0},
+		{M: 8, EfConstruction: 10, EfSearch: 10, MemoryBudgetBytes: -1},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("config %d should fail", i)
+		}
+	}
+}
+
+func TestHighRecall(t *testing.T) {
+	ds := dataset.RandomWalk(64, 3000, 9)
+	g, err := Build(ds, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, qs := dataset.Queries(ds, 15, 3)
+	const k = 10
+	sum := 0.0
+	for _, q := range qs {
+		got, err := g.Search(q, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		exact := dss.SearchDataset(ds, q, k)
+		sum += series.Recall(got, exact)
+	}
+	avg := sum / float64(len(qs))
+	t.Logf("HNSW recall = %.3f", avg)
+	// The defining Table I property: graph methods reach ~0.9+.
+	if avg < 0.85 {
+		t.Fatalf("HNSW recall %.3f below the expected 0.85 floor", avg)
+	}
+}
+
+func TestSelfQueryFindsSelf(t *testing.T) {
+	ds := dataset.RandomWalk(64, 1000, 5)
+	g, err := Build(ds, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, qid := range []int{0, 250, 999} {
+		res, err := g.Search(ds.Get(qid), 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res) != 1 || res[0].ID != qid || res[0].Dist != 0 {
+			t.Fatalf("self query %d returned %+v", qid, res)
+		}
+	}
+}
+
+func TestGraphConnectivity(t *testing.T) {
+	// Every node must be reachable from the entry point on layer 0 —
+	// otherwise whole regions are unsearchable.
+	ds := dataset.RandomWalk(32, 800, 7)
+	g, err := Build(ds, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	visited := make([]bool, g.Len())
+	queue := []int{g.entry}
+	visited[g.entry] = true
+	count := 1
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		for _, nb := range g.linksAt(n, 0) {
+			if !visited[nb] {
+				visited[nb] = true
+				count++
+				queue = append(queue, nb)
+			}
+		}
+	}
+	frac := float64(count) / float64(g.Len())
+	t.Logf("layer-0 reachability = %.3f", frac)
+	if frac < 0.99 {
+		t.Fatalf("only %.1f%% of nodes reachable from the entry point", frac*100)
+	}
+}
+
+func TestDegreeBounds(t *testing.T) {
+	ds := dataset.RandomWalk(32, 1000, 7)
+	cfg := DefaultConfig()
+	cfg.M = 8
+	g, err := Build(ds, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id := 0; id < g.Len(); id++ {
+		for l := 0; l < len(g.links[id]); l++ {
+			maxConn := cfg.M
+			if l == 0 {
+				maxConn = 2 * cfg.M
+			}
+			if len(g.links[id][l]) > maxConn {
+				t.Fatalf("node %d layer %d degree %d > bound %d", id, l, len(g.links[id][l]), maxConn)
+			}
+		}
+	}
+}
+
+func TestMemoryBudget(t *testing.T) {
+	ds := dataset.RandomWalk(64, 500, 9)
+	cfg := DefaultConfig()
+	cfg.MemoryBudgetBytes = 100
+	_, err := Build(ds, cfg)
+	if !errors.Is(err, ErrOutOfMemory) {
+		t.Fatalf("expected ErrOutOfMemory, got %v", err)
+	}
+}
+
+func TestBuildIsTheExpensivePhase(t *testing.T) {
+	// Table I's shape: construction >> query. Assert construction incurs
+	// far more distance computations than a single query path would.
+	ds := dataset.RandomWalk(32, 1000, 7)
+	g, err := Build(ds, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Stats.DistanceCalls < int64(ds.Len())*10 {
+		t.Fatalf("suspiciously cheap construction: %d distance calls for %d inserts",
+			g.Stats.DistanceCalls, ds.Len())
+	}
+	if g.Stats.BuildTime <= 0 {
+		t.Fatal("build time not recorded")
+	}
+}
+
+func TestSearchValidation(t *testing.T) {
+	ds := dataset.RandomWalk(32, 100, 7)
+	g, err := Build(ds, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Search(ds.Get(0), 0); err == nil {
+		t.Error("k = 0 should fail")
+	}
+	if _, err := g.Search(make([]float64, 3), 5); err == nil {
+		t.Error("wrong length should fail")
+	}
+	if g.MaxLevel() < 0 {
+		t.Error("max level negative on a non-empty graph")
+	}
+}
+
+func TestResultsAscendingAndDeduplicated(t *testing.T) {
+	ds := dataset.RandomWalk(32, 600, 3)
+	g, err := Build(ds, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := g.Search(ds.Get(11), 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int]bool{}
+	for i, r := range res {
+		if seen[r.ID] {
+			t.Fatalf("duplicate result id %d", r.ID)
+		}
+		seen[r.ID] = true
+		if i > 0 && res[i].Dist < res[i-1].Dist {
+			t.Fatal("results not ascending")
+		}
+	}
+}

@@ -1,0 +1,184 @@
+package lsh
+
+import (
+	"testing"
+
+	"climber/internal/dataset"
+	"climber/internal/dss"
+	"climber/internal/series"
+)
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	bad := []Config{
+		{Segments: 0, Tables: 4, Bits: 8},
+		{Segments: 8, Tables: 0, Bits: 8},
+		{Segments: 8, Tables: 4, Bits: 0},
+		{Segments: 8, Tables: 4, Bits: 64},
+		{Segments: 8, Tables: 4, Bits: 8, Probes: -1},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("config %d should fail", i)
+		}
+	}
+}
+
+// The defining property from the paper's Section II: LSH recall lands in a
+// mediocre band (ChainLink: ~30%), well below graph methods and CLIMBER,
+// well above nothing.
+func TestRecallBand(t *testing.T) {
+	ds := dataset.RandomWalk(128, 5000, 7)
+	ix, err := Build(ds, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, qs := dataset.Queries(ds, 15, 3)
+	const k = 50
+	sum := 0.0
+	for _, q := range qs {
+		res, _, err := ix.Search(q, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum += series.Recall(res, dss.SearchDataset(ds, q, k))
+	}
+	avg := sum / float64(len(qs))
+	t.Logf("LSH recall = %.3f", avg)
+	if avg < 0.1 || avg > 0.7 {
+		t.Fatalf("LSH recall %.3f outside ChainLink's plausible band [0.1, 0.7]", avg)
+	}
+}
+
+// A query identical to an indexed series always collides with it in every
+// table, so the exact record must always rank first.
+func TestSelfCollision(t *testing.T) {
+	ds := dataset.RandomWalk(64, 1000, 9)
+	ix, err := Build(ds, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, qid := range []int{0, 500, 999} {
+		res, _, err := ix.Search(ds.Get(qid), 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res) == 0 || res[0].ID != qid || res[0].Dist != 0 {
+			t.Fatalf("self query %d: %+v", qid, res)
+		}
+	}
+}
+
+// Multi-probe must not reduce the candidate set (it only adds buckets).
+func TestProbesWidenCandidates(t *testing.T) {
+	ds := dataset.RandomWalk(64, 3000, 11)
+	cfg := DefaultConfig()
+	cfg.Probes = 0
+	noProbe, err := Build(ds, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Probes = 3
+	probed, err := Build(ds, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, qs := dataset.Queries(ds, 10, 5)
+	var candsNo, candsYes int
+	for _, q := range qs {
+		_, s0, err := noProbe.Search(q, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, s1, err := probed.Search(q, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		candsNo += s0.Candidates
+		candsYes += s1.Candidates
+	}
+	if candsYes < candsNo {
+		t.Fatalf("multi-probe gathered fewer candidates (%d) than exact-bucket search (%d)", candsYes, candsNo)
+	}
+}
+
+func TestSearchValidation(t *testing.T) {
+	ds := dataset.RandomWalk(64, 200, 9)
+	ix, err := Build(ds, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ix.Search(ds.Get(0), 0); err == nil {
+		t.Error("k = 0 should fail")
+	}
+	if _, _, err := ix.Search(make([]float64, 3), 5); err == nil {
+		t.Error("wrong length should fail")
+	}
+	if ix.Len() != 200 {
+		t.Errorf("Len = %d", ix.Len())
+	}
+	if ix.Stats.Buckets == 0 || ix.Stats.BuildTime <= 0 {
+		t.Errorf("stats not populated: %+v", ix.Stats)
+	}
+}
+
+func TestDeterministicBuild(t *testing.T) {
+	ds := dataset.RandomWalk(64, 500, 9)
+	a, err := Build(ds, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Build(ds, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := ds.Get(123)
+	ra, _, err := a.Search(q, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, _, err := b.Search(q, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ra) != len(rb) {
+		t.Fatal("non-deterministic result count")
+	}
+	for i := range ra {
+		if ra[i].ID != rb[i].ID {
+			t.Fatal("non-deterministic results for identical builds")
+		}
+	}
+}
+
+// Results must always be sorted ascending by distance and contain no
+// duplicates.
+func TestResultsWellFormed(t *testing.T) {
+	ds := dataset.RandomWalk(64, 2000, 13)
+	ix, err := Build(ds, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, qs := dataset.Queries(ds, 10, 17)
+	for _, q := range qs {
+		res, stats, err := ix.Search(q, 25)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stats.Candidates == 0 {
+			t.Fatal("no candidates gathered")
+		}
+		seen := map[int]bool{}
+		for i, r := range res {
+			if seen[r.ID] {
+				t.Fatalf("duplicate id %d", r.ID)
+			}
+			seen[r.ID] = true
+			if i > 0 && res[i].Dist < res[i-1].Dist {
+				t.Fatal("results not ascending")
+			}
+		}
+	}
+}

@@ -1,0 +1,147 @@
+package metric
+
+import (
+	"math/rand/v2"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"climber/internal/pivot"
+)
+
+// The paper's worked OD example (Section IV-C): P4↛(X) = <1,3,6,8>,
+// P4↛(Y) = <2,3,4,6> share {3, 6}, so OD = 4 - 2 = 2.
+func TestOverlapDistPaperExample(t *testing.T) {
+	x := pivot.Signature{1, 3, 6, 8}
+	y := pivot.Signature{2, 3, 4, 6}
+	if got := OverlapDist(x, y); got != 2 {
+		t.Fatalf("OD = %d, want 2", got)
+	}
+}
+
+func TestOverlapDistBounds(t *testing.T) {
+	a := pivot.Signature{1, 2, 3}
+	if got := OverlapDist(a, a); got != 0 {
+		t.Fatalf("OD(a, a) = %d, want 0", got)
+	}
+	b := pivot.Signature{4, 5, 6}
+	if got := OverlapDist(a, b); got != 3 {
+		t.Fatalf("OD of disjoint sets = %d, want m = 3", got)
+	}
+}
+
+func TestOverlapDistMismatchedLengthPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("OD of different-length signatures did not panic")
+		}
+	}()
+	OverlapDist(pivot.Signature{1}, pivot.Signature{1, 2})
+}
+
+// Properties of OD: symmetry, range [0, m], and identity of indiscernibles
+// on sets.
+func TestOverlapDistProperties(t *testing.T) {
+	rng := rand.New(rand.NewPCG(2, 8))
+	randSig := func(m int) pivot.Signature {
+		seen := map[int]bool{}
+		sig := make(pivot.Signature, 0, m)
+		for len(sig) < m {
+			v := rng.IntN(20)
+			if !seen[v] {
+				seen[v] = true
+				sig = append(sig, v)
+			}
+		}
+		sort.Ints(sig)
+		return sig
+	}
+	for trial := 0; trial < 300; trial++ {
+		m := 1 + rng.IntN(8)
+		a, b := randSig(m), randSig(m)
+		dab, dba := OverlapDist(a, b), OverlapDist(b, a)
+		if dab != dba {
+			t.Fatalf("OD asymmetric: %d vs %d", dab, dba)
+		}
+		if dab < 0 || dab > m {
+			t.Fatalf("OD out of range: %d not in [0, %d]", dab, m)
+		}
+		if dab == 0 && !a.Equal(b) {
+			t.Fatalf("OD = 0 for different sets %v, %v", a, b)
+		}
+	}
+}
+
+func TestIntersectSize(t *testing.T) {
+	cases := []struct {
+		a, b pivot.Signature
+		want int
+	}{
+		{pivot.Signature{1, 2, 3}, pivot.Signature{2, 3, 4}, 2},
+		{pivot.Signature{}, pivot.Signature{}, 0},
+		{pivot.Signature{1}, pivot.Signature{1}, 1},
+		{pivot.Signature{1, 5, 9}, pivot.Signature{2, 6, 10}, 0},
+	}
+	for _, c := range cases {
+		if got := IntersectSize(c.a, c.b); got != c.want {
+			t.Errorf("IntersectSize(%v, %v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestSpearmanFootrule(t *testing.T) {
+	a := pivot.Signature{1, 2, 3}
+	if got := SpearmanFootrule(a, a); got != 0 {
+		t.Fatalf("footrule(a, a) = %d, want 0", got)
+	}
+	// Swap of adjacent elements: |0-1| + |1-0| = 2.
+	b := pivot.Signature{2, 1, 3}
+	if got := SpearmanFootrule(a, b); got != 2 {
+		t.Fatalf("footrule = %d, want 2", got)
+	}
+	// Disjoint signatures of length m: every ID pays |pos - m|.
+	c := pivot.Signature{7, 8, 9}
+	want := (3 + 2 + 1) * 2 // both directions
+	if got := SpearmanFootrule(a, c); got != want {
+		t.Fatalf("footrule disjoint = %d, want %d", got, want)
+	}
+}
+
+func TestSpearmanFootruleSymmetric(t *testing.T) {
+	f := func(pa, pb [4]uint8) bool {
+		a := pivot.Signature{int(pa[0]), int(pa[1]), int(pa[2]), int(pa[3])}
+		b := pivot.Signature{int(pb[0]), int(pb[1]), int(pb[2]), int(pb[3])}
+		return SpearmanFootrule(a, b) == SpearmanFootrule(b, a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKendallTau(t *testing.T) {
+	a := pivot.Signature{1, 2, 3}
+	if got := KendallTau(a, a); got != 0 {
+		t.Fatalf("tau(a, a) = %d, want 0", got)
+	}
+	// One adjacent transposition = 1 discordant pair.
+	b := pivot.Signature{2, 1, 3}
+	if got := KendallTau(a, b); got != 1 {
+		t.Fatalf("tau = %d, want 1", got)
+	}
+	// Full reversal of 3 elements = C(3,2) = 3 discordant pairs.
+	c := pivot.Signature{3, 2, 1}
+	if got := KendallTau(a, c); got != 3 {
+		t.Fatalf("tau reversal = %d, want 3", got)
+	}
+}
+
+func TestKendallTauSymmetric(t *testing.T) {
+	f := func(pa, pb [4]uint8) bool {
+		a := pivot.Signature{int(pa[0]), int(pa[1]), int(pa[2]), int(pa[3])}
+		b := pivot.Signature{int(pb[0]), int(pb[1]), int(pb[2]), int(pb[3])}
+		return KendallTau(a, b) == KendallTau(b, a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,319 @@
+// Package odyssey implements an in-memory exact kNN engine standing in for
+// Odyssey (Chatzakis, Fatourou, Kosmas, Palpanas, Peng: "Odyssey: A Journey
+// in the Land of Distributed Data Series Similarity Search", PVLDB 2023),
+// the distributed main-memory system of the paper's Table I comparison.
+//
+// Odyssey's defining properties for that comparison are: (1) exact answers
+// (recall 1.0); (2) the fastest query times as long as the dataset and
+// index fit in main memory — it is an iSAX-tree engine with PAA/SAX
+// lower-bound pruning and parallel batch-query scheduling; and (3) a hard
+// scalability wall: beyond the memory budget the system cannot run (the
+// "X" cells of Table I). This implementation reproduces exactly those
+// properties: an iSAX-style in-memory index with MINDIST + PAA lower-bound
+// pruning, a worker pool for batch queries, and a configurable memory cap
+// that refuses datasets past the budget.
+package odyssey
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"climber/internal/paa"
+	"climber/internal/sax"
+	"climber/internal/series"
+)
+
+// ErrOutOfMemory is returned when the dataset exceeds the configured memory
+// budget — the condition rendering the paper's Table I "X" cells.
+var ErrOutOfMemory = fmt.Errorf("odyssey: dataset exceeds the configured memory budget")
+
+// Config parameterises the engine.
+type Config struct {
+	// Segments is the PAA/iSAX word length.
+	Segments int
+	// Bits is the per-segment cardinality (2^Bits symbols) of the pruning
+	// words.
+	Bits uint8
+	// LeafCapacity bounds the iSAX tree leaves.
+	LeafCapacity int
+	// MemoryBudgetBytes caps the in-memory footprint (dataset + index
+	// estimate). Zero means unlimited.
+	MemoryBudgetBytes int64
+	// Workers sizes the batch-query scheduler; 0 = GOMAXPROCS.
+	Workers int
+}
+
+// DefaultConfig returns a setup mirroring Odyssey's published defaults at
+// laptop scale.
+func DefaultConfig() Config {
+	return Config{Segments: 16, Bits: 4, LeafCapacity: 512, MemoryBudgetBytes: 0, Workers: 0}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.Segments <= 0 {
+		return fmt.Errorf("odyssey: Segments must be positive, got %d", c.Segments)
+	}
+	if c.Bits == 0 || int(c.Bits) > sax.MaxBits {
+		return fmt.Errorf("odyssey: Bits must be in [1, %d], got %d", sax.MaxBits, c.Bits)
+	}
+	if c.LeafCapacity <= 0 {
+		return fmt.Errorf("odyssey: LeafCapacity must be positive, got %d", c.LeafCapacity)
+	}
+	if c.MemoryBudgetBytes < 0 {
+		return fmt.Errorf("odyssey: MemoryBudgetBytes must be non-negative")
+	}
+	if c.Workers < 0 {
+		return fmt.Errorf("odyssey: Workers must be non-negative")
+	}
+	return nil
+}
+
+// leaf is one iSAX-tree leaf: the IDs of its member series plus their
+// shared word for MINDIST pruning.
+type leaf struct {
+	word sax.Word
+	ids  []int
+}
+
+// Engine is the in-memory exact search engine.
+type Engine struct {
+	cfg     Config
+	ds      *series.Dataset
+	tr      *paa.Transformer
+	paaSigs []float64 // flat n × w PAA signatures for lower-bound pruning
+	leaves  []leaf
+	segLens []int
+	Stats   BuildStats
+}
+
+// BuildStats reports construction cost and footprint.
+type BuildStats struct {
+	BuildTime   time.Duration
+	MemoryBytes int64
+	LeafCount   int
+}
+
+// MemoryFootprint estimates the bytes an engine over the dataset would
+// hold: the raw series (float64), the PAA signatures, and index overhead.
+func MemoryFootprint(numSeries, seriesLen, segments int) int64 {
+	raw := int64(numSeries) * int64(seriesLen) * 8
+	sigs := int64(numSeries) * int64(segments) * 8
+	index := int64(numSeries) * 16 // ids + leaf bookkeeping
+	return raw + sigs + index
+}
+
+// Build constructs the engine over an in-memory dataset. It fails with
+// ErrOutOfMemory when the footprint exceeds the configured budget.
+func Build(ds *series.Dataset, cfg Config) (*Engine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	footprint := MemoryFootprint(ds.Len(), ds.Length(), cfg.Segments)
+	if cfg.MemoryBudgetBytes > 0 && footprint > cfg.MemoryBudgetBytes {
+		return nil, fmt.Errorf("%w: need %d bytes, budget %d", ErrOutOfMemory, footprint, cfg.MemoryBudgetBytes)
+	}
+	start := time.Now()
+	tr, err := paa.NewTransformer(ds.Length(), cfg.Segments)
+	if err != nil {
+		return nil, err
+	}
+	e := &Engine{cfg: cfg, ds: ds, tr: tr, paaSigs: make([]float64, ds.Len()*cfg.Segments)}
+	e.segLens = make([]int, cfg.Segments)
+	for i := range e.segLens {
+		e.segLens[i] = tr.SegmentLen(i)
+	}
+
+	// Build the leaf level of an iSAX binary tree (the iBT structure
+	// Odyssey builds on): each split refines exactly one segment by one
+	// bit, choosing the segment that divides the group most evenly. The
+	// result is ~n/LeafCapacity balanced leaves whose MINDIST bounds prune
+	// whole leaves cheaply — the property that makes the exact engine fast.
+	all := make([]int, ds.Len())
+	for id := range all {
+		sig := e.paaSigs[id*cfg.Segments : (id+1)*cfg.Segments]
+		tr.TransformInto(sig, ds.Get(id))
+		all[id] = id
+	}
+	e.refine(all, make([]uint8, cfg.Segments))
+	e.Stats = BuildStats{
+		BuildTime:   time.Since(start),
+		MemoryBytes: footprint,
+		LeafCount:   len(e.leaves),
+	}
+	return e, nil
+}
+
+// refine recursively splits an ID group — one segment, one bit at a time,
+// choosing the segment whose next bit divides the group most evenly — until
+// groups fit LeafCapacity or every segment reaches the cardinality limit,
+// then materialises leaves. bits carries the group's per-segment word
+// widths; every member shares the word at those widths.
+func (e *Engine) refine(ids []int, bits []uint8) {
+	if len(ids) == 0 {
+		return
+	}
+	w := e.cfg.Segments
+	leafHere := func() {
+		word := sax.NewWordFromPAA(e.paaSigs[ids[0]*w:(ids[0]+1)*w], bits)
+		for lo := 0; lo < len(ids); lo += e.cfg.LeafCapacity {
+			hi := lo + e.cfg.LeafCapacity
+			if hi > len(ids) {
+				hi = len(ids)
+			}
+			e.leaves = append(e.leaves, leaf{word: word, ids: ids[lo:hi]})
+		}
+	}
+	if len(ids) <= e.cfg.LeafCapacity {
+		leafHere()
+		return
+	}
+	// Pick the segment whose next bit splits the group most evenly.
+	bestSeg, bestImbalance := -1, math.MaxFloat64
+	for seg := 0; seg < w; seg++ {
+		if bits[seg] >= e.cfg.Bits {
+			continue
+		}
+		ones := 0
+		for _, id := range ids {
+			if sax.Symbol(e.paaSigs[id*w+seg], int(bits[seg])+1)&1 == 1 {
+				ones++
+			}
+		}
+		imbalance := math.Abs(float64(ones)*2 - float64(len(ids)))
+		if imbalance < bestImbalance {
+			bestImbalance = imbalance
+			bestSeg = seg
+		}
+	}
+	if bestSeg == -1 {
+		leafHere() // cardinality exhausted: chunked oversized leaves
+		return
+	}
+	var zero, one []int
+	for _, id := range ids {
+		if sax.Symbol(e.paaSigs[id*w+bestSeg], int(bits[bestSeg])+1)&1 == 0 {
+			zero = append(zero, id)
+		} else {
+			one = append(one, id)
+		}
+	}
+	if len(zero) == 0 || len(one) == 0 {
+		leafHere() // degenerate split: stop refining this group
+		return
+	}
+	childBits := append([]uint8(nil), bits...)
+	childBits[bestSeg]++
+	e.refine(zero, childBits)
+	e.refine(one, childBits)
+}
+
+// QueryStats reports pruning effectiveness.
+type QueryStats struct {
+	LeavesPruned  int
+	LeavesScanned int
+	SeriesPruned  int
+	SeriesScanned int
+}
+
+// Search returns the exact k nearest neighbours of q, ascending by
+// Euclidean distance.
+func (e *Engine) Search(q []float64, k int) ([]series.Result, QueryStats, error) {
+	if k <= 0 {
+		return nil, QueryStats{}, fmt.Errorf("odyssey: k must be positive, got %d", k)
+	}
+	if len(q) != e.ds.Length() {
+		return nil, QueryStats{}, fmt.Errorf("odyssey: query length %d, engine stores %d", len(q), e.ds.Length())
+	}
+	qp := e.tr.Transform(q)
+	top := series.NewTopK(k)
+	var stats QueryStats
+
+	// Order leaves by MINDIST so good candidates are found early, making
+	// subsequent pruning bounds tight (the iSAX-engine search order).
+	type ranked struct {
+		idx     int
+		minDist float64
+	}
+	order := make([]ranked, len(e.leaves))
+	for i := range e.leaves {
+		md := e.leaves[i].word.MinDistPAA(qp, e.segLens)
+		order[i] = ranked{i, md * md}
+	}
+	sort.Slice(order, func(a, b int) bool { return order[a].minDist < order[b].minDist })
+
+	w := e.cfg.Segments
+	for _, r := range order {
+		if bound, ok := top.Bound(); ok && r.minDist > bound {
+			stats.LeavesPruned++
+			stats.SeriesPruned += len(e.leaves[r.idx].ids)
+			continue // MINDIST exceeds the kth distance: whole leaf pruned
+		}
+		stats.LeavesScanned++
+		for _, id := range e.leaves[r.idx].ids {
+			if bound, ok := top.Bound(); ok {
+				// Second-level pruning: the PAA lower bound per series.
+				lb := e.tr.LowerBoundSqDist(qp, e.paaSigs[id*w:(id+1)*w])
+				if lb > bound {
+					stats.SeriesPruned++
+					continue
+				}
+				d := series.SqDistEarlyAbandon(q, e.ds.Get(id), bound)
+				stats.SeriesScanned++
+				if d < bound {
+					top.Push(id, d)
+				}
+				continue
+			}
+			top.Push(id, series.SqDist(q, e.ds.Get(id)))
+			stats.SeriesScanned++
+		}
+	}
+	res := top.Results()
+	for i := range res {
+		res[i].Dist = math.Sqrt(res[i].Dist)
+	}
+	return res, stats, nil
+}
+
+// SearchBatch answers many queries concurrently using the engine's worker
+// pool — Odyssey's headline capability is efficient scheduling of hundreds
+// of concurrent queries.
+func (e *Engine) SearchBatch(queries [][]float64, k int) ([][]series.Result, error) {
+	workers := e.cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	out := make([][]series.Result, len(queries))
+	errs := make([]error, len(queries))
+	var wg sync.WaitGroup
+	work := make(chan int, len(queries))
+	for i := range queries {
+		work <- i
+	}
+	close(work)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				res, _, err := e.Search(queries[i], k)
+				out[i], errs[i] = res, err
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// Len returns the number of indexed series.
+func (e *Engine) Len() int { return e.ds.Len() }

@@ -1,0 +1,196 @@
+package odyssey
+
+import (
+	"errors"
+	"testing"
+
+	"climber/internal/dataset"
+	"climber/internal/dss"
+	"climber/internal/series"
+)
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	bad := []Config{
+		{Segments: 0, Bits: 4, LeafCapacity: 10},
+		{Segments: 8, Bits: 0, LeafCapacity: 10},
+		{Segments: 8, Bits: 99, LeafCapacity: 10},
+		{Segments: 8, Bits: 4, LeafCapacity: 0},
+		{Segments: 8, Bits: 4, LeafCapacity: 10, MemoryBudgetBytes: -1},
+		{Segments: 8, Bits: 4, LeafCapacity: 10, Workers: -1},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("config %d should fail", i)
+		}
+	}
+}
+
+// The engine is exact: its answers must match a brute-force scan exactly.
+func TestSearchIsExact(t *testing.T) {
+	ds := dataset.RandomWalk(64, 3000, 9)
+	cfg := DefaultConfig()
+	cfg.Segments = 8
+	e, err := Build(ds, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, qs := dataset.Queries(ds, 10, 17)
+	for qi, q := range qs {
+		got, _, err := e.Search(q, 25)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := dss.SearchDataset(ds, q, 25)
+		if len(got) != len(want) {
+			t.Fatalf("query %d: %d results, want %d", qi, len(got), len(want))
+		}
+		for i := range want {
+			if got[i].ID != want[i].ID {
+				t.Fatalf("query %d result %d: id %d, want %d", qi, i, got[i].ID, want[i].ID)
+			}
+		}
+	}
+}
+
+// Pruning must actually skip work (the engine's reason for existing).
+func TestPruningIsEffective(t *testing.T) {
+	ds := dataset.RandomWalk(64, 5000, 9)
+	cfg := DefaultConfig()
+	cfg.Segments = 8
+	e, err := Build(ds, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, qs := dataset.Queries(ds, 5, 17)
+	totalPruned, totalScanned := 0, 0
+	for _, q := range qs {
+		_, stats, err := e.Search(q, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		totalPruned += stats.SeriesPruned
+		totalScanned += stats.SeriesScanned
+	}
+	if totalPruned == 0 {
+		t.Fatal("no series were pruned; lower-bound machinery is dead")
+	}
+	frac := float64(totalScanned) / float64(totalScanned+totalPruned)
+	t.Logf("scanned fraction = %.3f", frac)
+	if frac > 0.9 {
+		t.Fatalf("pruning skipped only %.1f%% of work", (1-frac)*100)
+	}
+}
+
+func TestMemoryBudget(t *testing.T) {
+	ds := dataset.RandomWalk(64, 1000, 9)
+	cfg := DefaultConfig()
+	cfg.MemoryBudgetBytes = 1000 // absurdly small
+	_, err := Build(ds, cfg)
+	if !errors.Is(err, ErrOutOfMemory) {
+		t.Fatalf("expected ErrOutOfMemory, got %v", err)
+	}
+	cfg.MemoryBudgetBytes = MemoryFootprint(ds.Len(), ds.Length(), cfg.Segments)
+	if _, err := Build(ds, cfg); err != nil {
+		t.Fatalf("exact-budget build failed: %v", err)
+	}
+}
+
+func TestSearchBatch(t *testing.T) {
+	ds := dataset.RandomWalk(64, 1000, 9)
+	cfg := DefaultConfig()
+	cfg.Segments = 8
+	cfg.Workers = 3
+	e, err := Build(ds, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, qs := dataset.Queries(ds, 20, 5)
+	batch, err := e.SearchBatch(qs, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batch) != 20 {
+		t.Fatalf("batch returned %d result sets, want 20", len(batch))
+	}
+	// Batch answers must equal sequential answers.
+	for i, q := range qs {
+		seq, _, err := e.Search(q, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := range seq {
+			if batch[i][j].ID != seq[j].ID {
+				t.Fatalf("batch query %d diverges from sequential", i)
+			}
+		}
+	}
+}
+
+func TestSearchValidation(t *testing.T) {
+	ds := dataset.RandomWalk(64, 200, 9)
+	e, err := Build(ds, Config{Segments: 8, Bits: 4, LeafCapacity: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := e.Search(ds.Get(0), 0); err == nil {
+		t.Error("k = 0 should fail")
+	}
+	if _, _, err := e.Search(make([]float64, 3), 5); err == nil {
+		t.Error("wrong length should fail")
+	}
+	if e.Len() != 200 {
+		t.Errorf("Len = %d, want 200", e.Len())
+	}
+}
+
+func TestLeafCapacityRespected(t *testing.T) {
+	ds := dataset.RandomWalk(64, 2000, 9)
+	cfg := Config{Segments: 8, Bits: 1, LeafCapacity: 50} // coarse words force splits
+	e, err := Build(ds, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, l := range e.leaves {
+		if len(l.ids) > 50 {
+			t.Fatalf("leaf holds %d > capacity 50", len(l.ids))
+		}
+	}
+	if e.Stats.LeafCount != len(e.leaves) {
+		t.Fatalf("stats leaf count %d != %d", e.Stats.LeafCount, len(e.leaves))
+	}
+}
+
+func exactIDs(ds *series.Dataset, q []float64, k int) map[int]bool {
+	out := map[int]bool{}
+	for _, r := range dss.SearchDataset(ds, q, k) {
+		out[r.ID] = true
+	}
+	return out
+}
+
+// Guard against regressions in result ordering.
+func TestResultsAscending(t *testing.T) {
+	ds := dataset.RandomWalk(64, 500, 3)
+	e, err := Build(ds, Config{Segments: 8, Bits: 4, LeafCapacity: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, _, err := e.Search(ds.Get(7), 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(res); i++ {
+		if res[i].Dist < res[i-1].Dist {
+			t.Fatal("results not ascending")
+		}
+	}
+	ids := exactIDs(ds, ds.Get(7), 20)
+	for _, r := range res {
+		if !ids[r.ID] {
+			t.Fatalf("result %d not in exact answer set", r.ID)
+		}
+	}
+}

@@ -1,0 +1,116 @@
+// Package packing solves the Node Packing Problem of paper Definition 13:
+// grouping the leaf nodes of a group's trie into as few physical partitions
+// as possible such that no partition exceeds the storage capacity c. The
+// problem is bin packing (NP-hard), so, following the paper, we use the
+// First Fit Decreasing (FFD) approximation — O(m log m) with a worst-case
+// ratio of 3/2 (and the classic 11/9·OPT + 6/9 asymptotic guarantee).
+package packing
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Item is one object to pack: an opaque caller ID and a non-negative size.
+type Item struct {
+	ID   int
+	Size int
+}
+
+// Bin is one packed partition: the IDs of the items it holds and their total
+// size.
+type Bin struct {
+	Items []int
+	Size  int
+}
+
+// FirstFitDecreasing packs items into bins of the given capacity. Items are
+// considered in descending size order; each is placed into the first open
+// bin with room, opening a new bin when none fits. Items larger than the
+// capacity are given a dedicated bin each (the capacity is a soft constraint
+// in CLIMBER — an unsplittable oversized trie leaf still needs a home).
+//
+// Ties in size are broken by ascending item ID so the packing is
+// deterministic across runs.
+func FirstFitDecreasing(items []Item, capacity int) ([]Bin, error) {
+	if capacity <= 0 {
+		return nil, fmt.Errorf("packing: capacity must be positive, got %d", capacity)
+	}
+	for _, it := range items {
+		if it.Size < 0 {
+			return nil, fmt.Errorf("packing: item %d has negative size %d", it.ID, it.Size)
+		}
+	}
+	sorted := make([]Item, len(items))
+	copy(sorted, items)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].Size != sorted[j].Size {
+			return sorted[i].Size > sorted[j].Size
+		}
+		return sorted[i].ID < sorted[j].ID
+	})
+
+	var bins []Bin
+	for _, it := range sorted {
+		placed := false
+		for b := range bins {
+			if bins[b].Size+it.Size <= capacity {
+				bins[b].Items = append(bins[b].Items, it.ID)
+				bins[b].Size += it.Size
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			bins = append(bins, Bin{Items: []int{it.ID}, Size: it.Size})
+		}
+	}
+	return bins, nil
+}
+
+// SequentialFill packs items into bins preserving the given item order: each
+// bin is filled greedily until the next item would overflow it. Unlike FFD,
+// the packing keeps neighbouring items together — the policy TARDIS uses so
+// that a physical partition covers a contiguous range of sigTree leaves
+// (spatial locality matters more than bin count there). Oversized items get
+// a dedicated bin.
+func SequentialFill(items []Item, capacity int) ([]Bin, error) {
+	if capacity <= 0 {
+		return nil, fmt.Errorf("packing: capacity must be positive, got %d", capacity)
+	}
+	var bins []Bin
+	var cur Bin
+	for _, it := range items {
+		if it.Size < 0 {
+			return nil, fmt.Errorf("packing: item %d has negative size %d", it.ID, it.Size)
+		}
+		if len(cur.Items) > 0 && cur.Size+it.Size > capacity {
+			bins = append(bins, cur)
+			cur = Bin{}
+		}
+		cur.Items = append(cur.Items, it.ID)
+		cur.Size += it.Size
+	}
+	if len(cur.Items) > 0 {
+		bins = append(bins, cur)
+	}
+	return bins, nil
+}
+
+// LowerBound returns the information-theoretic lower bound on the number of
+// bins: ceil(total size / capacity), with a floor of the number of oversized
+// items. Useful for tests and for reporting packing quality.
+func LowerBound(items []Item, capacity int) int {
+	var total, oversized int
+	for _, it := range items {
+		total += it.Size
+		if it.Size > capacity {
+			oversized++
+		}
+	}
+	lb := (total + capacity - 1) / capacity
+	if oversized > lb {
+		lb = oversized
+	}
+	return lb
+}

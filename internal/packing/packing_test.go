@@ -1,0 +1,254 @@
+package packing
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestFFDBasic(t *testing.T) {
+	items := []Item{{0, 5}, {1, 4}, {2, 3}, {3, 3}, {4, 2}}
+	bins, err := FirstFitDecreasing(items, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// FFD: sizes [5,4,3,3,2] -> bin0 [5,3]=8, bin1 [4,3]=7, and the final 2
+	// fits neither (8+2, 7+2 > 8), opening bin2.
+	if len(bins) != 3 {
+		t.Fatalf("got %d bins, want 3: %+v", len(bins), bins)
+	}
+	wantSizes := []int{8, 7, 2}
+	for i, w := range wantSizes {
+		if bins[i].Size != w {
+			t.Fatalf("bin %d size = %d, want %d", i, bins[i].Size, w)
+		}
+	}
+}
+
+func TestFFDEveryItemPackedOnce(t *testing.T) {
+	rng := rand.New(rand.NewPCG(6, 6))
+	for trial := 0; trial < 100; trial++ {
+		n := 1 + rng.IntN(100)
+		cap := 10 + rng.IntN(90)
+		items := make([]Item, n)
+		for i := range items {
+			items[i] = Item{ID: i, Size: rng.IntN(cap + 20)} // some oversized
+		}
+		bins, err := FirstFitDecreasing(items, cap)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen := make(map[int]int)
+		for _, b := range bins {
+			total := 0
+			for _, id := range b.Items {
+				seen[id]++
+				total += items[id].Size
+			}
+			if total != b.Size {
+				t.Fatalf("bin reports size %d, items sum to %d", b.Size, total)
+			}
+			if b.Size > cap && len(b.Items) != 1 {
+				t.Fatalf("over-capacity bin with %d items", len(b.Items))
+			}
+		}
+		for i := range items {
+			if seen[i] != 1 {
+				t.Fatalf("item %d packed %d times", i, seen[i])
+			}
+		}
+	}
+}
+
+// FFD guarantee: at most 3/2 the optimal bin count (we compare against the
+// size lower bound, which is <= OPT, so the check is conservative but must
+// still hold with slack for oversized items).
+func TestFFDNearOptimal(t *testing.T) {
+	rng := rand.New(rand.NewPCG(8, 2))
+	for trial := 0; trial < 50; trial++ {
+		n := 10 + rng.IntN(200)
+		cap := 100
+		items := make([]Item, n)
+		for i := range items {
+			items[i] = Item{ID: i, Size: 1 + rng.IntN(cap)}
+		}
+		bins, err := FirstFitDecreasing(items, cap)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lb := LowerBound(items, cap)
+		// The 11/9 OPT + 1 asymptotic bound, checked against the LP bound.
+		if float64(len(bins)) > 11.0/9.0*float64(lb)+1 {
+			t.Fatalf("FFD used %d bins, lower bound %d", len(bins), lb)
+		}
+	}
+}
+
+func TestFFDOversizedItems(t *testing.T) {
+	items := []Item{{0, 150}, {1, 150}, {2, 10}}
+	bins, err := FirstFitDecreasing(items, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bins) != 3 {
+		t.Fatalf("got %d bins, want 3 (two dedicated oversized + one normal)", len(bins))
+	}
+}
+
+func TestFFDEmpty(t *testing.T) {
+	bins, err := FirstFitDecreasing(nil, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bins) != 0 {
+		t.Fatalf("packing nothing produced %d bins", len(bins))
+	}
+}
+
+func TestFFDErrors(t *testing.T) {
+	if _, err := FirstFitDecreasing([]Item{{0, 1}}, 0); err == nil {
+		t.Error("zero capacity should fail")
+	}
+	if _, err := FirstFitDecreasing([]Item{{0, -1}}, 10); err == nil {
+		t.Error("negative size should fail")
+	}
+}
+
+func TestFFDDeterministic(t *testing.T) {
+	items := []Item{{3, 5}, {1, 5}, {2, 5}, {0, 5}}
+	a, _ := FirstFitDecreasing(items, 10)
+	b, _ := FirstFitDecreasing(items, 10)
+	if len(a) != len(b) {
+		t.Fatal("non-deterministic bin count")
+	}
+	for i := range a {
+		if len(a[i].Items) != len(b[i].Items) {
+			t.Fatal("non-deterministic packing")
+		}
+		for j := range a[i].Items {
+			if a[i].Items[j] != b[i].Items[j] {
+				t.Fatal("non-deterministic item order")
+			}
+		}
+	}
+	// Equal sizes must pack in ascending ID order.
+	if a[0].Items[0] != 0 || a[0].Items[1] != 1 {
+		t.Fatalf("tie-break by ID violated: %+v", a)
+	}
+}
+
+func TestLowerBound(t *testing.T) {
+	items := []Item{{0, 60}, {1, 60}, {2, 60}}
+	if got := LowerBound(items, 100); got != 2 {
+		t.Fatalf("LowerBound = %d, want 2", got)
+	}
+	over := []Item{{0, 150}, {1, 150}, {2, 150}}
+	if got := LowerBound(over, 100); got != 5 {
+		// ceil(450/100) = 5 > 3 oversized
+		t.Fatalf("LowerBound oversized = %d, want 5", got)
+	}
+}
+
+func TestSequentialFillPreservesOrder(t *testing.T) {
+	items := []Item{{10, 3}, {20, 3}, {30, 3}, {40, 3}, {50, 3}}
+	bins, err := SequentialFill(items, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3+3 fit, third overflows: bins [10,20], [30,40], [50].
+	if len(bins) != 3 {
+		t.Fatalf("got %d bins, want 3: %+v", len(bins), bins)
+	}
+	var flat []int
+	for _, b := range bins {
+		flat = append(flat, b.Items...)
+	}
+	want := []int{10, 20, 30, 40, 50}
+	for i, id := range want {
+		if flat[i] != id {
+			t.Fatalf("order not preserved: %v", flat)
+		}
+	}
+}
+
+func TestSequentialFillContiguity(t *testing.T) {
+	// The property TARDIS relies on: every bin is a contiguous run of the
+	// input order.
+	rng := rand.New(rand.NewPCG(3, 14))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.IntN(100)
+		cap := 5 + rng.IntN(50)
+		items := make([]Item, n)
+		for i := range items {
+			items[i] = Item{ID: i, Size: rng.IntN(cap + 10)}
+		}
+		bins, err := SequentialFill(items, cap)
+		if err != nil {
+			t.Fatal(err)
+		}
+		next := 0
+		for _, b := range bins {
+			for _, id := range b.Items {
+				if id != next {
+					t.Fatalf("bin items not contiguous: expected %d, got %d", next, id)
+				}
+				next++
+			}
+			if b.Size > cap && len(b.Items) != 1 {
+				t.Fatalf("over-capacity bin with %d items", len(b.Items))
+			}
+		}
+		if next != n {
+			t.Fatalf("packed %d of %d items", next, n)
+		}
+	}
+}
+
+func TestSequentialFillOversized(t *testing.T) {
+	bins, err := SequentialFill([]Item{{0, 5}, {1, 100}, {2, 5}}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bins) != 3 {
+		t.Fatalf("got %d bins, want 3: %+v", len(bins), bins)
+	}
+	if len(bins[1].Items) != 1 || bins[1].Items[0] != 1 {
+		t.Fatalf("oversized item not isolated: %+v", bins)
+	}
+}
+
+func TestSequentialFillEmptyAndErrors(t *testing.T) {
+	bins, err := SequentialFill(nil, 10)
+	if err != nil || len(bins) != 0 {
+		t.Fatalf("empty input: %v, %v", bins, err)
+	}
+	if _, err := SequentialFill([]Item{{0, 1}}, 0); err == nil {
+		t.Error("zero capacity should fail")
+	}
+	if _, err := SequentialFill([]Item{{0, -1}}, 10); err == nil {
+		t.Error("negative size should fail")
+	}
+}
+
+func TestFFDBinsRespectCapacityProperty(t *testing.T) {
+	f := func(sizes []uint8, capSeed uint8) bool {
+		cap := 1 + int(capSeed)
+		items := make([]Item, len(sizes))
+		for i, s := range sizes {
+			items[i] = Item{ID: i, Size: int(s) % (cap + 1)} // all fit
+		}
+		bins, err := FirstFitDecreasing(items, cap)
+		if err != nil {
+			return false
+		}
+		for _, b := range bins {
+			if b.Size > cap {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,90 @@
+package pivot
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSignatureRankInsensitive(t *testing.T) {
+	rs := Signature{6, 4, 1, 7, 2, 5, 3}
+	ri := rs.RankInsensitive()
+	want := Signature{1, 2, 3, 4, 5, 6, 7}
+	if !ri.Equal(want) {
+		t.Fatalf("rank-insensitive = %v, want %v", ri, want)
+	}
+	// Receiver untouched.
+	if !rs.Equal(Signature{6, 4, 1, 7, 2, 5, 3}) {
+		t.Fatalf("RankInsensitive mutated receiver: %v", rs)
+	}
+}
+
+func TestSignatureKeyRoundTrip(t *testing.T) {
+	cases := []Signature{{}, {0}, {3, 1, 2}, {10, 200, 5}}
+	for _, sig := range cases {
+		got, err := ParseKey(sig.Key())
+		if err != nil {
+			t.Fatalf("ParseKey(%q): %v", sig.Key(), err)
+		}
+		if !got.Equal(sig) {
+			t.Fatalf("round trip %v -> %q -> %v", sig, sig.Key(), got)
+		}
+	}
+}
+
+func TestSignatureKeyRoundTripProperty(t *testing.T) {
+	f := func(ids []uint16) bool {
+		sig := make(Signature, len(ids))
+		for i, v := range ids {
+			sig[i] = int(v)
+		}
+		got, err := ParseKey(sig.Key())
+		return err == nil && got.Equal(sig)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseKeyRejectsGarbage(t *testing.T) {
+	if _, err := ParseKey("1,x,3"); err == nil {
+		t.Fatal("ParseKey accepted non-numeric token")
+	}
+}
+
+func TestSignatureString(t *testing.T) {
+	if got := (Signature{6, 4, 1}).String(); got != "<6,4,1>" {
+		t.Fatalf("String = %q, want <6,4,1>", got)
+	}
+	if got := (Signature{}).String(); got != "<>" {
+		t.Fatalf("empty String = %q, want <>", got)
+	}
+}
+
+func TestSignatureContains(t *testing.T) {
+	sig := Signature{4, 9, 2}
+	if !sig.Contains(9) || sig.Contains(5) {
+		t.Fatalf("Contains misbehaving on %v", sig)
+	}
+}
+
+func TestSignatureEqual(t *testing.T) {
+	a := Signature{1, 2}
+	if a.Equal(Signature{1}) {
+		t.Fatal("signatures of different lengths reported equal")
+	}
+	if a.Equal(Signature{2, 1}) {
+		t.Fatal("order must matter for Equal")
+	}
+	if !a.Equal(Signature{1, 2}) {
+		t.Fatal("identical signatures reported unequal")
+	}
+}
+
+func TestSignatureClone(t *testing.T) {
+	a := Signature{1, 2, 3}
+	b := a.Clone()
+	b[0] = 99
+	if a[0] != 1 {
+		t.Fatal("Clone shares backing storage with original")
+	}
+}

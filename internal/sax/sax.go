@@ -1,0 +1,137 @@
+// Package sax implements the SAX and iSAX symbolic representations of data
+// series (paper Section III-B, Figure 1), the substrate on which the
+// baseline systems TARDIS, DPiSAX, and the Odyssey-style exact engine are
+// built.
+//
+// SAX divides the value axis into `cardinality` stripes that are
+// equiprobable under the standard normal distribution (data series are
+// z-normalised first) and encodes each PAA segment by the label of the
+// stripe containing its mean. iSAX generalises SAX by allowing each segment
+// its own cardinality, retaining only the most significant bits of the
+// label, which enables hierarchical refinement: a node at b bits per segment
+// splits into children at b+1 bits.
+package sax
+
+import (
+	"fmt"
+	"math"
+	"sync"
+)
+
+// MaxBits is the largest supported per-segment bit width (cardinality
+// 2^MaxBits). 16 bits ≫ the 8-ish bits used by iSAX systems in practice.
+const MaxBits = 16
+
+// breakpointCache holds the N(0,1) equiprobable breakpoints per bit width.
+// breakpoints[b] has 2^b - 1 ascending values splitting the real line into
+// 2^b stripes.
+var breakpointCache struct {
+	once sync.Once
+	bps  [MaxBits + 1][]float64
+}
+
+// Breakpoints returns the sorted stripe boundaries for cardinality 2^bits:
+// values beta_1 < ... < beta_{2^bits - 1} with Phi(beta_i) = i / 2^bits,
+// following Lin et al.'s SAX construction. The returned slice is shared;
+// callers must not modify it.
+func Breakpoints(bits int) []float64 {
+	if bits < 0 || bits > MaxBits {
+		panic(fmt.Sprintf("sax: bits %d out of range [0, %d]", bits, MaxBits))
+	}
+	breakpointCache.once.Do(func() {
+		for b := 0; b <= MaxBits; b++ {
+			card := 1 << b
+			bp := make([]float64, card-1)
+			for i := 1; i < card; i++ {
+				bp[i-1] = NormInvCDF(float64(i) / float64(card))
+			}
+			breakpointCache.bps[b] = bp
+		}
+	})
+	return breakpointCache.bps[bits]
+}
+
+// Symbol returns the SAX symbol (stripe index, 0 = lowest stripe) of a PAA
+// mean value at the given bit width. The mapping matches Figure 1: stripe
+// "000" covers the most negative values and "111" the most positive.
+func Symbol(value float64, bits int) uint16 {
+	bp := Breakpoints(bits)
+	// Binary search for the number of breakpoints <= value.
+	lo, hi := 0, len(bp)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if bp[mid] <= value {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return uint16(lo)
+}
+
+// Region returns the half-open value interval [lower, upper) covered by a
+// symbol at the given bit width. The extreme stripes extend to ±Inf.
+func Region(symbol uint16, bits int) (lower, upper float64) {
+	bp := Breakpoints(bits)
+	if int(symbol) == 0 {
+		lower = math.Inf(-1)
+	} else {
+		lower = bp[symbol-1]
+	}
+	if int(symbol) == len(bp) {
+		upper = math.Inf(1)
+	} else {
+		upper = bp[symbol]
+	}
+	return lower, upper
+}
+
+// NormInvCDF computes the inverse of the standard normal cumulative
+// distribution function using Acklam's rational approximation (absolute
+// error < 1.15e-9 over (0, 1)), which is more than sufficient for SAX
+// breakpoints. It panics outside (0, 1).
+func NormInvCDF(p float64) float64 {
+	if p <= 0 || p >= 1 {
+		panic(fmt.Sprintf("sax: NormInvCDF domain is (0, 1), got %g", p))
+	}
+	// Coefficients from Peter Acklam's algorithm.
+	a := [...]float64{
+		-3.969683028665376e+01, 2.209460984245205e+02, -2.759285104469687e+02,
+		1.383577518672690e+02, -3.066479806614716e+01, 2.506628277459239e+00,
+	}
+	b := [...]float64{
+		-5.447609879822406e+01, 1.615858368580409e+02, -1.556989798598866e+02,
+		6.680131188771972e+01, -1.328068155288572e+01,
+	}
+	c := [...]float64{
+		-7.784894002430293e-03, -3.223964580411365e-01, -2.400758277161838e+00,
+		-2.549732539343734e+00, 4.374664141464968e+00, 2.938163982698783e+00,
+	}
+	d := [...]float64{
+		7.784695709041462e-03, 3.224671290700398e-01, 2.445134137142996e+00,
+		3.754408661907416e+00,
+	}
+	const pLow = 0.02425
+	const pHigh = 1 - pLow
+
+	var x float64
+	switch {
+	case p < pLow:
+		q := math.Sqrt(-2 * math.Log(p))
+		x = (((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	case p <= pHigh:
+		q := p - 0.5
+		r := q * q
+		x = (((((a[0]*r+a[1])*r+a[2])*r+a[3])*r+a[4])*r + a[5]) * q /
+			(((((b[0]*r+b[1])*r+b[2])*r+b[3])*r+b[4])*r + 1)
+	default:
+		q := math.Sqrt(-2 * math.Log(1-p))
+		x = -(((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	}
+	// One Halley refinement step sharpens the approximation near the tails.
+	e := 0.5*math.Erfc(-x/math.Sqrt2) - p
+	u := e * math.Sqrt(2*math.Pi) * math.Exp(x*x/2)
+	return x - u/(1+x*u/2)
+}

@@ -1,0 +1,133 @@
+package sax
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestBreakpointsCardinality(t *testing.T) {
+	for bits := 0; bits <= 8; bits++ {
+		bp := Breakpoints(bits)
+		if len(bp) != (1<<bits)-1 {
+			t.Fatalf("bits %d: %d breakpoints, want %d", bits, len(bp), (1<<bits)-1)
+		}
+		for i := 1; i < len(bp); i++ {
+			if !(bp[i] > bp[i-1]) {
+				t.Fatalf("bits %d: breakpoints not strictly increasing at %d", bits, i)
+			}
+		}
+	}
+}
+
+// Known SAX breakpoints from Lin et al. for cardinality 4:
+// [-0.6745, 0, 0.6745] (quartiles of N(0,1)).
+func TestBreakpointsKnownQuartiles(t *testing.T) {
+	bp := Breakpoints(2)
+	want := []float64{-0.67449, 0, 0.67449}
+	for i := range want {
+		if math.Abs(bp[i]-want[i]) > 1e-4 {
+			t.Fatalf("breakpoint %d = %g, want %g", i, bp[i], want[i])
+		}
+	}
+}
+
+// Known breakpoints for cardinality 8 (used by the paper's Figure 1, c=8):
+// Phi^-1(i/8) for i=1..7.
+func TestBreakpointsCardinality8(t *testing.T) {
+	bp := Breakpoints(3)
+	want := []float64{-1.1503, -0.6745, -0.3186, 0, 0.3186, 0.6745, 1.1503}
+	for i := range want {
+		if math.Abs(bp[i]-want[i]) > 1e-4 {
+			t.Fatalf("breakpoint %d = %g, want %g", i, bp[i], want[i])
+		}
+	}
+}
+
+func TestNormInvCDFRoundTrip(t *testing.T) {
+	for _, p := range []float64{0.001, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999} {
+		x := NormInvCDF(p)
+		got := 0.5 * math.Erfc(-x/math.Sqrt2)
+		if math.Abs(got-p) > 1e-9 {
+			t.Fatalf("Phi(NormInvCDF(%g)) = %g, error %g", p, got, math.Abs(got-p))
+		}
+	}
+}
+
+func TestNormInvCDFSymmetry(t *testing.T) {
+	f := func(raw float64) bool {
+		p := math.Mod(math.Abs(raw), 0.499)
+		if p == 0 || math.IsNaN(p) {
+			return true
+		}
+		lo, hi := NormInvCDF(0.5-p), NormInvCDF(0.5+p)
+		return math.Abs(lo+hi) < 1e-8
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNormInvCDFDomainPanics(t *testing.T) {
+	for _, p := range []float64{0, 1, -0.5, 1.5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NormInvCDF(%g) did not panic", p)
+				}
+			}()
+			NormInvCDF(p)
+		}()
+	}
+}
+
+func TestSymbolOrdering(t *testing.T) {
+	// Symbols must be monotone in the value: the paper's Figure 1 places
+	// stripe 000 at the bottom and 111 at the top.
+	prev := uint16(0)
+	for _, v := range []float64{-3, -1, -0.4, -0.1, 0.1, 0.4, 1, 3} {
+		s := Symbol(v, 3)
+		if s < prev {
+			t.Fatalf("Symbol(%g) = %d < previous %d: not monotone", v, s, prev)
+		}
+		prev = s
+	}
+	if Symbol(-10, 3) != 0 {
+		t.Fatalf("very negative value should map to symbol 0")
+	}
+	if Symbol(10, 3) != 7 {
+		t.Fatalf("very positive value should map to symbol 7")
+	}
+}
+
+func TestSymbolRegionInverse(t *testing.T) {
+	rng := rand.New(rand.NewPCG(9, 9))
+	for trial := 0; trial < 500; trial++ {
+		v := rng.NormFloat64() * 2
+		bits := 1 + rng.IntN(6)
+		s := Symbol(v, bits)
+		lo, hi := Region(s, bits)
+		if v < lo || v >= hi {
+			t.Fatalf("value %g assigned symbol %d with region [%g, %g)", v, s, lo, hi)
+		}
+	}
+}
+
+func TestRegionExtremes(t *testing.T) {
+	lo, _ := Region(0, 2)
+	if !math.IsInf(lo, -1) {
+		t.Fatalf("lowest region lower bound = %g, want -Inf", lo)
+	}
+	_, hi := Region(3, 2)
+	if !math.IsInf(hi, 1) {
+		t.Fatalf("highest region upper bound = %g, want +Inf", hi)
+	}
+}
+
+// Bits = 0 means a single stripe covering everything: symbol always 0.
+func TestZeroBits(t *testing.T) {
+	if Symbol(5, 0) != 0 || Symbol(-5, 0) != 0 {
+		t.Fatal("zero-bit symbol must be 0 for any value")
+	}
+}

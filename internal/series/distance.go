@@ -1,0 +1,42 @@
+package series
+
+import "math"
+
+// Dist returns the Euclidean distance between two equal-length series
+// (paper Definition 3). It panics if the lengths differ, because comparing
+// series of different lengths is a programming error in every caller.
+func Dist(x, y []float64) float64 {
+	return math.Sqrt(SqDist(x, y))
+}
+
+// SqDist returns the squared Euclidean distance between two equal-length
+// series. Working with squared distances avoids the square root in hot loops
+// such as pivot ranking and kNN scans; ordering is preserved.
+func SqDist(x, y []float64) float64 {
+	if len(x) != len(y) {
+		panic("series: distance between series of different lengths")
+	}
+	var s float64
+	for i, v := range x {
+		d := v - y[i]
+		s += d * d
+	}
+	return s
+}
+
+// SqDistEarlyAbandon returns the squared Euclidean distance between x and y,
+// abandoning the accumulation as soon as it exceeds limit. If abandoned, the
+// returned value is some number > limit (not the true distance). This is the
+// classic early-abandoning optimisation used by data-series scans: a record
+// that cannot enter the current top-k is rejected in O(first few readings).
+func SqDistEarlyAbandon(x, y []float64, limit float64) float64 {
+	var s float64
+	for i, v := range x {
+		d := v - y[i]
+		s += d * d
+		if s > limit {
+			return s
+		}
+	}
+	return s
+}

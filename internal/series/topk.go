@@ -1,0 +1,137 @@
+package series
+
+import "sort"
+
+// Result is one kNN answer: the ID of a data series and its (squared or
+// plain, per the producer's contract) Euclidean distance to the query.
+type Result struct {
+	ID   int
+	Dist float64
+}
+
+// TopK is a bounded max-heap that keeps the k smallest-distance results seen
+// so far. It is the accumulator behind every kNN scan in the repository:
+// exact scans (Dss), partition-local scans (CLIMBER), and baseline searches.
+// The zero value is not usable; construct with NewTopK.
+type TopK struct {
+	k    int
+	heap []Result // max-heap ordered by Dist
+}
+
+// NewTopK returns an accumulator for the k nearest results. k must be
+// positive.
+func NewTopK(k int) *TopK {
+	if k <= 0 {
+		panic("series: TopK requires k > 0")
+	}
+	return &TopK{k: k, heap: make([]Result, 0, k)}
+}
+
+// K returns the configured answer size.
+func (t *TopK) K() int { return t.k }
+
+// Len returns the number of results currently held (<= k).
+func (t *TopK) Len() int { return len(t.heap) }
+
+// Full reports whether k results have been accumulated.
+func (t *TopK) Full() bool { return len(t.heap) == t.k }
+
+// Bound returns the current k-th smallest distance, i.e. the admission
+// threshold for new candidates. If fewer than k results are held, it returns
+// +Inf semantics via the ok flag: ok is false and the caller must admit the
+// candidate unconditionally.
+func (t *TopK) Bound() (bound float64, ok bool) {
+	if len(t.heap) < t.k {
+		return 0, false
+	}
+	return t.heap[0].Dist, true
+}
+
+// Push offers a candidate. It returns true if the candidate was admitted
+// (it was among the k smallest seen so far).
+func (t *TopK) Push(id int, dist float64) bool {
+	if len(t.heap) < t.k {
+		t.heap = append(t.heap, Result{ID: id, Dist: dist})
+		t.siftUp(len(t.heap) - 1)
+		return true
+	}
+	if dist >= t.heap[0].Dist {
+		return false
+	}
+	t.heap[0] = Result{ID: id, Dist: dist}
+	t.siftDown(0)
+	return true
+}
+
+// Results returns the accumulated results sorted by ascending distance,
+// ties broken by ascending ID for determinism. The accumulator remains
+// usable after the call.
+func (t *TopK) Results() []Result {
+	out := make([]Result, len(t.heap))
+	copy(out, t.heap)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Dist != out[j].Dist {
+			return out[i].Dist < out[j].Dist
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+// Merge folds every result held by other into t. It is used to combine
+// per-worker accumulators after a parallel scan.
+func (t *TopK) Merge(other *TopK) {
+	for _, r := range other.heap {
+		t.Push(r.ID, r.Dist)
+	}
+}
+
+func (t *TopK) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if t.heap[parent].Dist >= t.heap[i].Dist {
+			return
+		}
+		t.heap[parent], t.heap[i] = t.heap[i], t.heap[parent]
+		i = parent
+	}
+}
+
+func (t *TopK) siftDown(i int) {
+	n := len(t.heap)
+	for {
+		l, r := 2*i+1, 2*i+2
+		largest := i
+		if l < n && t.heap[l].Dist > t.heap[largest].Dist {
+			largest = l
+		}
+		if r < n && t.heap[r].Dist > t.heap[largest].Dist {
+			largest = r
+		}
+		if largest == i {
+			return
+		}
+		t.heap[i], t.heap[largest] = t.heap[largest], t.heap[i]
+		i = largest
+	}
+}
+
+// Recall computes |approx ∩ exact| / |exact| (paper Definition 4, Equation 2).
+// Membership is decided by result ID. The exact set is the ground truth
+// produced by an exact scan; approx is the approximate answer set.
+func Recall(approx, exact []Result) float64 {
+	if len(exact) == 0 {
+		return 0
+	}
+	in := make(map[int]struct{}, len(exact))
+	for _, r := range exact {
+		in[r.ID] = struct{}{}
+	}
+	var hit int
+	for _, r := range approx {
+		if _, ok := in[r.ID]; ok {
+			hit++
+		}
+	}
+	return float64(hit) / float64(len(exact))
+}

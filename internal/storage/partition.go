@@ -1,0 +1,260 @@
+package storage
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sort"
+)
+
+// ClusterID identifies a contiguous record cluster inside a partition file.
+// CLIMBER uses the global trie-node ID of the leaf owning the records;
+// negative IDs are reserved by the index layer for per-group overflow
+// clusters (records that could not navigate a complete root-to-leaf path).
+type ClusterID int64
+
+// PartitionWriter accumulates records per cluster in memory and writes the
+// partition file on Flush. Partitions are bounded by the capacity c (64 MB
+// in the paper, far smaller here), so buffering a partition is cheap.
+type PartitionWriter struct {
+	seriesLen int
+	clusters  map[ClusterID][]Record
+	count     int
+}
+
+// NewPartitionWriter returns an empty writer for series of the given length.
+func NewPartitionWriter(seriesLen int) *PartitionWriter {
+	return &PartitionWriter{seriesLen: seriesLen, clusters: make(map[ClusterID][]Record)}
+}
+
+// Append adds one record to a cluster. The values are copied.
+func (pw *PartitionWriter) Append(cluster ClusterID, id int, values []float64) error {
+	if len(values) != pw.seriesLen {
+		return fmt.Errorf("storage: record length %d, partition expects %d", len(values), pw.seriesLen)
+	}
+	v := make([]float64, len(values))
+	copy(v, values)
+	pw.clusters[cluster] = append(pw.clusters[cluster], Record{ID: id, Values: v})
+	pw.count++
+	return nil
+}
+
+// Count returns the number of buffered records.
+func (pw *PartitionWriter) Count() int { return pw.count }
+
+// Flush writes the partition file: header, cluster directory (sorted by
+// cluster ID for determinism), the record clusters contiguously, and a
+// trailing CRC32 (IEEE) of everything before it for integrity checking via
+// Partition.Verify.
+func (pw *PartitionWriter) Flush(path string) error {
+	ids := make([]ClusterID, 0, len(pw.clusters))
+	for id := range pw.clusters {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("storage: create partition: %w", err)
+	}
+	crc := crc32.NewIEEE()
+	w := bufio.NewWriterSize(io.MultiWriter(f, crc), 1<<16)
+
+	var hdr [16]byte
+	copy(hdr[0:4], partitionMagic)
+	binary.LittleEndian.PutUint32(hdr[4:8], partitionVersion)
+	binary.LittleEndian.PutUint32(hdr[8:12], uint32(pw.seriesLen))
+	binary.LittleEndian.PutUint32(hdr[12:16], uint32(len(ids)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		f.Close()
+		return fmt.Errorf("storage: write partition header: %w", err)
+	}
+	var dir [12]byte
+	for _, id := range ids {
+		binary.LittleEndian.PutUint64(dir[0:8], uint64(id))
+		binary.LittleEndian.PutUint32(dir[8:12], uint32(len(pw.clusters[id])))
+		if _, err := w.Write(dir[:]); err != nil {
+			f.Close()
+			return fmt.Errorf("storage: write partition directory: %w", err)
+		}
+	}
+	scratch := make([]byte, RecordBytes(pw.seriesLen))
+	for _, id := range ids {
+		// Canonical record order within a cluster: ascending ID. Shuffle
+		// arrival order depends on worker scheduling and must not leak into
+		// the on-disk layout.
+		recs := pw.clusters[id]
+		sort.Slice(recs, func(i, j int) bool { return recs[i].ID < recs[j].ID })
+		for _, rec := range recs {
+			encodeRecord(scratch, rec.ID, rec.Values)
+			if _, err := w.Write(scratch); err != nil {
+				f.Close()
+				return fmt.Errorf("storage: write partition record: %w", err)
+			}
+		}
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return fmt.Errorf("storage: flush partition: %w", err)
+	}
+	var sum [4]byte
+	binary.LittleEndian.PutUint32(sum[:], crc.Sum32())
+	if _, err := f.Write(sum[:]); err != nil {
+		f.Close()
+		return fmt.Errorf("storage: write partition checksum: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("storage: close partition: %w", err)
+	}
+	return nil
+}
+
+// ClusterInfo is one directory entry of a partition file.
+type ClusterInfo struct {
+	ID     ClusterID
+	Count  int
+	offset int64 // byte offset of the cluster's first record
+}
+
+// Partition provides random access to one partition file's clusters.
+type Partition struct {
+	f         *os.File
+	seriesLen int
+	total     int
+	dir       []ClusterInfo // sorted by ID
+}
+
+// OpenPartition opens a partition file and reads its directory.
+func OpenPartition(path string) (*Partition, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("storage: open partition: %w", err)
+	}
+	var hdr [16]byte
+	if _, err := io.ReadFull(f, hdr[:]); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("storage: read partition header: %w", err)
+	}
+	if string(hdr[0:4]) != partitionMagic {
+		f.Close()
+		return nil, fmt.Errorf("storage: bad partition magic %q in %s", hdr[0:4], path)
+	}
+	if v := binary.LittleEndian.Uint32(hdr[4:8]); v != partitionVersion {
+		f.Close()
+		return nil, fmt.Errorf("storage: unsupported partition version %d", v)
+	}
+	p := &Partition{
+		f:         f,
+		seriesLen: int(binary.LittleEndian.Uint32(hdr[8:12])),
+	}
+	nClusters := int(binary.LittleEndian.Uint32(hdr[12:16]))
+	dirBytes := make([]byte, 12*nClusters)
+	if _, err := io.ReadFull(f, dirBytes); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("storage: read partition directory: %w", err)
+	}
+	recBytes := int64(RecordBytes(p.seriesLen))
+	offset := int64(16 + 12*nClusters)
+	p.dir = make([]ClusterInfo, nClusters)
+	for i := 0; i < nClusters; i++ {
+		id := ClusterID(binary.LittleEndian.Uint64(dirBytes[i*12 : i*12+8]))
+		cnt := int(binary.LittleEndian.Uint32(dirBytes[i*12+8 : i*12+12]))
+		p.dir[i] = ClusterInfo{ID: id, Count: cnt, offset: offset}
+		offset += int64(cnt) * recBytes
+		p.total += cnt
+	}
+	return p, nil
+}
+
+// Close releases the underlying file.
+func (p *Partition) Close() error { return p.f.Close() }
+
+// SeriesLen returns the length of the stored series.
+func (p *Partition) SeriesLen() int { return p.seriesLen }
+
+// Count returns the total number of records in the partition.
+func (p *Partition) Count() int { return p.total }
+
+// Clusters returns the directory entries (sorted by cluster ID). The slice
+// is owned by the Partition; callers must not modify it.
+func (p *Partition) Clusters() []ClusterInfo { return p.dir }
+
+// findCluster locates a directory entry by ID via binary search.
+func (p *Partition) findCluster(id ClusterID) (ClusterInfo, bool) {
+	lo, hi := 0, len(p.dir)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		switch {
+		case p.dir[mid].ID == id:
+			return p.dir[mid], true
+		case p.dir[mid].ID < id:
+			lo = mid + 1
+		default:
+			hi = mid
+		}
+	}
+	return ClusterInfo{}, false
+}
+
+// ScanCluster streams the records of one cluster through fn. A missing
+// cluster ID is not an error — the partition simply holds no records for
+// that trie node. The values slice passed to fn is reused; fn must copy to
+// retain.
+func (p *Partition) ScanCluster(id ClusterID, fn func(id int, values []float64) error) error {
+	ci, ok := p.findCluster(id)
+	if !ok {
+		return nil
+	}
+	sec := io.NewSectionReader(p.f, ci.offset, int64(ci.Count)*int64(RecordBytes(p.seriesLen)))
+	return scanRecords(bufio.NewReaderSize(sec, 1<<16), p.seriesLen, ci.Count, fn)
+}
+
+// ScanClusters streams the records of each listed cluster, skipping IDs not
+// present in this partition.
+func (p *Partition) ScanClusters(ids []ClusterID, fn func(id int, values []float64) error) error {
+	for _, id := range ids {
+		if err := p.ScanCluster(id, fn); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ScanAll streams every record in the partition in directory order.
+func (p *Partition) ScanAll(fn func(id int, values []float64) error) error {
+	for _, ci := range p.dir {
+		if err := p.ScanCluster(ci.ID, fn); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Verify recomputes the file's CRC32 and compares it with the stored
+// trailing checksum, detecting on-disk corruption. It reads the whole file;
+// partitions are capacity bounded, so the cost is one partition load.
+func (p *Partition) Verify() error {
+	info, err := p.f.Stat()
+	if err != nil {
+		return fmt.Errorf("storage: stat partition: %w", err)
+	}
+	if info.Size() < 4 {
+		return fmt.Errorf("storage: partition too small to carry a checksum")
+	}
+	body := io.NewSectionReader(p.f, 0, info.Size()-4)
+	crc := crc32.NewIEEE()
+	if _, err := io.Copy(crc, bufio.NewReaderSize(body, 1<<16)); err != nil {
+		return fmt.Errorf("storage: checksum partition: %w", err)
+	}
+	var stored [4]byte
+	if _, err := p.f.ReadAt(stored[:], info.Size()-4); err != nil {
+		return fmt.Errorf("storage: read partition checksum: %w", err)
+	}
+	if got, want := crc.Sum32(), binary.LittleEndian.Uint32(stored[:]); got != want {
+		return fmt.Errorf("storage: partition checksum mismatch: computed %08x, stored %08x", got, want)
+	}
+	return nil
+}
