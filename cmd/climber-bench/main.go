@@ -32,8 +32,10 @@ func main() {
 		scaleName  = flag.String("scale", "small", "scale preset: small, medium, large")
 		outPath    = flag.String("out", "", "also append output to this file")
 		workDir    = flag.String("work", "", "working directory for build artefacts (default: temp)")
+		cache      = flag.Int64("cache-bytes", 0, "partition cache budget in bytes for every experiment cluster (0 = off, the paper-faithful cost accounting)")
 	)
 	flag.Parse()
+	experiments.PartitionCacheBytes = *cache
 
 	scale, ok := experiments.Scales()[*scaleName]
 	if !ok {

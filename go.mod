@@ -1,0 +1,3 @@
+module climber
+
+go 1.24

@@ -27,6 +27,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"climber/internal/pcache"
 	"climber/internal/series"
 	"climber/internal/storage"
 )
@@ -66,6 +67,14 @@ type Stats struct {
 	BytesRead        atomic.Int64
 	BroadcastBytes   atomic.Int64
 	PartitionsLoaded atomic.Int64
+
+	// Partition-cache accounting (all zero while the cache is disabled).
+	// PartitionsLoaded counts only real disk loads, so the hit counters
+	// here explain the gap between partition opens and partition loads.
+	PartitionCacheHits       atomic.Int64
+	PartitionCacheMisses     atomic.Int64
+	PartitionCacheEvictions  atomic.Int64
+	PartitionCacheBytesSaved atomic.Int64
 }
 
 // Cluster is a simulated multi-node environment. It is safe for concurrent
@@ -74,6 +83,10 @@ type Cluster struct {
 	cfg      Config
 	nodeDirs []string
 	Stats    Stats
+
+	// pcache, when set, serves OpenPartition from shared in-memory
+	// partitions instead of per-query file opens.
+	pcache atomic.Pointer[pcache.Cache]
 }
 
 // New creates the cluster and its per-node directories.
@@ -90,6 +103,38 @@ func New(cfg Config) (*Cluster, error) {
 		c.nodeDirs = append(c.nodeDirs, dir)
 	}
 	return c, nil
+}
+
+// EnablePartitionCache installs a shared partition cache of at most budget
+// bytes under OpenPartition; budget <= 0 disables caching again. Queries
+// already holding partition handles are unaffected either way. With the
+// cache enabled, OpenPartition hands out shared in-memory partitions:
+// Stats.PartitionsLoaded and Stats.BytesRead then charge only real disk
+// loads, while hits/misses/evictions/bytes-saved are tracked in the
+// PartitionCache* counters.
+func (c *Cluster) EnablePartitionCache(budget int64) {
+	if budget <= 0 {
+		c.pcache.Store(nil)
+		return
+	}
+	c.pcache.Store(pcache.New(budget, pcache.Counters{
+		Hits:       &c.Stats.PartitionCacheHits,
+		Misses:     &c.Stats.PartitionCacheMisses,
+		Evictions:  &c.Stats.PartitionCacheEvictions,
+		BytesSaved: &c.Stats.PartitionCacheBytesSaved,
+	}))
+}
+
+// PartitionCache returns the installed cache, or nil when caching is off.
+func (c *Cluster) PartitionCache() *pcache.Cache { return c.pcache.Load() }
+
+// InvalidatePartition drops a partition file's cache entry, if the cache is
+// enabled and holds one. Writers that replace a partition file must call
+// this so subsequent queries observe the new contents.
+func (c *Cluster) InvalidatePartition(path string) {
+	if pc := c.pcache.Load(); pc != nil {
+		pc.Invalidate(path)
+	}
 }
 
 // Workers returns the total worker parallelism.

@@ -77,15 +77,68 @@ func (c *Cluster) Shuffle(bs *BlockSet, numPartitions int, name string,
 	return ps, nil
 }
 
+// PartitionHandle is a reader's reference to one open partition. Without a
+// partition cache it owns a file-backed partition and Close releases the
+// file, exactly as before; with the cache enabled it aliases a shared
+// in-memory partition and Close returns the reference to the cache (a
+// no-op — the partition stays resident for the next query) instead of
+// closing anything.
+type PartitionHandle struct {
+	*storage.Partition
+	cached bool
+	hit    bool
+}
+
+// Close releases the handle. Cached handles leave the shared partition
+// resident; uncached handles close the underlying file.
+func (h *PartitionHandle) Close() error {
+	if h.cached {
+		return nil
+	}
+	return h.Partition.Close()
+}
+
+// Cached reports whether the handle aliases the shared partition cache.
+func (h *PartitionHandle) Cached() bool { return h.cached }
+
+// CacheHit reports whether opening this handle was served without a disk
+// load (false whenever the cache is disabled).
+func (h *PartitionHandle) CacheHit() bool { return h.hit }
+
 // OpenPartition opens one physical partition for reading and accounts for
 // the load in the cluster statistics (the dominant query-time cost in the
-// paper is "the number of partitions touched").
-func (c *Cluster) OpenPartition(ps *PartitionSet, id int) (*storage.Partition, error) {
-	p, err := storage.OpenPartition(ps.Paths[id])
+// paper is "the number of partitions touched"). When a partition cache is
+// enabled, the load is served from — and retained in — the shared cache:
+// concurrent opens of the same partition trigger exactly one disk read, and
+// only real disk loads are charged to PartitionsLoaded/BytesRead.
+func (c *Cluster) OpenPartition(ps *PartitionSet, id int) (*PartitionHandle, error) {
+	path := ps.Paths[id]
+	pc := c.pcache.Load()
+	if pc == nil {
+		p, err := storage.OpenPartition(path)
+		if err != nil {
+			return nil, err
+		}
+		c.accountPartitionLoad(p)
+		return &PartitionHandle{Partition: p}, nil
+	}
+	p, hit, err := pc.Get(path, func() (*storage.Partition, error) {
+		p, err := storage.LoadPartition(path)
+		if err != nil {
+			return nil, err
+		}
+		c.accountPartitionLoad(p)
+		return p, nil
+	})
 	if err != nil {
 		return nil, err
 	}
+	return &PartitionHandle{Partition: p, cached: true, hit: hit}, nil
+}
+
+// accountPartitionLoad charges one partition load to the statistics, in the
+// record-byte unit the paper's query-time model uses.
+func (c *Cluster) accountPartitionLoad(p *storage.Partition) {
 	c.Stats.PartitionsLoaded.Add(1)
 	c.Stats.BytesRead.Add(int64(p.Count() * storage.RecordBytes(p.SeriesLen())))
-	return p, nil
 }

@@ -109,6 +109,10 @@ func (ix *Index) appendToPartition(pid int, recs []pendingRecord) error {
 	if err := os.Rename(tmp, path); err != nil {
 		return fmt.Errorf("core: replace partition %d: %w", pid, err)
 	}
+	// The partition cache, when enabled, may hold the replaced file; drop
+	// it so the next query loads the merged contents. In-flight queries
+	// keep scanning their immutable snapshot.
+	ix.Cl.InvalidatePartition(path)
 	ix.Parts.Counts[pid] = w.Count()
 	return nil
 }

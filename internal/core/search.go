@@ -113,6 +113,11 @@ type QueryStats struct {
 	// BytesLoaded approximates I/O as full-partition loads, the unit the
 	// paper's query-time model charges for.
 	BytesLoaded int64
+	// CacheHits and CacheMisses count this query's partition opens served
+	// from / missing the shared partition cache, across both the planned
+	// scan and the within-partition widening pass. Both stay zero when the
+	// cache is disabled.
+	CacheHits, CacheMisses int
 }
 
 // SearchResult is the approximate answer set with its statistics. Distances
@@ -396,15 +401,18 @@ func parentOf(root, child *trie.Node) *trie.Node {
 }
 
 // wouldExceedPartitionCap reports whether adding the target would grow the
-// plan's distinct-partition count beyond maxParts.
+// plan's distinct-partition count beyond maxParts. The target's partition
+// list can repeat IDs (an internal node covering several leaves packed into
+// the same bin), so new partitions are counted as a set — counting
+// duplicates would refuse targets that actually fit the cap.
 func wouldExceedPartitionCap(plan scanPlan, c target, maxParts int) bool {
-	extra := 0
+	extra := make(map[int]struct{})
 	for _, pid := range partitionsOf(c.group, c.node) {
 		if _, ok := plan[pid]; !ok {
-			extra++
+			extra[pid] = struct{}{}
 		}
 	}
-	return len(plan)+extra > maxParts
+	return len(plan)+len(extra) > maxParts
 }
 
 // planSize counts the clusters planned (whole-partition entries count as 1).
@@ -481,12 +489,19 @@ func (ix *Index) executePlanDist(plan, done scanPlan, top *series.TopK, countLoa
 			return err
 		}
 		defer p.Close()
+		mu.Lock()
+		if p.Cached() {
+			if p.CacheHit() {
+				stats.CacheHits++
+			} else {
+				stats.CacheMisses++
+			}
+		}
 		if countLoads {
-			mu.Lock()
 			stats.PartitionsScanned++
 			stats.BytesLoaded += int64(p.Count() * storage.RecordBytes(p.SeriesLen()))
-			mu.Unlock()
 		}
+		mu.Unlock()
 		var doneSet map[storage.ClusterID]struct{}
 		if done != nil {
 			doneSet = done[pid]

@@ -45,11 +45,10 @@ type Assigner struct {
 }
 
 // NewAssigner builds an Assigner over the given (real, non-fall-back)
-// centroids, all of prefix length m matching the weigher.
+// centroids, all of prefix length m matching the weigher. An empty centroid
+// list is allowed and yields a degenerate single-group assigner that routes
+// everything to the fall-back group G0.
 func NewAssigner(centroids []pivot.Signature, weigher *metric.Weigher) (*Assigner, error) {
-	if len(centroids) == 0 {
-		return nil, fmt.Errorf("grouping: at least one centroid is required")
-	}
 	m := weigher.PrefixLen()
 	for i, c := range centroids {
 		if len(c) != m {
@@ -95,8 +94,13 @@ func (a *Assigner) Assign(rankSensitive, rankInsensitive pivot.Signature, rng *r
 // the returned slice is then [FallbackGroup].
 func (a *Assigner) Candidates(rankSensitive, rankInsensitive pivot.Signature) (ids []int, bestOD int) {
 	ids, bestOD = a.BestByOverlap(rankInsensitive)
-	if bestOD == a.m {
-		return []int{FallbackGroup}, bestOD
+	if len(ids) == 0 || bestOD == a.m {
+		// No centroid overlapped the object — or no centroid exists at all
+		// (a degenerate single-group skeleton, where BestByOverlap reports
+		// m+1 because its loop never ran). Either way the only target is
+		// the fall-back group; report OD m, the no-overlap distance, so
+		// callers see a consistent value.
+		return []int{FallbackGroup}, a.m
 	}
 	if len(ids) <= 1 || !a.UseWeightTieBreak {
 		return ids, bestOD

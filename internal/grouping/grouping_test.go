@@ -118,11 +118,34 @@ func TestGroupsWithinOD(t *testing.T) {
 
 func TestNewAssignerValidation(t *testing.T) {
 	w := metric.MustWeigher(3, metric.ExponentialDecay, 0.5)
-	if _, err := NewAssigner(nil, w); err == nil {
-		t.Error("empty centroid list should fail")
-	}
 	if _, err := NewAssigner([]pivot.Signature{{1, 2}}, w); err == nil {
 		t.Error("centroid length mismatch should fail")
+	}
+}
+
+// A degenerate assigner with no real centroids must route everything to the
+// fall-back group instead of returning an empty candidate set — an empty
+// GList would leave the query algorithm with no target and crash it.
+func TestCandidatesEmptyRoutesToFallback(t *testing.T) {
+	w := metric.MustWeigher(3, metric.ExponentialDecay, 0.5)
+	a, err := NewAssigner(nil, w)
+	if err != nil {
+		t.Fatalf("NewAssigner(nil): %v", err)
+	}
+	if a.NumGroups() != 1 {
+		t.Fatalf("NumGroups = %d, want 1 (fall-back only)", a.NumGroups())
+	}
+	rs := pivot.Signature{1, 2, 3}
+	ids, bestOD := a.Candidates(rs, rs.RankInsensitive())
+	if len(ids) != 1 || ids[0] != FallbackGroup {
+		t.Fatalf("Candidates = %v, want [FallbackGroup]", ids)
+	}
+	if bestOD != 3 {
+		t.Fatalf("bestOD = %d, want m=3 (no-overlap distance)", bestOD)
+	}
+	rng := rand.New(rand.NewPCG(1, 2))
+	if gid := a.Assign(rs, rs.RankInsensitive(), rng); gid != FallbackGroup {
+		t.Fatalf("Assign = %d, want FallbackGroup", gid)
 	}
 }
 

@@ -2,6 +2,7 @@ package storage
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/binary"
 	"fmt"
 	"hash/crc32"
@@ -119,41 +120,74 @@ type ClusterInfo struct {
 	offset int64 // byte offset of the cluster's first record
 }
 
-// Partition provides random access to one partition file's clusters.
+// Partition provides random access to one partition's clusters. It reads
+// through an io.ReaderAt, so a partition can be backed either by an open
+// file (OpenPartition) or by an in-memory copy of the file (LoadPartition);
+// the latter is what the query-path partition cache shares between
+// concurrent queries. All read methods are safe for concurrent use.
 type Partition struct {
-	f         *os.File
+	r         io.ReaderAt
+	closer    io.Closer // nil for in-memory partitions
+	size      int64     // full file size in bytes
 	seriesLen int
 	total     int
 	dir       []ClusterInfo // sorted by ID
 }
 
-// OpenPartition opens a partition file and reads its directory.
+// OpenPartition opens a partition file and reads its directory; record data
+// stays on disk and is read on demand. Close releases the file handle.
 func OpenPartition(path string) (*Partition, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, fmt.Errorf("storage: open partition: %w", err)
 	}
-	var hdr [16]byte
-	if _, err := io.ReadFull(f, hdr[:]); err != nil {
+	info, err := f.Stat()
+	if err != nil {
 		f.Close()
+		return nil, fmt.Errorf("storage: stat partition: %w", err)
+	}
+	p, err := newPartition(f, info.Size(), path)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	p.closer = f
+	return p, nil
+}
+
+// LoadPartition reads an entire partition file into memory and returns a
+// Partition serving every scan from that copy. The result holds no file
+// handle (Close is a no-op) and is safe to share across goroutines — the
+// partition layout is immutable after construction, which is what makes the
+// shared query-path cache sound.
+func LoadPartition(path string) (*Partition, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("storage: load partition: %w", err)
+	}
+	return newPartition(bytes.NewReader(data), int64(len(data)), path)
+}
+
+// newPartition parses the header and cluster directory from r.
+func newPartition(r io.ReaderAt, size int64, path string) (*Partition, error) {
+	var hdr [16]byte
+	if _, err := r.ReadAt(hdr[:], 0); err != nil {
 		return nil, fmt.Errorf("storage: read partition header: %w", err)
 	}
 	if string(hdr[0:4]) != partitionMagic {
-		f.Close()
 		return nil, fmt.Errorf("storage: bad partition magic %q in %s", hdr[0:4], path)
 	}
 	if v := binary.LittleEndian.Uint32(hdr[4:8]); v != partitionVersion {
-		f.Close()
 		return nil, fmt.Errorf("storage: unsupported partition version %d", v)
 	}
 	p := &Partition{
-		f:         f,
+		r:         r,
+		size:      size,
 		seriesLen: int(binary.LittleEndian.Uint32(hdr[8:12])),
 	}
 	nClusters := int(binary.LittleEndian.Uint32(hdr[12:16]))
 	dirBytes := make([]byte, 12*nClusters)
-	if _, err := io.ReadFull(f, dirBytes); err != nil {
-		f.Close()
+	if _, err := r.ReadAt(dirBytes, 16); err != nil {
 		return nil, fmt.Errorf("storage: read partition directory: %w", err)
 	}
 	recBytes := int64(RecordBytes(p.seriesLen))
@@ -169,8 +203,22 @@ func OpenPartition(path string) (*Partition, error) {
 	return p, nil
 }
 
-// Close releases the underlying file.
-func (p *Partition) Close() error { return p.f.Close() }
+// Close releases the underlying file; it is a no-op for in-memory
+// partitions.
+func (p *Partition) Close() error {
+	if p.closer == nil {
+		return nil
+	}
+	return p.closer.Close()
+}
+
+// InMemory reports whether the partition serves reads from a resident copy
+// rather than a file handle.
+func (p *Partition) InMemory() bool { return p.closer == nil }
+
+// SizeBytes returns the partition file's full size in bytes — the memory
+// footprint of an in-memory partition, used for cache budgeting.
+func (p *Partition) SizeBytes() int64 { return p.size }
 
 // SeriesLen returns the length of the stored series.
 func (p *Partition) SeriesLen() int { return p.seriesLen }
@@ -208,8 +256,14 @@ func (p *Partition) ScanCluster(id ClusterID, fn func(id int, values []float64) 
 	if !ok {
 		return nil
 	}
-	sec := io.NewSectionReader(p.f, ci.offset, int64(ci.Count)*int64(RecordBytes(p.seriesLen)))
-	return scanRecords(bufio.NewReaderSize(sec, 1<<16), p.seriesLen, ci.Count, fn)
+	var r io.Reader = io.NewSectionReader(p.r, ci.offset, int64(ci.Count)*int64(RecordBytes(p.seriesLen)))
+	if !p.InMemory() {
+		// Buffering batches syscalls for file-backed partitions; for an
+		// in-memory partition it would only add a copy on the cache-hit
+		// hot path, so reads decode straight from the resident bytes.
+		r = bufio.NewReaderSize(r, 1<<16)
+	}
+	return scanRecords(r, p.seriesLen, ci.Count, fn)
 }
 
 // ScanClusters streams the records of each listed cluster, skipping IDs not
@@ -237,20 +291,16 @@ func (p *Partition) ScanAll(fn func(id int, values []float64) error) error {
 // trailing checksum, detecting on-disk corruption. It reads the whole file;
 // partitions are capacity bounded, so the cost is one partition load.
 func (p *Partition) Verify() error {
-	info, err := p.f.Stat()
-	if err != nil {
-		return fmt.Errorf("storage: stat partition: %w", err)
-	}
-	if info.Size() < 4 {
+	if p.size < 4 {
 		return fmt.Errorf("storage: partition too small to carry a checksum")
 	}
-	body := io.NewSectionReader(p.f, 0, info.Size()-4)
+	body := io.NewSectionReader(p.r, 0, p.size-4)
 	crc := crc32.NewIEEE()
 	if _, err := io.Copy(crc, bufio.NewReaderSize(body, 1<<16)); err != nil {
 		return fmt.Errorf("storage: checksum partition: %w", err)
 	}
 	var stored [4]byte
-	if _, err := p.f.ReadAt(stored[:], info.Size()-4); err != nil {
+	if _, err := p.r.ReadAt(stored[:], p.size-4); err != nil {
 		return fmt.Errorf("storage: read partition checksum: %w", err)
 	}
 	if got, want := crc.Sum32(), binary.LittleEndian.Uint32(stored[:]); got != want {
