@@ -32,10 +32,12 @@ func TestPartitionCacheReducesPartitionLoads(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer cold.Close()
 	warm, err := Open(dir, WithPartitionCacheBytes(256<<20))
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer warm.Close()
 	loadsOff := run(cold)
 	loadsOn := run(warm)
 	t.Logf("partition loads: cache-off %d, cache-on %d (%.1fx fewer)",
@@ -75,10 +77,12 @@ func TestPartitionCacheEquivalence(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer off.Close()
 	on, err := Open(dir, WithPartitionCacheBytes(64<<20))
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer on.Close()
 	for _, qid := range []int{1, 250, 700, 1100, 1499} {
 		for _, v := range []Variant{KNN, Adaptive2X, Adaptive4X, ODSmallest} {
 			a, sa, err := off.SearchWithStats(data[qid], 25, WithVariant(v))
@@ -166,6 +170,7 @@ func buildAndReopenFrom(t *testing.T, data [][]float64, extra ...Option) *DB {
 	if err != nil {
 		t.Fatal(err)
 	}
+	t.Cleanup(func() { db.Close() })
 	return db
 }
 

@@ -31,17 +31,35 @@
 //
 //	db, err := climber.Open(dir, climber.WithPartitionCacheBytes(256<<20))
 //	// ... Search / SearchBatch as usual; db.CacheStats() reports the effect.
+//
+// # Serving, cancellation, and Close
+//
+// Every query method has a ...Context variant (SearchContext,
+// SearchBatchContext, SearchPrefixContext, and the WithStats forms) that
+// honours cancellation on the partition-scan path: a cancelled context
+// stops the query's scanning goroutines between cluster scans and returns
+// ctx.Err(). Long-lived processes should Close the DB when done — Close
+// purges the partition cache and makes subsequent calls return ErrClosed.
+// cmd/climber-serve exposes an opened DB as a concurrent HTTP JSON service
+// (see internal/server) built on exactly these APIs.
 package climber
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"path/filepath"
+	"sync/atomic"
 
 	"climber/internal/cluster"
 	"climber/internal/core"
 	"climber/internal/metric"
 	"climber/internal/series"
 )
+
+// ErrClosed is returned by every query and mutation method of a DB after
+// Close. Use errors.Is to test for it.
+var ErrClosed = errors.New("climber: database is closed")
 
 // Result is one approximate nearest neighbour: the ID (the position of the
 // series in the build input) and its Euclidean distance to the query.
@@ -186,11 +204,14 @@ func WithMaxPartitions(n int) SearchOption {
 	return func(s *core.SearchOptions) { s.MaxPartitions = n }
 }
 
-// DB is a built CLIMBER database.
+// DB is a built CLIMBER database. A DB is safe for concurrent use; the
+// query methods may be called from any number of goroutines. Close releases
+// its resources — long-lived processes (servers, tests) should defer it.
 type DB struct {
-	dir string
-	ix  *core.Index
-	cl  *cluster.Cluster
+	dir    string
+	ix     *core.Index
+	cl     *cluster.Cluster
+	closed atomic.Bool
 }
 
 func buildOptions(opts []Option) options {
@@ -275,35 +296,69 @@ func Open(dir string, opts ...Option) (*DB, error) {
 	return &DB{dir: dir, ix: ix, cl: cl}, nil
 }
 
+// searchOptions folds per-call options over the library defaults.
+func searchOptions(k int, opts []SearchOption) core.SearchOptions {
+	so := core.SearchOptions{K: k, Variant: core.VariantAdaptive4X}
+	for _, fn := range opts {
+		fn(&so)
+	}
+	return so
+}
+
+// statsOf converts core query statistics to the public Stats.
+func statsOf(qs core.QueryStats) Stats {
+	return Stats{
+		GroupsConsidered:     qs.GroupsConsidered,
+		PartitionsScanned:    qs.PartitionsScanned,
+		RecordsScanned:       qs.RecordsScanned,
+		BytesLoaded:          qs.BytesLoaded,
+		PartitionCacheHits:   qs.CacheHits,
+		PartitionCacheMisses: qs.CacheMisses,
+	}
+}
+
+// resultsOf converts core results to the public Result slice.
+func resultsOf(rs []series.Result) []Result {
+	out := make([]Result, len(rs))
+	for i, r := range rs {
+		out[i] = Result{ID: r.ID, Dist: r.Dist}
+	}
+	return out
+}
+
 // Search returns the approximate k nearest neighbours of q, ascending by
 // Euclidean distance. The default algorithm is Adaptive4X.
 func (db *DB) Search(q []float64, k int, opts ...SearchOption) ([]Result, error) {
-	res, _, err := db.SearchWithStats(q, k, opts...)
+	res, _, err := db.SearchWithStatsContext(context.Background(), q, k, opts...)
+	return res, err
+}
+
+// SearchContext is Search under a context: cancelling ctx stops the query's
+// partition scans mid-plan (each scanning goroutine checks the context
+// between cluster scans) and returns ctx.Err(). A query issued on behalf of
+// a network client should pass the request context so a disconnect stops
+// the disk and CPU work immediately.
+func (db *DB) SearchContext(ctx context.Context, q []float64, k int, opts ...SearchOption) ([]Result, error) {
+	res, _, err := db.SearchWithStatsContext(ctx, q, k, opts...)
 	return res, err
 }
 
 // SearchWithStats is Search plus the query's effort statistics.
 func (db *DB) SearchWithStats(q []float64, k int, opts ...SearchOption) ([]Result, Stats, error) {
-	so := core.SearchOptions{K: k, Variant: core.VariantAdaptive4X}
-	for _, fn := range opts {
-		fn(&so)
+	return db.SearchWithStatsContext(context.Background(), q, k, opts...)
+}
+
+// SearchWithStatsContext is SearchContext plus the query's effort
+// statistics.
+func (db *DB) SearchWithStatsContext(ctx context.Context, q []float64, k int, opts ...SearchOption) ([]Result, Stats, error) {
+	if db.closed.Load() {
+		return nil, Stats{}, ErrClosed
 	}
-	sr, err := db.ix.Search(q, so)
+	sr, err := db.ix.SearchContext(ctx, q, searchOptions(k, opts))
 	if err != nil {
 		return nil, Stats{}, err
 	}
-	out := make([]Result, len(sr.Results))
-	for i, r := range sr.Results {
-		out[i] = Result{ID: r.ID, Dist: r.Dist}
-	}
-	return out, Stats{
-		GroupsConsidered:     sr.Stats.GroupsConsidered,
-		PartitionsScanned:    sr.Stats.PartitionsScanned,
-		RecordsScanned:       sr.Stats.RecordsScanned,
-		BytesLoaded:          sr.Stats.BytesLoaded,
-		PartitionCacheHits:   sr.Stats.CacheHits,
-		PartitionCacheMisses: sr.Stats.CacheMisses,
-	}, nil
+	return resultsOf(sr.Results), statsOf(sr.Stats), nil
 }
 
 // CacheStats reports the cumulative partition-cache counters of this DB.
@@ -322,6 +377,9 @@ func (db *DB) CacheStats() CacheStats {
 // the existing index layout, and persists the updated manifest. The
 // assigned IDs (continuing the build sequence) are returned in input order.
 func (db *DB) Append(data [][]float64) ([]int, error) {
+	if db.closed.Load() {
+		return nil, ErrClosed
+	}
 	ids, err := db.ix.Append(data)
 	if err != nil {
 		return nil, err
@@ -337,41 +395,80 @@ func (db *DB) Append(data [][]float64) ([]int, error) {
 // Candidates are ranked by Euclidean distance over the first len(q)
 // readings of each record. Requires Segments <= len(q) <= series length.
 func (db *DB) SearchPrefix(q []float64, k int, opts ...SearchOption) ([]Result, error) {
-	so := core.SearchOptions{K: k, Variant: core.VariantAdaptive4X}
-	for _, fn := range opts {
-		fn(&so)
+	res, _, err := db.SearchPrefixWithStatsContext(context.Background(), q, k, opts...)
+	return res, err
+}
+
+// SearchPrefixContext is SearchPrefix under a context, with the same
+// cancellation semantics as SearchContext.
+func (db *DB) SearchPrefixContext(ctx context.Context, q []float64, k int, opts ...SearchOption) ([]Result, error) {
+	res, _, err := db.SearchPrefixWithStatsContext(ctx, q, k, opts...)
+	return res, err
+}
+
+// SearchPrefixWithStats is SearchPrefix plus the query's effort statistics
+// — the same counters SearchWithStats reports, so prefix workloads are no
+// longer blind to their partition-load and cache behaviour.
+func (db *DB) SearchPrefixWithStats(q []float64, k int, opts ...SearchOption) ([]Result, Stats, error) {
+	return db.SearchPrefixWithStatsContext(context.Background(), q, k, opts...)
+}
+
+// SearchPrefixWithStatsContext is SearchPrefixContext plus the query's
+// effort statistics.
+func (db *DB) SearchPrefixWithStatsContext(ctx context.Context, q []float64, k int, opts ...SearchOption) ([]Result, Stats, error) {
+	if db.closed.Load() {
+		return nil, Stats{}, ErrClosed
 	}
-	sr, err := db.ix.SearchPrefix(q, so)
+	sr, err := db.ix.SearchPrefixContext(ctx, q, searchOptions(k, opts))
 	if err != nil {
-		return nil, err
+		return nil, Stats{}, err
 	}
-	out := make([]Result, len(sr.Results))
-	for i, r := range sr.Results {
-		out[i] = Result{ID: r.ID, Dist: r.Dist}
-	}
-	return out, nil
+	return resultsOf(sr.Results), statsOf(sr.Stats), nil
 }
 
 // SearchBatch answers many queries concurrently with the default Adaptive4X
 // algorithm; results align positionally with the queries.
 func (db *DB) SearchBatch(queries [][]float64, k int, opts ...SearchOption) ([][]Result, error) {
-	so := core.SearchOptions{K: k, Variant: core.VariantAdaptive4X}
-	for _, fn := range opts {
-		fn(&so)
+	return db.SearchBatchContext(context.Background(), queries, k, opts...)
+}
+
+// SearchBatchContext is SearchBatch under a context. Cancelling ctx aborts
+// the whole batch: queued queries never start and in-flight queries stop on
+// their partition-scan path; the returned error wraps ctx.Err().
+func (db *DB) SearchBatchContext(ctx context.Context, queries [][]float64, k int, opts ...SearchOption) ([][]Result, error) {
+	return db.SearchBatchContextWorkers(ctx, queries, k, 0, opts...)
+}
+
+// SearchBatchContextWorkers is SearchBatchContext with an explicit worker
+// count; workers <= 0 uses GOMAXPROCS. Serving layers use it to keep a
+// batch's internal parallelism within their admission budget instead of
+// letting every batch fan out to full machine width.
+func (db *DB) SearchBatchContextWorkers(ctx context.Context, queries [][]float64, k, workers int, opts ...SearchOption) ([][]Result, error) {
+	if db.closed.Load() {
+		return nil, ErrClosed
 	}
-	batch, err := db.ix.SearchBatch(queries, so, 0)
+	batch, err := db.ix.SearchBatchContext(ctx, queries, searchOptions(k, opts), workers)
 	if err != nil {
 		return nil, err
 	}
 	out := make([][]Result, len(batch))
 	for i, sr := range batch {
-		rs := make([]Result, len(sr.Results))
-		for j, r := range sr.Results {
-			rs[j] = Result{ID: r.ID, Dist: r.Dist}
-		}
-		out[i] = rs
+		out[i] = resultsOf(sr.Results)
 	}
 	return out, nil
+}
+
+// Close releases the database's resources: the shared partition cache is
+// purged (dropping every resident partition) and further queries, appends
+// and batch calls return ErrClosed. Close is idempotent and safe to call
+// concurrently with running queries — in-flight queries finish normally on
+// uncached file reads; they are not interrupted (cancel their contexts for
+// that). The on-disk database is untouched and can be reopened with Open.
+func (db *DB) Close() error {
+	if db.closed.Swap(true) {
+		return nil
+	}
+	return db.cl.Close()
 }
 
 // Info summarises the database's shape.

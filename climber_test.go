@@ -33,6 +33,7 @@ func TestBuildSearchRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer db.Close()
 	res, err := db.Search(data[10], 15)
 	if err != nil {
 		t.Fatal(err)
@@ -57,6 +58,7 @@ func TestOpenReusesIndex(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer db.Close()
 	a, err := db.Search(data[7], 10)
 	if err != nil {
 		t.Fatal(err)
@@ -65,6 +67,7 @@ func TestOpenReusesIndex(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer reopened.Close()
 	b, err := reopened.Search(data[7], 10)
 	if err != nil {
 		t.Fatal(err)
@@ -85,6 +88,7 @@ func TestSearchOptions(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer db.Close()
 	for _, v := range []Variant{KNN, Adaptive2X, Adaptive4X, ODSmallest} {
 		res, stats, err := db.SearchWithStats(data[3], 10, WithVariant(v))
 		if err != nil {
@@ -115,6 +119,7 @@ func TestInfo(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer db.Close()
 	info := db.Info()
 	if info.SeriesLen != 64 || info.NumRecords != 1000 {
 		t.Fatalf("Info = %+v", info)
@@ -134,6 +139,7 @@ func TestAppendThroughPublicAPI(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer db.Close()
 	extra := smallData(30)[:5] // five fresh series (different slice of the walk space)
 	ids, err := db.Append(extra)
 	if err != nil {
@@ -150,6 +156,7 @@ func TestAppendThroughPublicAPI(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer reopened.Close()
 	if reopened.Info().NumRecords != 1205 {
 		t.Fatalf("reopened NumRecords = %d, want 1205", reopened.Info().NumRecords)
 	}
@@ -174,6 +181,7 @@ func TestAppendAfterReopen(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer db.Close()
 	extra := smallData(1010)[1000:] // 10 fresh series
 	ids, err := db.Append(extra)
 	if err != nil {
@@ -201,6 +209,7 @@ func TestSearchBatchPublicAPI(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer db.Close()
 	queries := [][]float64{data[1], data[500], data[999]}
 	batch, err := db.SearchBatch(queries, 5)
 	if err != nil {
@@ -226,6 +235,7 @@ func TestSearchPrefixPublicAPI(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer db.Close()
 	short := make([]float64, 32)
 	copy(short, data[9][:32])
 	res, err := db.SearchPrefix(short, 10)
@@ -251,6 +261,7 @@ func TestRecallAgainstExact(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer db.Close()
 	ds := series.NewDatasetCap(64, len(data))
 	for _, x := range data {
 		ds.Append(x)

@@ -1,0 +1,149 @@
+package climber
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+func TestCloseIdempotentAndSentinels(t *testing.T) {
+	data := smallData(600)
+	db, err := Build(t.TempDir(), data, smallOpts()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Search(data[0], 5); err != nil {
+		t.Fatalf("search before close: %v", err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatalf("second close must be a no-op, got %v", err)
+	}
+	if _, err := db.Search(data[0], 5); !errors.Is(err, ErrClosed) {
+		t.Fatalf("search after close returned %v, want ErrClosed", err)
+	}
+	if _, _, err := db.SearchWithStats(data[0], 5); !errors.Is(err, ErrClosed) {
+		t.Fatalf("search-with-stats after close returned %v, want ErrClosed", err)
+	}
+	if _, err := db.SearchPrefix(data[0][:32], 5); !errors.Is(err, ErrClosed) {
+		t.Fatalf("prefix search after close returned %v, want ErrClosed", err)
+	}
+	if _, err := db.SearchBatch([][]float64{data[0]}, 5); !errors.Is(err, ErrClosed) {
+		t.Fatalf("batch after close returned %v, want ErrClosed", err)
+	}
+	if _, err := db.Append(data[:1]); !errors.Is(err, ErrClosed) {
+		t.Fatalf("append after close returned %v, want ErrClosed", err)
+	}
+}
+
+func TestClosePurgesPartitionCache(t *testing.T) {
+	dir := t.TempDir()
+	data := smallData(600)
+	if _, err := Build(dir, data, smallOpts()...); err != nil {
+		t.Fatal(err)
+	}
+	db, err := Open(dir, WithPartitionCacheBytes(256<<20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Search(data[0], 10); err != nil {
+		t.Fatal(err)
+	}
+	pc := db.cl.PartitionCache()
+	if pc == nil || pc.Len() == 0 {
+		t.Fatal("expected resident cache entries before close")
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if pc.Len() != 0 || pc.Bytes() != 0 {
+		t.Fatalf("close left %d entries / %d bytes resident", pc.Len(), pc.Bytes())
+	}
+	if db.cl.PartitionCache() != nil {
+		t.Fatal("close must uninstall the cache")
+	}
+}
+
+func TestReopenAfterClose(t *testing.T) {
+	dir := t.TempDir()
+	data := smallData(600)
+	db, err := Build(dir, data, smallOpts()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := db.Search(data[7], 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	reopened, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reopened.Close()
+	got, err := reopened.Search(data[7], 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("%d results after reopen, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("result %d differs after reopen: %+v vs %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestSearchPrefixWithStatsReportsEffort(t *testing.T) {
+	data := smallData(800)
+	db, err := Build(t.TempDir(), data, smallOpts()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	res, stats, err := db.SearchPrefixWithStats(data[3][:32], 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) == 0 {
+		t.Fatal("prefix search returned no results")
+	}
+	if stats.PartitionsScanned == 0 || stats.RecordsScanned == 0 || stats.BytesLoaded == 0 {
+		t.Fatalf("prefix stats empty: %+v", stats)
+	}
+	plain, err := db.SearchPrefix(data[3][:32], 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range res {
+		if res[i] != plain[i] {
+			t.Fatalf("result %d differs between SearchPrefix and SearchPrefixWithStats", i)
+		}
+	}
+}
+
+func TestSearchContextPublicAPI(t *testing.T) {
+	data := smallData(600)
+	db, err := Build(t.TempDir(), data, smallOpts()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := db.SearchContext(ctx, data[0], 5); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled SearchContext returned %v", err)
+	}
+	if _, err := db.SearchBatchContext(ctx, [][]float64{data[0]}, 5); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled SearchBatchContext returned %v", err)
+	}
+	res, err := db.SearchContext(context.Background(), data[0], 5)
+	if err != nil || len(res) == 0 {
+		t.Fatalf("SearchContext: %v (%d results)", err, len(res))
+	}
+}

@@ -60,6 +60,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer db.Close()
 	info := db.Info()
 	stats := db.Index().Stats
 	fmt.Printf("built CLIMBER index in %s\n", *dir)

@@ -37,6 +37,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer db.Close()
 	info := db.Info()
 	skel := db.Index().Skel
 	cfg := skel.Cfg

@@ -71,6 +71,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer db.Close()
 	ds, err := dataset.LoadFile(*data)
 	if err != nil {
 		log.Fatal(err)

@@ -1,0 +1,106 @@
+// Command climber-serve exposes a database built by climber-build as a
+// long-lived concurrent HTTP JSON query service.
+//
+// Usage:
+//
+//	climber-serve -dir ./db -addr :8080 -cache-bytes 268435456
+//
+// Endpoints (see internal/server for the request/response shapes):
+//
+//	POST /search        one kNN query
+//	POST /search/batch  many queries in one request
+//	GET  /info          database shape
+//	GET  /stats         server + cache counters (JSON)
+//	GET  /healthz       liveness probe
+//	GET  /metrics       Prometheus text exposition
+//
+// The service bounds in-flight queries with an admission semaphore
+// (-max-inflight): excess requests queue up to -queue-timeout and are then
+// answered 429. A client that disconnects mid-query cancels the query's
+// partition scans. SIGINT/SIGTERM drain in-flight requests before exit.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"climber"
+	"climber/internal/server"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("climber-serve: ")
+
+	var (
+		dir          = flag.String("dir", "", "database directory (required)")
+		addr         = flag.String("addr", ":8080", "listen address")
+		cacheBytes   = flag.Int64("cache-bytes", 256<<20, "partition cache budget in bytes (0 disables the cache)")
+		maxInflight  = flag.Int("max-inflight", 0, "admission limit on concurrently executing queries (0 = 4 x GOMAXPROCS)")
+		queueTimeout = flag.Duration("queue-timeout", 2*time.Second, "how long an over-limit request may wait for a slot before 429")
+		maxK         = flag.Int("max-k", 10000, "largest accepted per-query answer size k")
+		maxBatch     = flag.Int("max-batch", 256, "largest accepted batch query count")
+		bodyTimeout  = flag.Duration("body-timeout", 15*time.Second, "deadline for reading one request body")
+		drainTimeout = flag.Duration("drain-timeout", 15*time.Second, "graceful-shutdown deadline for in-flight requests")
+	)
+	flag.Parse()
+	if *dir == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	db, err := climber.Open(*dir, climber.WithPartitionCacheBytes(*cacheBytes))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+	info := db.Info()
+	log.Printf("opened %s: %d records, series length %d, %d groups, %d partitions",
+		*dir, info.NumRecords, info.SeriesLen, info.NumGroups, info.NumPartitions)
+
+	srv := server.New(db, server.Config{
+		MaxInFlight:     *maxInflight,
+		QueueTimeout:    *queueTimeout,
+		MaxK:            *maxK,
+		MaxBatch:        *maxBatch,
+		BodyReadTimeout: *bodyTimeout,
+	})
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+
+	errCh := make(chan error, 1)
+	go func() {
+		log.Printf("serving on %s", *addr)
+		errCh <- httpSrv.ListenAndServe()
+	}()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Fatal(err)
+		}
+	case s := <-sig:
+		log.Printf("received %v, draining in-flight requests", s)
+		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		if err := httpSrv.Shutdown(ctx); err != nil {
+			log.Printf("shutdown: %v", err)
+		}
+	}
+	if err := db.Close(); err != nil {
+		log.Printf("close: %v", err)
+	}
+}

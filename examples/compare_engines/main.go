@@ -66,6 +66,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer db.Close()
 	report("CLIMBER", time.Since(start), func(q []float64) ([]series.Result, error) {
 		res, err := db.Search(q, k)
 		if err != nil {

@@ -44,6 +44,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer db.Close()
 	info := db.Info()
 	fmt.Printf("index: %d groups, %d partitions, %.1f KB skeleton\n\n",
 		info.NumGroups, info.NumPartitions, float64(info.SkeletonBytes)/1024)

@@ -83,6 +83,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer db.Close()
 
 	const k = 20
 	for _, qc := range []struct {

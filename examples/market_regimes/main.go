@@ -82,6 +82,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer db.Close()
 	fmt.Printf("archive: %d windows -> %d partitions\n", histSize, db.Info().NumPartitions)
 
 	// Five trading days: each day appends 200 fresh windows, then

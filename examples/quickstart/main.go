@@ -51,6 +51,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer db.Close()
 	info := db.Info()
 	fmt.Printf("built: %d series -> %d groups, %d partitions, %d-byte skeleton\n",
 		info.NumRecords, info.NumGroups, info.NumPartitions, info.SkeletonBytes)

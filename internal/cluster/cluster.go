@@ -128,6 +128,20 @@ func (c *Cluster) EnablePartitionCache(budget int64) {
 // PartitionCache returns the installed cache, or nil when caching is off.
 func (c *Cluster) PartitionCache() *pcache.Cache { return c.pcache.Load() }
 
+// Close releases the cluster's resources: the partition cache (if enabled)
+// is purged and uninstalled, dropping every resident partition. The cluster
+// holds no other live resources — partition and block files are opened per
+// operation — so Close is cheap, idempotent, and safe to call while
+// stragglers finish (they fall back to uncached file opens). The on-disk
+// layout is untouched and the cluster can keep serving afterwards, so
+// callers that want "closed" semantics enforce them a level up (DB.Close).
+func (c *Cluster) Close() error {
+	if pc := c.pcache.Swap(nil); pc != nil {
+		pc.Purge()
+	}
+	return nil
+}
+
 // InvalidatePartition drops a partition file's cache entry, if the cache is
 // enabled and holds one. Writers that replace a partition file must call
 // this so subsequent queries observe the new contents.

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -14,6 +15,14 @@ import (
 // Results are positionally aligned with the queries. The first error
 // aborts the batch.
 func (ix *Index) SearchBatch(queries [][]float64, opts SearchOptions, workers int) ([]*SearchResult, error) {
+	return ix.SearchBatchContext(context.Background(), queries, opts, workers)
+}
+
+// SearchBatchContext is SearchBatch under a context. Cancellation stops the
+// batch promptly: queries not yet started are abandoned, and in-flight
+// queries observe the cancellation on their partition-scan path (see
+// SearchContext). The returned error wraps ctx.Err().
+func (ix *Index) SearchBatchContext(ctx context.Context, queries [][]float64, opts SearchOptions, workers int) ([]*SearchResult, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -30,7 +39,11 @@ func (ix *Index) SearchBatch(queries [][]float64, opts SearchOptions, workers in
 		go func() {
 			defer wg.Done()
 			for i := range work {
-				out[i], errs[i] = ix.Search(queries[i], opts)
+				if err := ctx.Err(); err != nil {
+					errs[i] = err
+					continue
+				}
+				out[i], errs[i] = ix.SearchContext(ctx, queries[i], opts)
 			}
 		}()
 	}

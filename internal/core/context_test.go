@@ -1,0 +1,117 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+
+	"climber/internal/series"
+)
+
+func TestSearchContextPreCancelled(t *testing.T) {
+	cfg := testConfig()
+	ix, ds, _, _ := buildTestIndex(t, 1000, cfg)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := ix.SearchContext(ctx, ds.Get(0), SearchOptions{K: 10}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled search returned %v, want context.Canceled", err)
+	}
+	if _, err := ix.SearchPrefixContext(ctx, ds.Get(0)[:32], SearchOptions{K: 10}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled prefix search returned %v, want context.Canceled", err)
+	}
+}
+
+func TestSearchContextBackgroundMatchesSearch(t *testing.T) {
+	cfg := testConfig()
+	ix, ds, _, _ := buildTestIndex(t, 1500, cfg)
+	for _, qid := range []int{3, 700, 1400} {
+		a, err := ix.Search(ds.Get(qid), SearchOptions{K: 20, Variant: VariantAdaptive4X})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := ix.SearchContext(context.Background(), ds.Get(qid), SearchOptions{K: 20, Variant: VariantAdaptive4X})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(a.Results) != len(b.Results) {
+			t.Fatalf("query %d: %d vs %d results", qid, len(a.Results), len(b.Results))
+		}
+		for i := range a.Results {
+			if a.Results[i] != b.Results[i] {
+				t.Fatalf("query %d result %d differs: %+v vs %+v", qid, i, a.Results[i], b.Results[i])
+			}
+		}
+	}
+}
+
+// TestCancelMidScanStopsPlan drives executePlanDist directly with a distance
+// function that cancels the context at the first compared record. The scan
+// must stop at the next cluster boundary — well before the partition's
+// record count — and return context.Canceled, with the effort statistics
+// still accounting the work actually done.
+func TestCancelMidScanStopsPlan(t *testing.T) {
+	cfg := testConfig()
+	ix, _, _, _ := buildTestIndex(t, 3000, cfg)
+
+	// Find a partition with at least two clusters so "stop at the next
+	// cluster boundary" is observable.
+	pid, firstCluster, total := -1, 0, 0
+	for cand := 0; cand < ix.Skel.NumPartitions; cand++ {
+		p, err := ix.Cl.OpenPartition(ix.Parts, cand)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cis := p.Clusters()
+		if len(cis) >= 2 && p.Count() > cis[0].Count {
+			pid, firstCluster, total = cand, cis[0].Count, p.Count()
+		}
+		p.Close()
+		if pid >= 0 {
+			break
+		}
+	}
+	if pid < 0 {
+		t.Skip("no multi-cluster partition in this layout")
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	plan := scanPlan{pid: nil} // whole partition
+	top := series.NewTopK(10)
+	var stats QueryStats
+	compared := 0
+	err := ix.executePlanDist(ctx, plan, nil, top, true, &stats,
+		func(values []float64, bound float64) float64 {
+			compared++
+			cancel()
+			return math.Inf(1) // abandoned; keep the accumulator empty
+		})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled plan returned %v, want context.Canceled", err)
+	}
+	if compared == 0 {
+		t.Fatal("distance function never ran; the cancel happened too early to be mid-scan")
+	}
+	if stats.RecordsScanned > firstCluster {
+		t.Fatalf("scanned %d records after the cancel, want at most the first cluster's %d (partition holds %d)",
+			stats.RecordsScanned, firstCluster, total)
+	}
+	if stats.RecordsScanned == 0 || stats.PartitionsScanned != 1 {
+		t.Fatalf("stats inconsistent after cancel: %+v", stats)
+	}
+}
+
+func TestSearchBatchContextCancel(t *testing.T) {
+	cfg := testConfig()
+	ix, ds, _, _ := buildTestIndex(t, 1000, cfg)
+	queries := make([][]float64, 16)
+	for i := range queries {
+		queries[i] = ds.Get(i * 50)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := ix.SearchBatchContext(ctx, queries, SearchOptions{K: 10}, 4); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled batch returned %v, want an error wrapping context.Canceled", err)
+	}
+}

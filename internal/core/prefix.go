@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -20,12 +21,21 @@ import (
 // candidates are ranked by the Euclidean distance over the first len(q)
 // readings of each record. The query must satisfy w <= len(q) <= n.
 func (ix *Index) SearchPrefix(q []float64, opts SearchOptions) (*SearchResult, error) {
+	return ix.SearchPrefixContext(context.Background(), q, opts)
+}
+
+// SearchPrefixContext is SearchPrefix under a context, with the same
+// cancellation semantics as SearchContext.
+func (ix *Index) SearchPrefixContext(ctx context.Context, q []float64, opts SearchOptions) (*SearchResult, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	skel := ix.Skel
 	if opts.K <= 0 {
 		return nil, fmt.Errorf("core: K must be positive, got %d", opts.K)
 	}
 	if len(q) == skel.SeriesLen {
-		return ix.Search(q, opts)
+		return ix.SearchContext(ctx, q, opts)
 	}
 	if len(q) > skel.SeriesLen {
 		return nil, fmt.Errorf("core: prefix query length %d exceeds indexed length %d", len(q), skel.SeriesLen)
@@ -62,7 +72,7 @@ func (ix *Index) SearchPrefix(q []float64, opts SearchOptions) (*SearchResult, e
 	// Rank candidates by ED over the stored records' first len(q) readings.
 	top := series.NewTopK(opts.K)
 	prefixLen := len(q)
-	err = ix.executePlanPrefix(plan, nil, q, prefixLen, top, true, &stats)
+	err = ix.executePlanPrefix(ctx, plan, nil, q, prefixLen, top, true, &stats)
 	if err != nil {
 		return nil, err
 	}
@@ -71,7 +81,7 @@ func (ix *Index) SearchPrefix(q []float64, opts SearchOptions) (*SearchResult, e
 		for pid := range plan {
 			widened[pid] = nil
 		}
-		if err := ix.executePlanPrefix(widened, plan, q, prefixLen, top, false, &stats); err != nil {
+		if err := ix.executePlanPrefix(ctx, widened, plan, q, prefixLen, top, false, &stats); err != nil {
 			return nil, err
 		}
 	}
@@ -103,8 +113,8 @@ func (ix *Index) SearchPrefix(q []float64, opts SearchOptions) (*SearchResult, e
 
 // executePlanPrefix is executePlan with distances restricted to the first
 // prefixLen readings of each record.
-func (ix *Index) executePlanPrefix(plan, done scanPlan, q []float64, prefixLen int, top *series.TopK, countLoads bool, stats *QueryStats) error {
-	return ix.executePlanDist(plan, done, top, countLoads, stats,
+func (ix *Index) executePlanPrefix(ctx context.Context, plan, done scanPlan, q []float64, prefixLen int, top *series.TopK, countLoads bool, stats *QueryStats) error {
+	return ix.executePlanDist(ctx, plan, done, top, countLoads, stats,
 		func(values []float64, bound float64) float64 {
 			return series.SqDistEarlyAbandon(q, values[:prefixLen], bound)
 		})

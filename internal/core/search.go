@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -144,6 +145,17 @@ type scanPlan map[int]map[storage.ClusterID]struct{}
 // Search answers an approximate kNN query (paper Definition 4) using the
 // configured variant.
 func (ix *Index) Search(q []float64, opts SearchOptions) (*SearchResult, error) {
+	return ix.SearchContext(context.Background(), q, opts)
+}
+
+// SearchContext is Search under a context. Cancellation is honoured on the
+// partition-scan path: every scanning goroutine checks ctx between cluster
+// scans (and periodically within large clusters), so a cancelled query stops
+// loading and comparing records mid-plan and returns ctx.Err().
+func (ix *Index) SearchContext(ctx context.Context, q []float64, opts SearchOptions) (*SearchResult, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if opts.K <= 0 {
 		return nil, fmt.Errorf("core: K must be positive, got %d", opts.K)
 	}
@@ -179,7 +191,7 @@ func (ix *Index) Search(q []float64, opts SearchOptions) (*SearchResult, error) 
 	}
 
 	top := series.NewTopK(opts.K)
-	if err := ix.executePlan(plan, nil, q, top, true, &stats); err != nil {
+	if err := ix.executePlan(ctx, plan, nil, q, top, true, &stats); err != nil {
 		return nil, err
 	}
 
@@ -195,7 +207,7 @@ func (ix *Index) Search(q []float64, opts SearchOptions) (*SearchResult, error) 
 		for pid := range plan {
 			widened[pid] = nil
 		}
-		if err := ix.executePlan(widened, plan, q, top, false, &stats); err != nil {
+		if err := ix.executePlan(ctx, widened, plan, q, top, false, &stats); err != nil {
 			return nil, err
 		}
 	}
@@ -440,17 +452,30 @@ func planSize(plan scanPlan) int {
 // the selected partitions live on different workers. The top-k accumulator
 // is shared under a mutex with a lock-free bound cache so early abandoning
 // stays effective across workers.
-func (ix *Index) executePlan(plan, done scanPlan, q []float64, top *series.TopK, countLoads bool, stats *QueryStats) error {
-	return ix.executePlanDist(plan, done, top, countLoads, stats,
+func (ix *Index) executePlan(ctx context.Context, plan, done scanPlan, q []float64, top *series.TopK, countLoads bool, stats *QueryStats) error {
+	return ix.executePlanDist(ctx, plan, done, top, countLoads, stats,
 		func(values []float64, bound float64) float64 {
 			return series.SqDistEarlyAbandon(q, values, bound)
 		})
 }
 
+// cancelCheckStride is how many records a scanning goroutine compares
+// between context checks inside one cluster. Cluster boundaries always
+// check; the stride bounds the extra latency a cancelled query pays inside
+// a single large cluster to a few hundred distance computations.
+const cancelCheckStride = 256
+
 // executePlanDist is the traversal shared by full-length and prefix
 // queries: dist computes a squared distance for a candidate, early
 // abandoning against bound (+Inf while the accumulator is not full).
-func (ix *Index) executePlanDist(plan, done scanPlan, top *series.TopK, countLoads bool, stats *QueryStats,
+//
+// The traversal is cancellable: each partition-scan goroutine checks ctx
+// before opening its partition, between cluster scans, and every
+// cancelCheckStride records within a cluster, returning ctx.Err() as soon
+// as it observes cancellation. Statistics stay consistent on a cancelled
+// query — every record compared and partition loaded before the
+// cancellation is still charged.
+func (ix *Index) executePlanDist(ctx context.Context, plan, done scanPlan, top *series.TopK, countLoads bool, stats *QueryStats,
 	dist func(values []float64, bound float64) float64) error {
 	pids := make([]int, 0, len(plan))
 	for pid := range plan {
@@ -468,7 +493,11 @@ func (ix *Index) executePlanDist(plan, done scanPlan, top *series.TopK, countLoa
 	var recordsScanned atomic.Int64
 
 	scan := func(id int, values []float64) error {
-		recordsScanned.Add(1)
+		if n := recordsScanned.Add(1); n%cancelCheckStride == 0 {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
 		bound := math.Float64frombits(boundBits.Load())
 		d := dist(values, bound)
 		if d >= bound {
@@ -484,6 +513,9 @@ func (ix *Index) executePlanDist(plan, done scanPlan, top *series.TopK, countLoa
 	}
 
 	scanPartition := func(pid int) error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		p, err := ix.Cl.OpenPartition(ix.Parts, pid)
 		if err != nil {
 			return err
@@ -514,6 +546,9 @@ func (ix *Index) executePlanDist(plan, done scanPlan, top *series.TopK, countLoa
 						continue
 					}
 				}
+				if err := ctx.Err(); err != nil {
+					return err
+				}
 				if err := p.ScanCluster(ci.ID, scan); err != nil {
 					return err
 				}
@@ -530,7 +565,15 @@ func (ix *Index) executePlanDist(plan, done scanPlan, top *series.TopK, countLoa
 			ids = append(ids, c)
 		}
 		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-		return p.ScanClusters(ids, scan)
+		for _, id := range ids {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if err := p.ScanCluster(id, scan); err != nil {
+				return err
+			}
+		}
+		return nil
 	}
 
 	var err error

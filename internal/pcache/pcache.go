@@ -209,6 +209,24 @@ func (c *Cache) Invalidate(key string) {
 	}
 }
 
+// Purge drops every resident entry and marks every in-flight load stale so
+// its result is not cached, releasing all partition memory the cache pins.
+// Queries still scanning a dropped partition keep their consistent
+// in-memory snapshot; the cache itself stays usable afterwards. Purge is
+// how DB.Close releases the cache deterministically instead of waiting for
+// the garbage collector to notice the DB is gone.
+func (c *Cache) Purge() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, e := range c.entries {
+		c.removeLocked(e)
+	}
+	for key, f := range c.inflight {
+		f.stale = true
+		delete(c.inflight, key)
+	}
+}
+
 // Contains reports whether key is currently resident (without touching the
 // LRU order).
 func (c *Cache) Contains(key string) bool {

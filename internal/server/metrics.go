@@ -1,0 +1,127 @@
+package server
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"climber"
+)
+
+// latencyBuckets are the upper bounds (seconds) of the query latency
+// histogram, chosen to straddle the in-memory-hit to multi-partition-scan
+// range; an implicit +Inf bucket catches the rest.
+var latencyBuckets = []float64{
+	0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// histogram is a fixed-bucket latency histogram with atomic counters; safe
+// for concurrent observation and rendering. The total count is derived
+// from the buckets at render time so one exposition always satisfies the
+// Prometheus invariant bucket{le="+Inf"} == _count, even when queries
+// finish mid-scrape.
+type histogram struct {
+	buckets []atomic.Int64 // per-bucket at observe, cumulated at render
+	inf     atomic.Int64
+	sumNs   atomic.Int64
+}
+
+func newHistogram() *histogram {
+	return &histogram{buckets: make([]atomic.Int64, len(latencyBuckets))}
+}
+
+func (h *histogram) observe(d time.Duration) {
+	s := d.Seconds()
+	h.sumNs.Add(d.Nanoseconds())
+	for i, le := range latencyBuckets {
+		if s <= le {
+			h.buckets[i].Add(1)
+			return
+		}
+	}
+	h.inf.Add(1)
+}
+
+// metrics aggregates the server's operational counters.
+type metrics struct {
+	searches     atomic.Int64 // /search requests answered (incl. errors)
+	batches      atomic.Int64 // /search/batch requests answered
+	batchQueries atomic.Int64 // queries inside answered batches
+	badRequests  atomic.Int64 // 400s from decode/validation
+	rejected     atomic.Int64 // 429s from admission control
+	canceled     atomic.Int64 // queries aborted by client disconnect
+	errors       atomic.Int64 // internal query failures
+	inflight     atomic.Int64 // queries currently holding an admission slot
+	queued       atomic.Int64 // requests currently waiting for a slot
+	latency      *histogram
+}
+
+// ServerStats is the JSON shape of the server section of GET /stats.
+type ServerStats struct {
+	Searches      int64   `json:"searches"`
+	Batches       int64   `json:"batches"`
+	BatchQueries  int64   `json:"batch_queries"`
+	BadRequests   int64   `json:"bad_requests"`
+	Rejected      int64   `json:"rejected"`
+	Canceled      int64   `json:"canceled"`
+	Errors        int64   `json:"errors"`
+	InFlight      int64   `json:"in_flight"`
+	Queued        int64   `json:"queued"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+}
+
+func (m *metrics) snapshot(uptime time.Duration) ServerStats {
+	return ServerStats{
+		Searches:      m.searches.Load(),
+		Batches:       m.batches.Load(),
+		BatchQueries:  m.batchQueries.Load(),
+		BadRequests:   m.badRequests.Load(),
+		Rejected:      m.rejected.Load(),
+		Canceled:      m.canceled.Load(),
+		Errors:        m.errors.Load(),
+		InFlight:      m.inflight.Load(),
+		Queued:        m.queued.Load(),
+		UptimeSeconds: uptime.Seconds(),
+	}
+}
+
+// renderProm writes the Prometheus text exposition of the server counters,
+// the latency histogram, and the DB's partition-cache counters.
+func (m *metrics) renderProm(w *strings.Builder, cache climber.CacheStats) {
+	metric := func(name, help, kind string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, kind)
+		fmt.Fprintf(w, "%s %d\n", name, v)
+	}
+	counter := func(name, help string, v int64) { metric(name, help, "counter", v) }
+	gauge := func(name, help string, v int64) { metric(name, help, "gauge", v) }
+	counter("climber_search_requests_total", "Answered /search requests.", m.searches.Load())
+	counter("climber_batch_requests_total", "Answered /search/batch requests.", m.batches.Load())
+	counter("climber_batch_queries_total", "Queries inside answered batches.", m.batchQueries.Load())
+	counter("climber_bad_requests_total", "Requests rejected with 400.", m.badRequests.Load())
+	counter("climber_rejected_total", "Requests rejected with 429 by admission control.", m.rejected.Load())
+	counter("climber_canceled_total", "Queries aborted by client disconnect.", m.canceled.Load())
+	counter("climber_query_errors_total", "Queries that failed internally.", m.errors.Load())
+	gauge("climber_inflight_queries", "Queries currently holding an admission slot.", m.inflight.Load())
+	gauge("climber_queued_requests", "Requests currently waiting for an admission slot.", m.queued.Load())
+
+	fmt.Fprintf(w, "# HELP climber_query_latency_seconds End-to-end query latency (admission to answer).\n")
+	fmt.Fprintf(w, "# TYPE climber_query_latency_seconds histogram\n")
+	var cum int64
+	for i, le := range latencyBuckets {
+		cum += m.latency.buckets[i].Load()
+		fmt.Fprintf(w, "climber_query_latency_seconds_bucket{le=%q} %d\n",
+			strconv.FormatFloat(le, 'g', -1, 64), cum)
+	}
+	cum += m.latency.inf.Load()
+	fmt.Fprintf(w, "climber_query_latency_seconds_bucket{le=\"+Inf\"} %d\n", cum)
+	fmt.Fprintf(w, "climber_query_latency_seconds_sum %g\n", float64(m.latency.sumNs.Load())/1e9)
+	fmt.Fprintf(w, "climber_query_latency_seconds_count %d\n", cum)
+
+	counter("climber_partition_cache_hits_total", "Partition opens served from the shared cache.", cache.Hits)
+	counter("climber_partition_cache_misses_total", "Partition opens that loaded from disk.", cache.Misses)
+	counter("climber_partition_cache_evictions_total", "Partitions evicted to hold the byte budget.", cache.Evictions)
+	counter("climber_partition_cache_bytes_saved_total", "Partition-file bytes the cache avoided re-reading.", cache.BytesSaved)
+	counter("climber_partitions_loaded_total", "Real partition disk loads.", cache.PartitionsLoaded)
+}

@@ -1,0 +1,384 @@
+// Package server exposes an opened climber.DB as a concurrent HTTP JSON
+// query service — the serving layer the paper's production framing assumes
+// (pivot-based search as a service-side component, judged under sustained
+// concurrent workloads).
+//
+// Endpoints:
+//
+//	POST /search        one kNN query   {"query": [...], "k": 10, ...}
+//	POST /search/batch  many queries    {"queries": [[...], ...], "k": 10, ...}
+//	GET  /info          database shape (series length, groups, partitions)
+//	GET  /stats         server counters + partition-cache counters, JSON
+//	GET  /healthz       liveness probe
+//	GET  /metrics       Prometheus text exposition
+//
+// Admission control bounds the number of in-flight queries: a request
+// beyond MaxInFlight waits for a slot up to QueueTimeout and is answered
+// 429 when none frees up. The request context is threaded through the
+// whole core search path, so a client that disconnects mid-query stops the
+// partition scans it triggered instead of burning disk and CPU to compute
+// an answer nobody will read.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"os"
+	"runtime"
+	"strings"
+	"time"
+
+	"climber"
+)
+
+// StatusClientClosedRequest is the non-standard status (nginx's 499)
+// reported when the client disconnected before its answer was ready. The
+// client never sees it; it keeps access logs and metrics honest.
+const StatusClientClosedRequest = 499
+
+// Config tunes the service. The zero value is usable: every field falls
+// back to the documented default.
+type Config struct {
+	// MaxInFlight bounds concurrently executing queries; further requests
+	// queue. A batch request holds one slot per internal query worker (at
+	// least one, opportunistically more when slots are idle), so the bound
+	// covers batch fan-out too. Default: 4 x GOMAXPROCS.
+	MaxInFlight int
+	// QueueTimeout is how long an over-limit request may wait for a slot
+	// before it is answered 429. Default: 2s.
+	QueueTimeout time.Duration
+	// MaxK caps the per-request answer size. Default: 10000.
+	MaxK int
+	// MaxBatch caps the query count of one batch request. Default: 256.
+	MaxBatch int
+	// MaxBodyBytes caps a request body. Default: 32 MB.
+	MaxBodyBytes int64
+	// BodyReadTimeout bounds how long reading one request body may take.
+	// The body is read while holding an admission slot (parsing a body is
+	// itself work an overloaded server must bound), so without a deadline
+	// a slow-trickling client could pin slots indefinitely. Default: 15s.
+	BodyReadTimeout time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = 4 * runtime.GOMAXPROCS(0)
+	}
+	if c.QueueTimeout <= 0 {
+		c.QueueTimeout = 2 * time.Second
+	}
+	if c.MaxK <= 0 {
+		c.MaxK = 10000
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 256
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 32 << 20
+	}
+	if c.BodyReadTimeout <= 0 {
+		c.BodyReadTimeout = 15 * time.Second
+	}
+	return c
+}
+
+// Server answers CLIMBER queries over HTTP on behalf of one DB. Create it
+// with New and mount Handler on an http.Server.
+type Server struct {
+	db        *climber.DB
+	cfg       Config
+	seriesLen int
+	sem       chan struct{}
+	m         metrics
+	started   time.Time
+
+	// Test seams: hookAdmitted runs after a query request is admitted
+	// (holding its slot) and before the search starts; hookSearchDone
+	// receives the search error verbatim, before it is mapped to a status.
+	hookAdmitted   func(ctx context.Context)
+	hookSearchDone func(err error)
+}
+
+// New wraps db in a Server. The db must stay open for the server's
+// lifetime; the caller closes it after shutting the HTTP server down.
+func New(db *climber.DB, cfg Config) *Server {
+	s := &Server{
+		db:        db,
+		cfg:       cfg.withDefaults(),
+		seriesLen: db.Info().SeriesLen,
+		started:   time.Now(),
+	}
+	s.sem = make(chan struct{}, s.cfg.MaxInFlight)
+	s.m.latency = newHistogram()
+	return s
+}
+
+// Handler returns the service's routing handler.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /search", s.handleSearch)
+	mux.HandleFunc("POST /search/batch", s.handleBatch)
+	mux.HandleFunc("GET /info", s.handleInfo)
+	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return mux
+}
+
+// errorResponse is the JSON body of every non-2xx answer.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v) // the client is gone if this fails; nothing to do
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, errorResponse{Error: err.Error()})
+}
+
+// admit acquires an in-flight slot, waiting up to QueueTimeout. It returns
+// the release function, or the HTTP status that denied admission.
+func (s *Server) admit(ctx context.Context) (release func(), status int, err error) {
+	select {
+	case s.sem <- struct{}{}: // fast path: a slot is free
+	default:
+		s.m.queued.Add(1)
+		timer := time.NewTimer(s.cfg.QueueTimeout)
+		select {
+		case s.sem <- struct{}{}:
+			timer.Stop()
+			s.m.queued.Add(-1)
+		case <-timer.C:
+			s.m.queued.Add(-1)
+			s.m.rejected.Add(1)
+			return nil, http.StatusTooManyRequests, errors.New("server at capacity; retry later")
+		case <-ctx.Done():
+			timer.Stop()
+			s.m.queued.Add(-1)
+			s.m.canceled.Add(1) // the client hung up while waiting in line
+			return nil, StatusClientClosedRequest, ctx.Err()
+		}
+	}
+	s.m.inflight.Add(1)
+	return func() {
+		s.m.inflight.Add(-1)
+		<-s.sem
+	}, 0, nil
+}
+
+// acquireExtra grabs up to n additional admission slots without blocking,
+// returning how many it got and a release function. Batch requests use it
+// to widen their internal worker pool only as far as idle capacity allows,
+// keeping the total number of concurrently executing queries — single or
+// inside batches — within MaxInFlight.
+func (s *Server) acquireExtra(n int) (got int, release func()) {
+	for got < n {
+		select {
+		case s.sem <- struct{}{}:
+			got++
+		default:
+			n = got
+		}
+	}
+	s.m.inflight.Add(int64(got))
+	return got, func() {
+		s.m.inflight.Add(int64(-got))
+		for i := 0; i < got; i++ {
+			<-s.sem
+		}
+	}
+}
+
+// readBody slurps the request body under the configured size cap and read
+// deadline. The deadline bounds slot occupancy against slow-trickling
+// clients; writers that cannot set one (test recorders) are served without
+// it.
+func (s *Server) readBody(w http.ResponseWriter, r *http.Request) ([]byte, bool) {
+	rc := http.NewResponseController(w)
+	hasDeadline := rc.SetReadDeadline(time.Now().Add(s.cfg.BodyReadTimeout)) == nil
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	if err != nil {
+		// Keep the deadline armed: the connection still holds unread body
+		// bytes, and net/http's post-handler drain of them must not wait
+		// past the deadline either. The connection is closed after the
+		// error response instead of being reused.
+		w.Header().Set("Connection", "close")
+		var tooLarge *http.MaxBytesError
+		status := http.StatusBadRequest
+		switch {
+		case errors.As(err, &tooLarge):
+			status = http.StatusRequestEntityTooLarge
+		case errors.Is(err, os.ErrDeadlineExceeded):
+			status = http.StatusRequestTimeout
+		}
+		s.m.badRequests.Add(1)
+		writeError(w, status, err)
+		return nil, false
+	}
+	if hasDeadline {
+		_ = rc.SetReadDeadline(time.Time{}) // disarm for the next request
+	}
+	return body, true
+}
+
+// finishQuery maps a search error to its response status, maintaining the
+// outcome counters. It reports whether the query succeeded.
+func (s *Server) finishQuery(w http.ResponseWriter, err error) bool {
+	if s.hookSearchDone != nil {
+		s.hookSearchDone(err)
+	}
+	switch {
+	case err == nil:
+		return true
+	case errors.Is(err, context.Canceled):
+		s.m.canceled.Add(1)
+		writeError(w, StatusClientClosedRequest, err)
+	case errors.Is(err, context.DeadlineExceeded):
+		s.m.errors.Add(1)
+		writeError(w, http.StatusGatewayTimeout, err)
+	case errors.Is(err, climber.ErrClosed):
+		s.m.errors.Add(1)
+		writeError(w, http.StatusServiceUnavailable, err)
+	default:
+		s.m.errors.Add(1)
+		writeError(w, http.StatusInternalServerError, err)
+	}
+	return false
+}
+
+func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	// Admission comes first: reading and decoding a body is itself heap-
+	// and CPU-expensive work an overloaded server must not do unbounded.
+	release, status, err := s.admit(r.Context())
+	if err != nil {
+		writeError(w, status, err)
+		return
+	}
+	defer release()
+	body, ok := s.readBody(w, r)
+	if !ok {
+		return
+	}
+	req, err := decodeSearchRequest(body, s.seriesLen, s.cfg.MaxK)
+	if err != nil {
+		s.m.badRequests.Add(1)
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if s.hookAdmitted != nil {
+		s.hookAdmitted(r.Context())
+	}
+
+	start := time.Now()
+	res, stats, err := s.db.SearchWithStatsContext(r.Context(), req.Query, req.K,
+		searchOpts(req.Variant, req.MaxPartitions)...)
+	s.m.latency.observe(time.Since(start))
+	s.m.searches.Add(1)
+	if !s.finishQuery(w, err) {
+		return
+	}
+	writeJSON(w, http.StatusOK, SearchResponse{Results: toWire(res), Stats: stats})
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	release, status, err := s.admit(r.Context())
+	if err != nil {
+		writeError(w, status, err)
+		return
+	}
+	defer release()
+	body, ok := s.readBody(w, r)
+	if !ok {
+		return
+	}
+	req, err := decodeBatchRequest(body, s.seriesLen, s.cfg.MaxK, s.cfg.MaxBatch)
+	if err != nil {
+		s.m.badRequests.Add(1)
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if s.hookAdmitted != nil {
+		s.hookAdmitted(r.Context())
+	}
+
+	// The request's own slot funds one batch worker; widen only into slots
+	// that are idle right now so batches never execute more concurrent
+	// queries than MaxInFlight allows across the whole server.
+	extra, releaseExtra := s.acquireExtra(min(len(req.Queries), s.cfg.MaxInFlight) - 1)
+	defer releaseExtra()
+
+	start := time.Now()
+	batch, err := s.db.SearchBatchContextWorkers(r.Context(), req.Queries, req.K, 1+extra,
+		searchOpts(req.Variant, req.MaxPartitions)...)
+	s.m.latency.observe(time.Since(start))
+	s.m.batches.Add(1)
+	if !s.finishQuery(w, err) {
+		return
+	}
+	s.m.batchQueries.Add(int64(len(req.Queries)))
+	out := make([][]Result, len(batch))
+	for i, res := range batch {
+		out[i] = toWire(res)
+	}
+	writeJSON(w, http.StatusOK, BatchResponse{Results: out})
+}
+
+func toWire(res []climber.Result) []Result {
+	out := make([]Result, len(res))
+	for i, r := range res {
+		out[i] = Result{ID: r.ID, Dist: r.Dist}
+	}
+	return out
+}
+
+// InfoResponse is the body of GET /info.
+type InfoResponse struct {
+	SeriesLen     int `json:"series_len"`
+	NumRecords    int `json:"num_records"`
+	NumGroups     int `json:"num_groups"`
+	NumPartitions int `json:"num_partitions"`
+	SkeletonBytes int `json:"skeleton_bytes"`
+}
+
+func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
+	info := s.db.Info()
+	writeJSON(w, http.StatusOK, InfoResponse{
+		SeriesLen:     info.SeriesLen,
+		NumRecords:    info.NumRecords,
+		NumGroups:     info.NumGroups,
+		NumPartitions: info.NumPartitions,
+		SkeletonBytes: info.SkeletonBytes,
+	})
+}
+
+// StatsResponse is the body of GET /stats.
+type StatsResponse struct {
+	Server ServerStats        `json:"server"`
+	Cache  climber.CacheStats `json:"cache"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, StatsResponse{
+		Server: s.m.snapshot(time.Since(s.started)),
+		Cache:  s.db.CacheStats(),
+	})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	var b strings.Builder
+	s.m.renderProm(&b, s.db.CacheStats())
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_, _ = io.WriteString(w, b.String())
+}

@@ -1,0 +1,548 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"climber"
+	"climber/internal/dataset"
+)
+
+// buildTestDB builds one small database per test.
+func buildTestDB(t *testing.T, n int, opts ...climber.Option) (*climber.DB, [][]float64) {
+	t.Helper()
+	ds := dataset.RandomWalk(64, n, 77)
+	data := make([][]float64, n)
+	for i := range data {
+		x := make([]float64, 64)
+		copy(x, ds.Get(i))
+		data[i] = x
+	}
+	all := append([]climber.Option{
+		climber.WithSegments(8), climber.WithPivots(24), climber.WithPrefixLen(4),
+		climber.WithCapacity(200), climber.WithSampleRate(0.2), climber.WithBlockSize(250),
+		climber.WithSeed(3),
+	}, opts...)
+	db, err := climber.Build(t.TempDir(), data, all...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	return db, data
+}
+
+func postJSON(t *testing.T, h http.Handler, path string, body any) *httptest.ResponseRecorder {
+	t.Helper()
+	raw, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := httptest.NewRequest(http.MethodPost, path, bytes.NewReader(raw))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec
+}
+
+func getPath(t *testing.T, h http.Handler, path string) *httptest.ResponseRecorder {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, path, nil))
+	return rec
+}
+
+// TestSearchMatchesDB checks the acceptance criterion that /search answers
+// are byte-identical to DB.Search on the same database.
+func TestSearchMatchesDB(t *testing.T) {
+	db, data := buildTestDB(t, 1200)
+	h := New(db, Config{}).Handler()
+	for _, qid := range []int{0, 311, 1100} {
+		for _, variant := range []string{"", "knn", "adaptive-2x", "adaptive-4x", "od-smallest"} {
+			rec := postJSON(t, h, "/search", SearchRequest{Query: data[qid], K: 17, Variant: variant})
+			if rec.Code != http.StatusOK {
+				t.Fatalf("query %d variant %q: status %d: %s", qid, variant, rec.Code, rec.Body)
+			}
+			var resp SearchResponse
+			if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+				t.Fatal(err)
+			}
+			v, err := parseVariant(variant)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := db.Search(data[qid], 17, climber.WithVariant(v))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(resp.Results) != len(want) {
+				t.Fatalf("query %d variant %q: %d results, want %d", qid, variant, len(resp.Results), len(want))
+			}
+			for i, r := range resp.Results {
+				if r.ID != want[i].ID || r.Dist != want[i].Dist {
+					t.Fatalf("query %d variant %q result %d: got %+v want %+v", qid, variant, i, r, want[i])
+				}
+			}
+			if resp.Stats.PartitionsScanned == 0 || resp.Stats.RecordsScanned == 0 {
+				t.Fatalf("query %d: empty stats %+v", qid, resp.Stats)
+			}
+		}
+	}
+}
+
+func TestBatchMatchesDB(t *testing.T) {
+	db, data := buildTestDB(t, 1200)
+	h := New(db, Config{}).Handler()
+	queries := [][]float64{data[5], data[600], data[900]}
+	rec := postJSON(t, h, "/search/batch", BatchRequest{Queries: queries, K: 9})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body)
+	}
+	var resp BatchResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	want, err := db.SearchBatch(queries, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Results) != len(want) {
+		t.Fatalf("%d result sets, want %d", len(resp.Results), len(want))
+	}
+	for i := range want {
+		if len(resp.Results[i]) != len(want[i]) {
+			t.Fatalf("batch %d: %d results, want %d", i, len(resp.Results[i]), len(want[i]))
+		}
+		for j, r := range resp.Results[i] {
+			if r.ID != want[i][j].ID || r.Dist != want[i][j].Dist {
+				t.Fatalf("batch %d result %d: got %+v want %+v", i, j, r, want[i][j])
+			}
+		}
+	}
+}
+
+func TestBadRequests(t *testing.T) {
+	db, data := buildTestDB(t, 600)
+	h := New(db, Config{MaxK: 100, MaxBatch: 4}).Handler()
+	cases := []struct {
+		name string
+		body string
+	}{
+		{"invalid json", `{"query": [1,2`},
+		{"empty body", ``},
+		{"wrong length", `{"query": [1,2,3], "k": 5}`},
+		{"negative k", fmt.Sprintf(`{"query": %s, "k": -1}`, mustJSON(data[0]))},
+		{"k over limit", fmt.Sprintf(`{"query": %s, "k": 101}`, mustJSON(data[0]))},
+		{"bad variant", fmt.Sprintf(`{"query": %s, "variant": "bogus"}`, mustJSON(data[0]))},
+		{"negative max_partitions", fmt.Sprintf(`{"query": %s, "max_partitions": -2}`, mustJSON(data[0]))},
+		{"trailing garbage", fmt.Sprintf(`{"query": %s} extra`, mustJSON(data[0]))},
+	}
+	for _, c := range cases {
+		req := httptest.NewRequest(http.MethodPost, "/search", strings.NewReader(c.body))
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		if rec.Code != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", c.name, rec.Code)
+		}
+		var er errorResponse
+		if err := json.Unmarshal(rec.Body.Bytes(), &er); err != nil || er.Error == "" {
+			t.Errorf("%s: malformed error body %q", c.name, rec.Body)
+		}
+	}
+	// Over-limit batch.
+	rec := postJSON(t, h, "/search/batch", BatchRequest{Queries: [][]float64{data[0], data[1], data[2], data[3], data[4]}})
+	if rec.Code != http.StatusBadRequest {
+		t.Errorf("oversized batch: status %d, want 400", rec.Code)
+	}
+	// Wrong method.
+	if rec := getPath(t, h, "/search"); rec.Code != http.StatusMethodNotAllowed {
+		t.Errorf("GET /search: status %d, want 405", rec.Code)
+	}
+}
+
+func mustJSON(v any) string {
+	b, err := json.Marshal(v)
+	if err != nil {
+		panic(err)
+	}
+	return string(b)
+}
+
+func TestInfoStatsHealthzMetrics(t *testing.T) {
+	db, data := buildTestDB(t, 600, climber.WithPartitionCacheBytes(64<<20))
+	h := New(db, Config{}).Handler()
+	if rec := postJSON(t, h, "/search", SearchRequest{Query: data[0], K: 5}); rec.Code != http.StatusOK {
+		t.Fatalf("warmup query: %d", rec.Code)
+	}
+
+	rec := getPath(t, h, "/info")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/info: %d", rec.Code)
+	}
+	var info InfoResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &info); err != nil {
+		t.Fatal(err)
+	}
+	if info.SeriesLen != 64 || info.NumRecords != 600 || info.NumPartitions == 0 {
+		t.Fatalf("bad /info: %+v", info)
+	}
+
+	rec = getPath(t, h, "/stats")
+	var stats StatsResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Server.Searches != 1 {
+		t.Fatalf("/stats reports %d searches, want 1", stats.Server.Searches)
+	}
+	if stats.Cache.PartitionsLoaded == 0 {
+		t.Fatalf("/stats cache counters empty: %+v", stats.Cache)
+	}
+
+	if rec = getPath(t, h, "/healthz"); rec.Code != http.StatusOK {
+		t.Fatalf("/healthz: %d", rec.Code)
+	}
+
+	rec = getPath(t, h, "/metrics")
+	body := rec.Body.String()
+	for _, want := range []string{
+		"climber_search_requests_total 1",
+		"climber_query_latency_seconds_count 1",
+		"climber_query_latency_seconds_bucket{le=\"+Inf\"} 1",
+		"climber_partitions_loaded_total",
+		"climber_partition_cache_hits_total",
+		"climber_rejected_total 0",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q:\n%s", want, body)
+		}
+	}
+}
+
+// TestConcurrentClientsUnderLimit fires 32 concurrent clients at a server
+// whose admission limit is exactly 32: every request must be admitted and
+// answered correctly — no request lost below the limit.
+func TestConcurrentClientsUnderLimit(t *testing.T) {
+	db, data := buildTestDB(t, 1500, climber.WithPartitionCacheBytes(64<<20))
+	srv := New(db, Config{MaxInFlight: 32, QueueTimeout: 30 * time.Second})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	const clients = 32
+	errs := make([]error, clients)
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			qid := (c * 41) % len(data)
+			body, _ := json.Marshal(SearchRequest{Query: data[qid], K: 10})
+			resp, err := http.Post(ts.URL+"/search", "application/json", bytes.NewReader(body))
+			if err != nil {
+				errs[c] = err
+				return
+			}
+			defer resp.Body.Close()
+			raw, _ := io.ReadAll(resp.Body)
+			if resp.StatusCode != http.StatusOK {
+				errs[c] = fmt.Errorf("status %d: %s", resp.StatusCode, raw)
+				return
+			}
+			var sr SearchResponse
+			if err := json.Unmarshal(raw, &sr); err != nil {
+				errs[c] = err
+				return
+			}
+			want, err := db.Search(data[qid], 10)
+			if err != nil {
+				errs[c] = err
+				return
+			}
+			for i := range want {
+				if sr.Results[i].ID != want[i].ID || sr.Results[i].Dist != want[i].Dist {
+					errs[c] = fmt.Errorf("result %d mismatch", i)
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	for c, err := range errs {
+		if err != nil {
+			t.Errorf("client %d: %v", c, err)
+		}
+	}
+}
+
+// TestAdmissionControlRejectsOverLimit saturates a 2-slot server with
+// queries blocked on a test hook, then checks that further requests are
+// rejected 429 after the queue deadline while the in-flight ones complete
+// once released.
+func TestAdmissionControlRejectsOverLimit(t *testing.T) {
+	db, data := buildTestDB(t, 600)
+	const limit = 2
+	srv := New(db, Config{MaxInFlight: limit, QueueTimeout: 50 * time.Millisecond})
+	admitted := make(chan struct{}, limit)
+	gate := make(chan struct{})
+	srv.hookAdmitted = func(ctx context.Context) {
+		admitted <- struct{}{}
+		<-gate
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	body, _ := json.Marshal(SearchRequest{Query: data[0], K: 5})
+	statuses := make([]int, limit+4)
+	post := func(i int) {
+		resp, err := http.Post(ts.URL+"/search", "application/json", bytes.NewReader(body))
+		if err != nil {
+			statuses[i] = -1
+			return
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		statuses[i] = resp.StatusCode
+	}
+	// Fill every slot; wait until both queries hold theirs.
+	var wg sync.WaitGroup
+	for i := 0; i < limit; i++ {
+		wg.Add(1)
+		go func(i int) { defer wg.Done(); post(i) }(i)
+	}
+	for i := 0; i < limit; i++ {
+		select {
+		case <-admitted:
+		case <-time.After(5 * time.Second):
+			t.Fatal("slots never filled")
+		}
+	}
+	// Every further request must be turned away with 429.
+	var over sync.WaitGroup
+	for i := limit; i < len(statuses); i++ {
+		over.Add(1)
+		go func(i int) { defer over.Done(); post(i) }(i)
+	}
+	over.Wait()
+	for i := limit; i < len(statuses); i++ {
+		if statuses[i] != http.StatusTooManyRequests {
+			t.Errorf("over-limit request %d: status %d, want 429", i, statuses[i])
+		}
+	}
+	// Release the gate: the two admitted queries must finish cleanly.
+	close(gate)
+	wg.Wait()
+	for i := 0; i < limit; i++ {
+		if statuses[i] != http.StatusOK {
+			t.Errorf("admitted request %d: status %d, want 200", i, statuses[i])
+		}
+	}
+	rec := getPath(t, srv.Handler(), "/metrics")
+	if !strings.Contains(rec.Body.String(), "climber_rejected_total 4") {
+		t.Errorf("rejected counter not at 4:\n%s", rec.Body.String())
+	}
+}
+
+// TestClientDisconnectCancelsQuery checks the acceptance criterion that a
+// client disconnect cancels the in-flight scan: the query goroutine must
+// return context.Canceled, observed via the search-done hook.
+func TestClientDisconnectCancelsQuery(t *testing.T) {
+	db, data := buildTestDB(t, 600)
+	srv := New(db, Config{MaxInFlight: 4})
+	started := make(chan struct{})
+	srv.hookAdmitted = func(ctx context.Context) {
+		close(started)
+		<-ctx.Done() // hold the query until the disconnect propagates
+	}
+	searchErr := make(chan error, 1)
+	srv.hookSearchDone = func(err error) { searchErr <- err }
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	body, _ := json.Marshal(SearchRequest{Query: data[0], K: 5})
+	ctx, cancel := context.WithCancel(context.Background())
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, ts.URL+"/search", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	clientDone := make(chan error, 1)
+	go func() {
+		resp, err := http.DefaultClient.Do(req)
+		if err == nil {
+			resp.Body.Close()
+		}
+		clientDone <- err
+	}()
+	select {
+	case <-started:
+	case <-time.After(5 * time.Second):
+		t.Fatal("query never started")
+	}
+	cancel() // the client hangs up mid-query
+
+	select {
+	case err := <-searchErr:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("query returned %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("query goroutine never returned after the disconnect")
+	}
+	if err := <-clientDone; err == nil {
+		t.Fatal("client request unexpectedly succeeded")
+	}
+	var canceled int64
+	for i := 0; i < 100; i++ { // the 499 is recorded just after the hook fires
+		var stats StatsResponse
+		rec := getPath(t, srv.Handler(), "/stats")
+		if err := json.Unmarshal(rec.Body.Bytes(), &stats); err != nil {
+			t.Fatal(err)
+		}
+		if canceled = stats.Server.Canceled; canceled == 1 {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if canceled != 1 {
+		t.Fatalf("canceled counter %d, want 1", canceled)
+	}
+}
+
+// TestBatchCancellation cancels a batch request mid-flight and checks the
+// whole batch aborts with context.Canceled.
+func TestBatchCancellation(t *testing.T) {
+	db, data := buildTestDB(t, 600)
+	srv := New(db, Config{})
+	started := make(chan struct{})
+	srv.hookAdmitted = func(ctx context.Context) {
+		close(started)
+		<-ctx.Done()
+	}
+	searchErr := make(chan error, 1)
+	srv.hookSearchDone = func(err error) { searchErr <- err }
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	body, _ := json.Marshal(BatchRequest{Queries: [][]float64{data[0], data[1]}, K: 5})
+	ctx, cancel := context.WithCancel(context.Background())
+	req, _ := http.NewRequestWithContext(ctx, http.MethodPost, ts.URL+"/search/batch", bytes.NewReader(body))
+	go func() {
+		resp, err := http.DefaultClient.Do(req)
+		if err == nil {
+			resp.Body.Close()
+		}
+	}()
+	<-started
+	cancel()
+	select {
+	case err := <-searchErr:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("batch returned %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("batch never returned after cancel")
+	}
+}
+
+// TestQueuedDisconnectCountsCanceled checks that a client hanging up while
+// waiting for an admission slot is denied with the client-closed status and
+// lands in the canceled counter, not silently dropped from the accounting.
+func TestQueuedDisconnectCountsCanceled(t *testing.T) {
+	db, _ := buildTestDB(t, 600)
+	srv := New(db, Config{MaxInFlight: 1, QueueTimeout: 10 * time.Second})
+	srv.sem <- struct{}{} // occupy the only slot
+	defer func() { <-srv.sem }()
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		cancel()
+	}()
+	release, status, err := srv.admit(ctx)
+	if release != nil || err == nil || status != StatusClientClosedRequest {
+		t.Fatalf("admit of a disconnected queued client: release=%v status=%d err=%v", release != nil, status, err)
+	}
+	if got := srv.m.canceled.Load(); got != 1 {
+		t.Fatalf("canceled counter %d, want 1", got)
+	}
+	if got := srv.m.queued.Load(); got != 0 {
+		t.Fatalf("queued gauge %d after abort, want 0", got)
+	}
+}
+
+// TestBatchRespectsAdmissionBudget checks that a batch widens its worker
+// pool only into idle admission slots: with MaxInFlight=2, a 64-query batch
+// must never hold more than 2 slots, and must release them all afterwards.
+func TestBatchRespectsAdmissionBudget(t *testing.T) {
+	db, data := buildTestDB(t, 1200)
+	srv := New(db, Config{MaxInFlight: 2})
+	h := srv.Handler()
+
+	stop := make(chan struct{})
+	var maxSeen atomic.Int64
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				if n := srv.m.inflight.Load(); n > maxSeen.Load() {
+					maxSeen.Store(n)
+				}
+			}
+		}
+	}()
+	queries := make([][]float64, 64)
+	for i := range queries {
+		queries[i] = data[(i*17)%len(data)]
+	}
+	rec := postJSON(t, h, "/search/batch", BatchRequest{Queries: queries, K: 5})
+	close(stop)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("batch status %d: %s", rec.Code, rec.Body)
+	}
+	if got := maxSeen.Load(); got > 2 {
+		t.Fatalf("batch held %d admission slots, limit is 2", got)
+	}
+	if srv.m.inflight.Load() != 0 || len(srv.sem) != 0 {
+		t.Fatalf("slots leaked after batch: inflight=%d sem=%d", srv.m.inflight.Load(), len(srv.sem))
+	}
+}
+
+// TestInflightGaugeReturnsToZero checks slot accounting: after a burst of
+// queries completes, no admission slot leaks.
+func TestInflightGaugeReturnsToZero(t *testing.T) {
+	db, data := buildTestDB(t, 600)
+	srv := New(db, Config{MaxInFlight: 4})
+	h := srv.Handler()
+	var wg sync.WaitGroup
+	var failures atomic.Int64
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			rec := postJSON(t, h, "/search", SearchRequest{Query: data[i%len(data)], K: 3})
+			if rec.Code != http.StatusOK {
+				failures.Add(1)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if n := failures.Load(); n > 0 {
+		t.Fatalf("%d queries failed", n)
+	}
+	if got := srv.m.inflight.Load(); got != 0 {
+		t.Fatalf("inflight gauge %d after drain, want 0", got)
+	}
+	if len(srv.sem) != 0 {
+		t.Fatalf("%d admission slots leaked", len(srv.sem))
+	}
+}
