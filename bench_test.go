@@ -516,10 +516,8 @@ func BenchmarkPartitionCache(b *testing.B) {
 		sds.Append(ds.Get(i))
 	}
 	buildDir := dir + "/db"
-	if _, err := Build(buildDir, data,
-		WithCapacity(benchCapacity), WithBlockSize(1000), WithSeed(11)); err != nil {
-		b.Fatal(err)
-	}
+	buildAndClose(b, buildDir, data,
+		WithCapacity(benchCapacity), WithBlockSize(1000), WithSeed(11))
 	_, queries := dataset.Queries(sds, benchQueries, 77)
 
 	for _, c := range []struct {
@@ -568,10 +566,8 @@ func BenchmarkPartitionCacheBatch(b *testing.B) {
 		sds.Append(ds.Get(i))
 	}
 	buildDir := dir + "/db"
-	if _, err := Build(buildDir, data,
-		WithCapacity(benchCapacity), WithBlockSize(1000), WithSeed(11)); err != nil {
-		b.Fatal(err)
-	}
+	buildAndClose(b, buildDir, data,
+		WithCapacity(benchCapacity), WithBlockSize(1000), WithSeed(11))
 	_, queries := dataset.Queries(sds, 32, 77)
 
 	for _, c := range []struct {

@@ -11,9 +11,7 @@ import (
 func TestPartitionCacheReducesPartitionLoads(t *testing.T) {
 	dir := t.TempDir()
 	data := smallData(1500)
-	if _, err := Build(dir, data, smallOpts()...); err != nil {
-		t.Fatal(err)
-	}
+	buildAndClose(t, dir, data, smallOpts()...)
 	queries := [][]float64{data[3], data[400], data[800], data[1200], data[1499]}
 	const rounds = 10
 
@@ -28,12 +26,12 @@ func TestPartitionCacheReducesPartitionLoads(t *testing.T) {
 		return db.CacheStats().PartitionsLoaded
 	}
 
-	cold, err := Open(dir)
+	cold, err := Open(dir, WithReadOnly())
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer cold.Close()
-	warm, err := Open(dir, WithPartitionCacheBytes(256<<20))
+	warm, err := Open(dir, WithPartitionCacheBytes(256<<20), WithReadOnly())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -70,15 +68,13 @@ func TestPartitionCacheReducesPartitionLoads(t *testing.T) {
 func TestPartitionCacheEquivalence(t *testing.T) {
 	dir := t.TempDir()
 	data := smallData(1500)
-	if _, err := Build(dir, data, smallOpts()...); err != nil {
-		t.Fatal(err)
-	}
-	off, err := Open(dir, WithPartitionCacheBytes(0))
+	buildAndClose(t, dir, data, smallOpts()...)
+	off, err := Open(dir, WithPartitionCacheBytes(0), WithReadOnly())
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer off.Close()
-	on, err := Open(dir, WithPartitionCacheBytes(64<<20))
+	on, err := Open(dir, WithPartitionCacheBytes(64<<20), WithReadOnly())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -163,9 +159,7 @@ func TestPartitionCacheConcurrentSearchBatch(t *testing.T) {
 func buildAndReopenFrom(t *testing.T, data [][]float64, extra ...Option) *DB {
 	t.Helper()
 	dir := t.TempDir()
-	if _, err := Build(dir, data, smallOpts()...); err != nil {
-		t.Fatal(err)
-	}
+	buildAndClose(t, dir, data, smallOpts()...)
 	db, err := Open(dir, extra...)
 	if err != nil {
 		t.Fatal(err)

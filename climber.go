@@ -42,17 +42,33 @@
 // purges the partition cache and makes subsequent calls return ErrClosed.
 // cmd/climber-serve exposes an opened DB as a concurrent HTTP JSON service
 // (see internal/server) built on exactly these APIs.
+//
+// # Live ingestion
+//
+// Every DB carries a streaming write path (internal/ingest): Append and
+// AppendContext route new series through the existing index layout, fsync
+// them into a write-ahead log under the database directory, and insert them
+// into an in-memory delta index that every search merges into its answer.
+// An acked append is therefore durable (a kill -9 later, Open replays the
+// WAL) and immediately searchable. A background compactor drains the delta
+// into the partition files once it grows past WithCompactionRecords records
+// or its oldest entry ages past WithCompactionAge; Flush forces that drain
+// synchronously. Appends may be issued from any number of goroutines — the
+// DB serialises writes internally.
 package climber
 
 import (
 	"context"
 	"errors"
 	"fmt"
+	"os"
 	"path/filepath"
 	"sync/atomic"
+	"time"
 
 	"climber/internal/cluster"
 	"climber/internal/core"
+	"climber/internal/ingest"
 	"climber/internal/metric"
 	"climber/internal/series"
 )
@@ -60,6 +76,10 @@ import (
 // ErrClosed is returned by every query and mutation method of a DB after
 // Close. Use errors.Is to test for it.
 var ErrClosed = errors.New("climber: database is closed")
+
+// ErrReadOnly is returned by Append and Flush on a DB opened with
+// WithReadOnly. Use errors.Is to test for it.
+var ErrReadOnly = errors.New("climber: database opened read-only")
 
 // Result is one approximate nearest neighbour: the ID (the position of the
 // series in the build input) and its Euclidean distance to the query.
@@ -79,10 +99,37 @@ type Stats struct {
 	RecordsScanned int
 	// BytesLoaded approximates the I/O volume of the query.
 	BytesLoaded int64
+	// DeltaScanned is the subset of RecordsScanned served by the in-memory
+	// delta index — appended series not yet compacted into partition files.
+	DeltaScanned int
 	// PartitionCacheHits and PartitionCacheMisses count the query's
 	// partition opens served from / missing the shared partition cache
 	// (see WithPartitionCacheBytes); both are zero when the cache is off.
 	PartitionCacheHits, PartitionCacheMisses int
+}
+
+// IngestStats reports the cumulative state of the DB's streaming write
+// path: the write-ahead log, the in-memory delta index, and the background
+// compactor.
+type IngestStats struct {
+	// AppendCalls and AppendedSeries count acked Append/AppendContext
+	// invocations and the series they carried.
+	AppendCalls, AppendedSeries int64
+	// ReplayedSeries counts WAL entries restored into the delta when the
+	// database was opened (non-zero only after recovering from a kill).
+	ReplayedSeries int64
+	// WALBytes is the write-ahead log's current size.
+	WALBytes int64
+	// Compactions and CompactedSeries count completed compactions and the
+	// records they moved from the delta into partition files.
+	Compactions, CompactedSeries int64
+	// DeltaRecords and DeltaBytes describe the resident delta index: acked
+	// writes awaiting compaction.
+	DeltaRecords int
+	DeltaBytes   int64
+	// CompactErrors counts failed background compaction attempts; each is
+	// retried on the next trigger.
+	CompactErrors int64
 }
 
 // CacheStats reports the cumulative effect of the shared partition cache
@@ -128,6 +175,8 @@ type options struct {
 	nodes      int
 	workers    int
 	cacheBytes int64
+	ingest     ingest.Config
+	readOnly   bool
 }
 
 // WithSegments sets the PAA segment count w (default 16).
@@ -190,6 +239,32 @@ func WithPartitionCacheBytes(n int64) Option {
 	return func(o *options) { o.cacheBytes = n }
 }
 
+// WithCompactionRecords sets how many acked-but-uncompacted records the
+// in-memory delta index may hold before the background compactor drains it
+// into partition files (default 4096). Lower values bound delta memory and
+// WAL replay time; higher values batch more records per partition rewrite.
+func WithCompactionRecords(n int) Option {
+	return func(o *options) { o.ingest.CompactRecords = n }
+}
+
+// WithCompactionAge sets how long the oldest uncompacted record may wait
+// before a compaction is forced regardless of volume (default 5s), bounding
+// WAL replay time under a trickle of writes.
+func WithCompactionAge(d time.Duration) Option {
+	return func(o *options) { o.ingest.CompactAge = d }
+}
+
+// WithReadOnly opens the database without its streaming write path: no WAL
+// is opened or replayed, no compactor runs, and Append/Flush return
+// ErrReadOnly. This is how tools inspect a directory a live writer owns —
+// a second writer would replay and truncate the owner's WAL out from under
+// it, so the WAL carries a single-writer file lock and read-only is the
+// supported concurrent-access mode. Records still in the owner's WAL (not
+// yet compacted) are not visible to a read-only open.
+func WithReadOnly() Option {
+	return func(o *options) { o.readOnly = true }
+}
+
 // SearchOption customises a single Search call.
 type SearchOption func(*core.SearchOptions)
 
@@ -205,12 +280,15 @@ func WithMaxPartitions(n int) SearchOption {
 }
 
 // DB is a built CLIMBER database. A DB is safe for concurrent use; the
-// query methods may be called from any number of goroutines. Close releases
-// its resources — long-lived processes (servers, tests) should defer it.
+// query and append methods may be called from any number of goroutines —
+// writes are serialised internally by the ingestion pipeline. Close
+// releases its resources — long-lived processes (servers, tests) should
+// defer it.
 type DB struct {
 	dir    string
 	ix     *core.Index
 	cl     *cluster.Cluster
+	ing    *ingest.Ingester
 	closed atomic.Bool
 }
 
@@ -238,6 +316,15 @@ func newCluster(dir string, o options) (*cluster.Cluster, error) {
 }
 
 func indexPath(dir string) string { return filepath.Join(dir, "index.clms") }
+func walPath(dir string) string   { return filepath.Join(dir, "wal.clmw") }
+
+// attachIngest starts the streaming write path on a freshly built or opened
+// index: WAL replay, delta install, background compactor.
+func attachIngest(dir string, ix *core.Index, o options) (*ingest.Ingester, error) {
+	return ingest.Open(ix, walPath(dir), func() error {
+		return core.SaveIndex(ix, indexPath(dir))
+	}, o.ingest)
+}
 
 // Build constructs a CLIMBER database in dir over the given data series.
 // All series must have the same length. The input is copied; the returned
@@ -270,19 +357,37 @@ func BuildDataset(dir string, ds *series.Dataset, opts ...Option) (*DB, error) {
 	}
 	bs, err := cl.IngestBlocks(ds, o.cfg.BlockSize, "data")
 	if err != nil {
+		cl.Close()
 		return nil, err
 	}
 	ix, err := core.Build(cl, bs, o.cfg, "climber")
 	if err != nil {
+		cl.Close()
 		return nil, err
 	}
 	if err := core.SaveIndex(ix, indexPath(dir)); err != nil {
+		cl.Close()
 		return nil, err
 	}
-	return &DB{dir: dir, ix: ix, cl: cl}, nil
+	// A build defines a brand-new database; a WAL left in dir by a previous
+	// one must not replay its (differently-IDed, possibly differently-
+	// shaped) entries into the fresh index.
+	if err := os.Remove(walPath(dir)); err != nil && !os.IsNotExist(err) {
+		cl.Close()
+		return nil, fmt.Errorf("climber: remove stale WAL: %w", err)
+	}
+	ing, err := attachIngest(dir, ix, o)
+	if err != nil {
+		cl.Close()
+		return nil, err
+	}
+	return &DB{dir: dir, ix: ix, cl: cl, ing: ing}, nil
 }
 
-// Open loads a database previously built in dir.
+// Open loads a database previously built in dir. Acked appends that were
+// never compacted (the process was killed) are restored from the write-ahead
+// log before Open returns: they are searchable immediately and the
+// background compactor lands them in partition files shortly after.
 func Open(dir string, opts ...Option) (*DB, error) {
 	o := buildOptions(opts)
 	cl, err := newCluster(dir, o)
@@ -291,9 +396,18 @@ func Open(dir string, opts ...Option) (*DB, error) {
 	}
 	ix, err := core.OpenIndex(cl, indexPath(dir))
 	if err != nil {
+		cl.Close()
 		return nil, err
 	}
-	return &DB{dir: dir, ix: ix, cl: cl}, nil
+	if o.readOnly {
+		return &DB{dir: dir, ix: ix, cl: cl}, nil
+	}
+	ing, err := attachIngest(dir, ix, o)
+	if err != nil {
+		cl.Close()
+		return nil, err
+	}
+	return &DB{dir: dir, ix: ix, cl: cl, ing: ing}, nil
 }
 
 // searchOptions folds per-call options over the library defaults.
@@ -311,6 +425,7 @@ func statsOf(qs core.QueryStats) Stats {
 		GroupsConsidered:     qs.GroupsConsidered,
 		PartitionsScanned:    qs.PartitionsScanned,
 		RecordsScanned:       qs.RecordsScanned,
+		DeltaScanned:         qs.DeltaScanned,
 		BytesLoaded:          qs.BytesLoaded,
 		PartitionCacheHits:   qs.CacheHits,
 		PartitionCacheMisses: qs.CacheMisses,
@@ -373,21 +488,77 @@ func (db *DB) CacheStats() CacheStats {
 	}
 }
 
-// Append inserts new data series into the database, routing them through
-// the existing index layout, and persists the updated manifest. The
-// assigned IDs (continuing the build sequence) are returned in input order.
+// Append inserts new data series into the database. The assigned IDs
+// (continuing the build sequence) are returned in input order. When Append
+// returns, the series are durable — fsynced into the write-ahead log, so
+// they survive a process kill — and immediately visible to every search;
+// the background compactor lands them in partition files asynchronously
+// (Flush forces it). Append is safe to call from any number of goroutines,
+// concurrently with searches; writes are serialised internally.
 func (db *DB) Append(data [][]float64) ([]int, error) {
+	return db.AppendContext(context.Background(), data)
+}
+
+// AppendContext is Append under a context. Cancellation is honoured while
+// the call waits its turn behind other writers; once the write-ahead-log
+// fsync begins the write is acked regardless (a durability ack cannot be
+// retracted).
+func (db *DB) AppendContext(ctx context.Context, data [][]float64) ([]int, error) {
 	if db.closed.Load() {
 		return nil, ErrClosed
 	}
-	ids, err := db.ix.Append(data)
-	if err != nil {
-		return nil, err
+	if db.ing == nil {
+		return nil, ErrReadOnly
 	}
-	if err := core.SaveIndex(db.ix, indexPath(db.dir)); err != nil {
-		return nil, err
+	ids, err := db.ing.Append(ctx, data)
+	if errors.Is(err, ingest.ErrClosed) {
+		return nil, ErrClosed
 	}
-	return ids, nil
+	return ids, err
+}
+
+// Flush synchronously compacts every acked-but-uncompacted write into its
+// partition file, persists the manifest, and truncates the write-ahead log.
+// Searches are unaffected either way — Flush only moves where records are
+// served from.
+func (db *DB) Flush() error {
+	return db.FlushContext(context.Background())
+}
+
+// FlushContext is Flush under a context, honoured while waiting behind
+// other writers.
+func (db *DB) FlushContext(ctx context.Context) error {
+	if db.closed.Load() {
+		return ErrClosed
+	}
+	if db.ing == nil {
+		return ErrReadOnly
+	}
+	err := db.ing.Flush(ctx)
+	if errors.Is(err, ingest.ErrClosed) {
+		return ErrClosed
+	}
+	return err
+}
+
+// IngestStats reports the cumulative counters of the streaming write path;
+// all zero on a read-only DB.
+func (db *DB) IngestStats() IngestStats {
+	if db.ing == nil {
+		return IngestStats{}
+	}
+	s := db.ing.Stats()
+	return IngestStats{
+		AppendCalls:     s.AppendCalls,
+		AppendedSeries:  s.AppendedSeries,
+		ReplayedSeries:  s.ReplayedSeries,
+		WALBytes:        s.WALBytes,
+		Compactions:     s.Compactions,
+		CompactedSeries: s.CompactedSeries,
+		DeltaRecords:    s.DeltaRecords,
+		DeltaBytes:      s.DeltaBytes,
+		CompactErrors:   s.CompactErrors,
+	}
 }
 
 // SearchPrefix answers a query shorter than the indexed series length —
@@ -458,17 +629,25 @@ func (db *DB) SearchBatchContextWorkers(ctx context.Context, queries [][]float64
 	return out, nil
 }
 
-// Close releases the database's resources: the shared partition cache is
-// purged (dropping every resident partition) and further queries, appends
-// and batch calls return ErrClosed. Close is idempotent and safe to call
-// concurrently with running queries — in-flight queries finish normally on
-// uncached file reads; they are not interrupted (cancel their contexts for
-// that). The on-disk database is untouched and can be reopened with Open.
+// Close releases the database's resources: the ingestion pipeline stops
+// (running one final compaction so nothing is left in the WAL), the shared
+// partition cache is purged, and further queries, appends and batch calls
+// return ErrClosed. Close is idempotent and safe to call concurrently with
+// running queries — in-flight queries finish normally on uncached file
+// reads; they are not interrupted (cancel their contexts for that). The
+// on-disk database is untouched and can be reopened with Open.
 func (db *DB) Close() error {
 	if db.closed.Swap(true) {
 		return nil
 	}
-	return db.cl.Close()
+	var err error
+	if db.ing != nil {
+		err = db.ing.Close()
+	}
+	if cerr := db.cl.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 // Info summarises the database's shape.
@@ -480,18 +659,21 @@ type Info struct {
 	NumRecords    int
 }
 
-// Info reports the database's structural summary.
+// Info reports the database's structural summary. NumRecords counts every
+// acked record exactly once: those in partition files plus those still in
+// the in-memory delta awaiting compaction (derived from the acked-write
+// counters, so a compaction in flight cannot skew it).
 func (db *DB) Info() Info {
-	total := 0
-	for _, c := range db.ix.Parts.Counts {
-		total += c
+	records := db.ix.PersistedRecords()
+	if db.ing != nil {
+		records = db.ing.TotalRecords()
 	}
 	return Info{
 		SeriesLen:     db.ix.Skel.SeriesLen,
 		NumGroups:     db.ix.Skel.NumGroups(),
 		NumPartitions: db.ix.Skel.NumPartitions,
 		SkeletonBytes: db.ix.Skel.EncodedSize(),
-		NumRecords:    total,
+		NumRecords:    records,
 	}
 }
 

@@ -27,6 +27,21 @@ func smallOpts() []Option {
 	}
 }
 
+// buildAndClose builds a database in dir and closes the handle immediately,
+// leaving only the on-disk artefacts for a later Open. (An open handle owns
+// the directory's single-writer WAL lock, so tests that reopen must release
+// the builder first.)
+func buildAndClose(tb testing.TB, dir string, data [][]float64, opts ...Option) {
+	tb.Helper()
+	db, err := Build(dir, data, opts...)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		tb.Fatal(err)
+	}
+}
+
 func TestBuildSearchRoundTrip(t *testing.T) {
 	data := smallData(1500)
 	db, err := Build(t.TempDir(), data, smallOpts()...)
@@ -58,9 +73,11 @@ func TestOpenReusesIndex(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer db.Close()
 	a, err := db.Search(data[7], 10)
 	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil { // release the writer lock for reopen
 		t.Fatal(err)
 	}
 	reopened, err := Open(dir)
@@ -151,7 +168,11 @@ func TestAppendThroughPublicAPI(t *testing.T) {
 	if db.Info().NumRecords != 1205 {
 		t.Fatalf("NumRecords = %d, want 1205", db.Info().NumRecords)
 	}
-	// The append persisted: reopening sees the records.
+	// The append persisted: Close compacts the delta, and reopening sees
+	// the records from the partition files.
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
 	reopened, err := Open(dir)
 	if err != nil {
 		t.Fatal(err)
@@ -172,9 +193,7 @@ func TestAppendThroughPublicAPI(t *testing.T) {
 func TestAppendAfterReopen(t *testing.T) {
 	dir := t.TempDir()
 	data := smallData(1000)
-	if _, err := Build(dir, data, smallOpts()...); err != nil {
-		t.Fatal(err)
-	}
+	buildAndClose(t, dir, data, smallOpts()...)
 	// Reopen and append: the ID sequence must continue from the manifest's
 	// counts, not restart.
 	db, err := Open(dir)

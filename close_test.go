@@ -41,9 +41,7 @@ func TestCloseIdempotentAndSentinels(t *testing.T) {
 func TestClosePurgesPartitionCache(t *testing.T) {
 	dir := t.TempDir()
 	data := smallData(600)
-	if _, err := Build(dir, data, smallOpts()...); err != nil {
-		t.Fatal(err)
-	}
+	buildAndClose(t, dir, data, smallOpts()...)
 	db, err := Open(dir, WithPartitionCacheBytes(256<<20))
 	if err != nil {
 		t.Fatal(err)

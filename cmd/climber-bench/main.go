@@ -10,6 +10,12 @@
 // fig11b fig12 table1 (or "all"). Scales: small, medium, large. See
 // DESIGN.md for the experiment index and EXPERIMENTS.md for recorded
 // paper-vs-measured results.
+//
+// Beyond the paper artefacts, "mixed" runs a concurrent read/write workload
+// against the streaming ingestion pipeline (internal/ingest) and reports
+// append and search latency side by side:
+//
+//	climber-bench -experiment mixed -scale small
 package main
 
 import (

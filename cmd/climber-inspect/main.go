@@ -33,7 +33,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	db, err := climber.Open(*dir)
+	db, err := climber.Open(*dir, climber.WithReadOnly())
 	if err != nil {
 		log.Fatal(err)
 	}

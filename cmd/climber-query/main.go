@@ -67,7 +67,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	db, err := climber.Open(*dir, climber.WithPartitionCacheBytes(*cache))
+	db, err := climber.Open(*dir, climber.WithPartitionCacheBytes(*cache), climber.WithReadOnly())
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -9,15 +9,21 @@
 //
 //	POST /search        one kNN query
 //	POST /search/batch  many queries in one request
+//	POST /append        ingest new series (durable + immediately searchable)
+//	POST /flush         force compaction of acked writes into partitions
 //	GET  /info          database shape
-//	GET  /stats         server + cache counters (JSON)
+//	GET  /stats         server + cache + ingestion counters (JSON)
 //	GET  /healthz       liveness probe
 //	GET  /metrics       Prometheus text exposition
 //
-// The service bounds in-flight queries with an admission semaphore
-// (-max-inflight): excess requests queue up to -queue-timeout and are then
-// answered 429. A client that disconnects mid-query cancels the query's
-// partition scans. SIGINT/SIGTERM drain in-flight requests before exit.
+// The service bounds in-flight queries and writes with an admission
+// semaphore (-max-inflight): excess requests queue up to -queue-timeout and
+// are then answered 429. A client that disconnects mid-query cancels the
+// query's partition scans. Appends are fsynced into the database's
+// write-ahead log before they are acked and a background compactor folds
+// them into partition files (-compact-records / -compact-age tune the
+// thresholds). SIGINT/SIGTERM drain in-flight requests, then Close runs a
+// final compaction before exit.
 package main
 
 import (
@@ -47,6 +53,9 @@ func main() {
 		queueTimeout = flag.Duration("queue-timeout", 2*time.Second, "how long an over-limit request may wait for a slot before 429")
 		maxK         = flag.Int("max-k", 10000, "largest accepted per-query answer size k")
 		maxBatch     = flag.Int("max-batch", 256, "largest accepted batch query count")
+		maxAppend    = flag.Int("max-append", 1024, "largest accepted append series count")
+		compactRecs  = flag.Int("compact-records", 4096, "delta records that trigger a background compaction")
+		compactAge   = flag.Duration("compact-age", 5*time.Second, "oldest uncompacted record age that forces a compaction")
 		bodyTimeout  = flag.Duration("body-timeout", 15*time.Second, "deadline for reading one request body")
 		drainTimeout = flag.Duration("drain-timeout", 15*time.Second, "graceful-shutdown deadline for in-flight requests")
 	)
@@ -56,7 +65,10 @@ func main() {
 		os.Exit(2)
 	}
 
-	db, err := climber.Open(*dir, climber.WithPartitionCacheBytes(*cacheBytes))
+	db, err := climber.Open(*dir,
+		climber.WithPartitionCacheBytes(*cacheBytes),
+		climber.WithCompactionRecords(*compactRecs),
+		climber.WithCompactionAge(*compactAge))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -64,12 +76,16 @@ func main() {
 	info := db.Info()
 	log.Printf("opened %s: %d records, series length %d, %d groups, %d partitions",
 		*dir, info.NumRecords, info.SeriesLen, info.NumGroups, info.NumPartitions)
+	if ing := db.IngestStats(); ing.ReplayedSeries > 0 {
+		log.Printf("replayed %d acked series from the write-ahead log", ing.ReplayedSeries)
+	}
 
 	srv := server.New(db, server.Config{
 		MaxInFlight:     *maxInflight,
 		QueueTimeout:    *queueTimeout,
 		MaxK:            *maxK,
 		MaxBatch:        *maxBatch,
+		MaxAppend:       *maxAppend,
 		BodyReadTimeout: *bodyTimeout,
 	})
 	httpSrv := &http.Server{

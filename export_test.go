@@ -1,0 +1,7 @@
+package climber
+
+// abandonForTest simulates a process kill for crash-recovery tests: the
+// ingestion pipeline stops and the WAL closes with its contents intact (no
+// final compaction), releasing the single-writer file lock exactly as a
+// real process death would. The DB must not be used afterwards.
+func (db *DB) abandonForTest() { db.ing.Abandon() }

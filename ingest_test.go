@@ -1,0 +1,243 @@
+package climber
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// ingestOpts parks the background compactor behind huge thresholds so tests
+// control compaction timing explicitly.
+func ingestOpts(extra ...Option) []Option {
+	return append(append([]Option{}, smallOpts()...),
+		append([]Option{WithCompactionRecords(1 << 20), WithCompactionAge(time.Hour)}, extra...)...)
+}
+
+// An acked Append must survive a process kill: nothing was flushed or
+// closed, yet reopening the directory replays the WAL and every record is
+// searchable.
+func TestAppendSurvivesCrash(t *testing.T) {
+	dir := t.TempDir()
+	data := smallData(1200)
+	db, err := Build(dir, data, ingestOpts()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	extra := smallData(1230)[1200:] // 30 fresh series
+	ids, err := db.Append(extra)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.IngestStats().Compactions != 0 {
+		t.Fatal("test premise broken: a compaction ran before the simulated kill")
+	}
+	// Simulated kill -9: nothing flushed, nothing compacted, the WAL's
+	// single-writer lock released by the "death".
+	db.abandonForTest()
+
+	re, err := Open(dir, ingestOpts()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if got := re.IngestStats().ReplayedSeries; got != 30 {
+		t.Fatalf("replayed %d series, want 30", got)
+	}
+	if got := re.Info().NumRecords; got != 1230 {
+		t.Fatalf("NumRecords = %d after recovery, want 1230", got)
+	}
+	found := 0
+	for i, q := range extra[:10] {
+		res, err := re.Search(q, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res) > 0 && res[0].ID == ids[i] && res[0].Dist < 1e-4 {
+			found++
+		}
+	}
+	if found < 9 {
+		t.Fatalf("found %d/10 acked records after recovery, want >= 9", found)
+	}
+	// New IDs continue past the recovered tail.
+	ids2, err := re.Append(extra[:1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ids2[0] != 1230 {
+		t.Fatalf("post-recovery append ID = %d, want 1230", ids2[0])
+	}
+}
+
+// Flush moves every acked record from the delta into partition files; the
+// WAL empties and searches keep finding the records.
+func TestFlushDrainsDelta(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Build(dir, smallData(1000), ingestOpts()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	extra := smallData(1020)[1000:]
+	ids, err := db.Append(extra)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := db.IngestStats()
+	if st.DeltaRecords != 20 || st.WALBytes <= 12 {
+		t.Fatalf("pre-flush ingest stats: %+v", st)
+	}
+	if err := db.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	st = db.IngestStats()
+	if st.DeltaRecords != 0 || st.Compactions != 1 || st.CompactedSeries != 20 {
+		t.Fatalf("post-flush ingest stats: %+v", st)
+	}
+	res, err := db.Search(extra[7], 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) == 0 || res[0].ID != ids[7] || res[0].Dist > 1e-4 {
+		t.Fatalf("record invisible after flush: %+v", res)
+	}
+	if db.Info().NumRecords != 1020 {
+		t.Fatalf("NumRecords = %d after flush, want 1020", db.Info().NumRecords)
+	}
+}
+
+// Appends and searches from many goroutines must be safe (run under -race)
+// and every acked record immediately findable — including while background
+// compactions overlap the search traffic.
+func TestConcurrentAppendAndSearch(t *testing.T) {
+	dir := t.TempDir()
+	data := smallData(1000)
+	// Low thresholds so real compactions race the workload.
+	db, err := Build(dir, data, append(append([]Option{}, smallOpts()...),
+		WithCompactionRecords(24), WithCompactionAge(50*time.Millisecond))...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+
+	const (
+		writers      = 4
+		perWriter    = 8
+		batchSize    = 4
+		readers      = 4
+		searchesEach = 30
+	)
+	fresh := smallData(1000 + writers*perWriter*batchSize)[1000:]
+	var wg sync.WaitGroup
+	errCh := make(chan error, writers+readers)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			base := w * perWriter * batchSize
+			for b := 0; b < perWriter; b++ {
+				recs := fresh[base+b*batchSize : base+(b+1)*batchSize]
+				if _, err := db.Append(recs); err != nil {
+					errCh <- err
+					return
+				}
+				// Each acked batch is immediately searchable.
+				res, err := db.Search(recs[0], 3)
+				if err != nil {
+					errCh <- err
+					return
+				}
+				if len(res) == 0 {
+					errCh <- errors.New("search returned no results mid-ingest")
+					return
+				}
+			}
+		}(w)
+	}
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := 0; i < searchesEach; i++ {
+				if _, err := db.Search(data[(r*131+i*7)%len(data)], 10); err != nil {
+					errCh <- err
+					return
+				}
+			}
+		}(r)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Every ID was assigned exactly once: the final record count is exact.
+	if err := db.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	want := 1000 + writers*perWriter*batchSize
+	if got := db.Info().NumRecords; got != want {
+		t.Fatalf("NumRecords = %d after concurrent appends, want %d", got, want)
+	}
+}
+
+// The delta merge reports its effort: DeltaScanned is populated while
+// records sit in the delta and zero after compaction.
+func TestDeltaScannedStat(t *testing.T) {
+	db, err := Build(t.TempDir(), smallData(1000), ingestOpts()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	extra := smallData(1010)[1000:]
+	if _, err := db.Append(extra); err != nil {
+		t.Fatal(err)
+	}
+	_, st, err := db.SearchWithStats(extra[0], 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.DeltaScanned == 0 {
+		t.Fatal("DeltaScanned = 0 with a populated delta")
+	}
+	if err := db.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	_, st, err = db.SearchWithStats(extra[0], 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.DeltaScanned != 0 {
+		t.Fatalf("DeltaScanned = %d after flush, want 0", st.DeltaScanned)
+	}
+}
+
+// Rebuilding a database in place (the documented remedy for capacity
+// drift) must not replay the previous database's WAL into the fresh index.
+func TestRebuildInPlaceDiscardsStaleWAL(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Build(dir, smallData(1000), ingestOpts()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Append(smallData(1010)[1000:]); err != nil {
+		t.Fatal(err)
+	}
+	db.abandonForTest() // uncompacted entries left in wal.clmw
+
+	re, err := Build(dir, smallData(800), ingestOpts()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if got := re.IngestStats().ReplayedSeries; got != 0 {
+		t.Fatalf("fresh build replayed %d stale WAL series, want 0", got)
+	}
+	if got := re.Info().NumRecords; got != 800 {
+		t.Fatalf("NumRecords = %d after rebuild, want 800", got)
+	}
+}

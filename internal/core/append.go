@@ -6,25 +6,100 @@ import (
 	"os"
 	"sort"
 
+	"climber/internal/cluster"
 	"climber/internal/storage"
 )
 
+// Routed is one new data series with its assigned ID and the destination the
+// skeleton routed it to. It is the unit of work shared by the synchronous
+// Append path and the streaming ingestion compactor (internal/ingest), both
+// of which ultimately land records in partition files via WriteRouted.
+type Routed struct {
+	ID     int
+	Route  cluster.Route
+	Values []float64
+}
+
+// initNextID seeds the index's ID counter from the persisted partition
+// counts. Build and OpenIndex call it once; afterwards every ID comes from
+// ReserveIDs so concurrent writers can never mint duplicates by re-reading
+// mutable state.
+func (ix *Index) initNextID() {
+	total := 0
+	for _, c := range ix.Parts.Counts {
+		total += c
+	}
+	ix.nextID.Store(int64(total))
+}
+
+// ReserveIDs atomically reserves n consecutive record IDs and returns the
+// first. IDs continue the build sequence (build assigns 0..N-1).
+func (ix *Index) ReserveIDs(n int) int {
+	return int(ix.nextID.Add(int64(n))) - n
+}
+
+// EnsureNextID raises the ID counter to at least min. WAL replay uses it so
+// IDs acked before a crash are never reissued after reopen.
+func (ix *Index) EnsureNextID(min int) {
+	for {
+		cur := ix.nextID.Load()
+		if cur >= int64(min) || ix.nextID.CompareAndSwap(cur, int64(min)) {
+			return
+		}
+	}
+}
+
+// UnreserveIDs returns a failed write's ID reservation, keeping the ID
+// sequence dense. If the counter moved on (another writer reserved past us
+// — possible only when the caller broke the serialisation contract), the
+// burned gap is left in place; a gap is tolerable for the writer that kept
+// the contract, while reissuing IDs under it would not be. Dense IDs matter
+// because initNextID re-derives the counter from the record count at open:
+// a gap below the final count would make a future open reissue the ID of a
+// durable record.
+func (ix *Index) UnreserveIDs(first, n int) {
+	ix.nextID.CompareAndSwap(int64(first+n), int64(first))
+}
+
+// PersistedRecords returns the number of records held by the partition
+// files, per the manifest. With a live delta index the database's total
+// record count is this plus the delta's length.
+func (ix *Index) PersistedRecords() int {
+	ix.countsMu.Lock()
+	defer ix.countsMu.Unlock()
+	total := 0
+	for _, c := range ix.Parts.Counts {
+		total += c
+	}
+	return total
+}
+
+// RouteNew routes one new record through the existing pivots, groups, and
+// tries (exactly like Step 4 of construction). The tie-break generator is
+// derived from the record ID with the same formula the build uses, so a
+// record's destination is a pure function of (seed, id, values) — WAL replay
+// after a crash recomputes identical routes.
+func (ix *Index) RouteNew(id int, values []float64) cluster.Route {
+	rng := rand.New(rand.NewPCG(ix.Skel.Cfg.Seed, uint64(id)+0x9e3779b97f4a7c15))
+	return ix.Skel.RouteRecord(values, rng)
+}
+
 // Append inserts new data series into a built index without rebuilding the
 // skeleton: each record is routed through the existing pivots, groups, and
-// tries (exactly like Step 4 of construction) and appended to its partition
-// file. Appended records receive IDs continuing the build sequence; the
-// assigned IDs are returned in input order.
+// tries and appended to its partition file. Appended records receive IDs
+// continuing the build sequence; the assigned IDs are returned in input
+// order.
 //
 // The skeleton's partitioning was derived from the original sample, so a
 // heavily appended index drifts from its capacity targets — like the
 // paper's prototype, rebuilding is the answer once partitions grow far past
 // the capacity constraint (the soft-constraint discussion of Section V).
 //
-// Concurrency: Append replaces partition files atomically (write-temp +
-// rename), so queries running concurrently see either the old or the new
-// file — both are consistent snapshots. Concurrent Append calls, however,
-// must be serialised by the caller: two appends may interleave ID
-// assignment and lose records.
+// Concurrency: ID assignment is atomic, but the partition rewrites are not
+// — concurrent Append calls may interleave read-modify-replace cycles on
+// the same partition file and lose records, so callers must serialise them.
+// climber.DB does this internally by funnelling every write through its
+// ingestion pipeline; direct users of core.Index remain responsible for it.
 func (ix *Index) Append(records [][]float64) ([]int, error) {
 	if len(records) == 0 {
 		return nil, nil
@@ -35,27 +110,35 @@ func (ix *Index) Append(records [][]float64) ([]int, error) {
 				i, len(r), ix.Skel.SeriesLen)
 		}
 	}
-	nextID := 0
-	for _, c := range ix.Parts.Counts {
-		nextID += c
-	}
-
-	// Route every record, grouping by destination partition.
-	byPartition := make(map[int][]pendingRecord)
+	first := ix.ReserveIDs(len(records))
+	routed := make([]Routed, len(records))
 	ids := make([]int, len(records))
 	for i, r := range records {
-		id := nextID + i
+		id := first + i
 		ids[i] = id
-		rng := rand.New(rand.NewPCG(ix.Skel.Cfg.Seed, uint64(id)+0x9e3779b97f4a7c15))
-		route := ix.Skel.RouteRecord(r, rng)
-		byPartition[route.Partition] = append(byPartition[route.Partition],
-			pendingRecord{id: id, cluster: route.Cluster, values: r})
+		routed[i] = Routed{ID: id, Route: ix.RouteNew(id, r), Values: r}
 	}
+	if err := ix.WriteRouted(routed); err != nil {
+		// Hand the reservation back so the ID sequence stays dense. Any
+		// partitions already rewritten hold orphans under these IDs; a
+		// retry reissues the same IDs and the replace-by-ID merge lands
+		// the new records exactly once in the orphans' place.
+		ix.UnreserveIDs(first, len(records))
+		return nil, err
+	}
+	return ids, nil
+}
 
-	// Rewrite each affected partition with the new records merged in.
-	// Partition files are immutable cluster-contiguous layouts, so append
-	// is read-modify-replace — cheap because partitions are capacity
-	// bounded.
+// WriteRouted lands already-routed records in their partition files,
+// grouping by destination so each affected partition is rewritten once.
+// Callers must serialise WriteRouted calls (see Append); queries running
+// concurrently are safe — partition files are replaced atomically, so they
+// see either the old or the new consistent snapshot.
+func (ix *Index) WriteRouted(recs []Routed) error {
+	byPartition := make(map[int][]Routed)
+	for _, r := range recs {
+		byPartition[r.Route.Partition] = append(byPartition[r.Route.Partition], r)
+	}
 	pids := make([]int, 0, len(byPartition))
 	for pid := range byPartition {
 		pids = append(pids, pid)
@@ -63,22 +146,27 @@ func (ix *Index) Append(records [][]float64) ([]int, error) {
 	sort.Ints(pids)
 	for _, pid := range pids {
 		if err := ix.appendToPartition(pid, byPartition[pid]); err != nil {
-			return nil, err
+			return err
 		}
 	}
-	return ids, nil
+	return nil
 }
 
-// pendingRecord is one appended series awaiting its partition rewrite.
-type pendingRecord struct {
-	id      int
-	cluster storage.ClusterID
-	values  []float64
-}
-
-func (ix *Index) appendToPartition(pid int, recs []pendingRecord) error {
+// appendToPartition merges recs into one partition file. Partition files are
+// immutable cluster-contiguous layouts, so append is read-modify-replace —
+// cheap because partitions are capacity bounded.
+//
+// The merge is idempotent: an existing record whose ID reappears in recs is
+// replaced rather than duplicated. This is what makes WAL replay after a
+// crash between partition writes and the manifest save safe — recompacting
+// a replayed record lands it exactly once.
+func (ix *Index) appendToPartition(pid int, recs []Routed) error {
 	path := ix.Parts.Paths[pid]
 	w := storage.NewPartitionWriter(ix.Parts.SeriesLen)
+	incoming := make(map[int]struct{}, len(recs))
+	for _, r := range recs {
+		incoming[r.ID] = struct{}{}
+	}
 
 	existing, err := storage.OpenPartition(path)
 	if err != nil {
@@ -87,6 +175,9 @@ func (ix *Index) appendToPartition(pid int, recs []pendingRecord) error {
 	for _, ci := range existing.Clusters() {
 		cid := ci.ID
 		err := existing.ScanCluster(cid, func(id int, values []float64) error {
+			if _, replaced := incoming[id]; replaced {
+				return nil
+			}
 			return w.Append(cid, id, values)
 		})
 		if err != nil {
@@ -97,7 +188,7 @@ func (ix *Index) appendToPartition(pid int, recs []pendingRecord) error {
 	existing.Close()
 
 	for _, r := range recs {
-		if err := w.Append(r.cluster, r.id, r.values); err != nil {
+		if err := w.Append(r.Route.Cluster, r.ID, r.Values); err != nil {
 			return err
 		}
 	}
@@ -113,6 +204,8 @@ func (ix *Index) appendToPartition(pid int, recs []pendingRecord) error {
 	// it so the next query loads the merged contents. In-flight queries
 	// keep scanning their immutable snapshot.
 	ix.Cl.InvalidatePartition(path)
+	ix.countsMu.Lock()
 	ix.Parts.Counts[pid] = w.Count()
+	ix.countsMu.Unlock()
 	return nil
 }

@@ -5,6 +5,7 @@ import (
 	"math/rand/v2"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"climber/internal/cluster"
@@ -31,6 +32,19 @@ type Index struct {
 	Cl    *cluster.Cluster
 	Parts *cluster.PartitionSet
 	Stats BuildStats
+
+	// nextID mints record IDs for appended series: a single atomic counter
+	// seeded from the partition counts at build/open time, so concurrent
+	// writers can never assign duplicate IDs.
+	nextID atomic.Int64
+	// countsMu guards Parts.Counts, which writers update as partitions grow
+	// while Info-style readers sum it.
+	countsMu sync.Mutex
+
+	// delta, when set, is the in-memory index of appended-but-not-yet-
+	// compacted records; the search paths merge its hits into every answer.
+	deltaMu sync.RWMutex
+	delta   DeltaSource
 }
 
 // Build constructs a CLIMBER index over a raw block set using the four-step
@@ -121,7 +135,7 @@ func Build(cl *cluster.Cluster, bs *cluster.BlockSet, cfg Config, name string) (
 	}
 	redistTime := time.Since(redistStart)
 
-	return &Index{
+	ix := &Index{
 		Skel:  skel,
 		Cl:    cl,
 		Parts: parts,
@@ -132,5 +146,7 @@ func Build(cl *cluster.Cluster, bs *cluster.BlockSet, cfg Config, name string) (
 			Redistribution: redistTime,
 			Total:          time.Since(start),
 		},
-	}, nil
+	}
+	ix.initNextID()
+	return ix, nil
 }

@@ -321,8 +321,14 @@ func DecodeSkeleton(r io.Reader) (*Skeleton, error) {
 // SaveIndex persists an index's metadata — the skeleton plus the partition
 // manifest — to one file. Partition files stay where the cluster wrote
 // them.
+//
+// The write is atomic (temp file + fsync + rename): the manifest is the
+// WAL-replay baseline and the streaming compactor rewrites it on every
+// compaction, so a kill mid-save must leave either the old or the new
+// manifest, never a truncated one that would make the database unopenable.
 func SaveIndex(ix *Index, path string) error {
-	f, err := os.Create(path)
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
 	if err != nil {
 		return fmt.Errorf("core: create index file: %w", err)
 	}
@@ -347,7 +353,17 @@ func SaveIndex(ix *Index, path string) error {
 		f.Close()
 		return fmt.Errorf("core: flush index file: %w", err)
 	}
-	return f.Close()
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("core: sync index file: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("core: close index file: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("core: replace index file: %w", err)
+	}
+	return nil
 }
 
 // OpenIndex loads index metadata saved by SaveIndex and attaches it to the
@@ -383,5 +399,7 @@ func OpenIndex(cl *cluster.Cluster, path string) (*Index, error) {
 	if br.err != nil {
 		return nil, fmt.Errorf("core: read manifest: %w", br.err)
 	}
-	return &Index{Skel: skel, Cl: cl, Parts: parts}, nil
+	ix := &Index{Skel: skel, Cl: cl, Parts: parts}
+	ix.initNextID()
+	return ix, nil
 }

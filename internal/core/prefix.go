@@ -76,17 +76,32 @@ func (ix *Index) SearchPrefixContext(ctx context.Context, q []float64, opts Sear
 	if err != nil {
 		return nil, err
 	}
+	widened := false
 	if opts.Variant != VariantODSmallest && top.Len() < opts.K {
-		widened := make(scanPlan, len(plan))
+		widened = true
+		wplan := make(scanPlan, len(plan))
 		for pid := range plan {
-			widened[pid] = nil
+			wplan[pid] = nil
 		}
-		if err := ix.executePlanPrefix(ctx, widened, plan, q, prefixLen, top, false, &stats); err != nil {
+		if err := ix.executePlanPrefix(ctx, wplan, plan, q, prefixLen, top, false, &stats); err != nil {
 			return nil, err
 		}
 	}
 
+	// Prefix answers see uncompacted writes too: delta records store the
+	// full indexed length, so the prefix distance applies unchanged.
+	deltaTop, err := ix.scanDelta(ctx, plan, widened, opts.K, &stats,
+		func(values []float64, bound float64) float64 {
+			return series.SqDistEarlyAbandon(q, values[:prefixLen], bound)
+		})
+	if err != nil {
+		return nil, err
+	}
+
 	results := top.Results()
+	if deltaTop != nil {
+		results = mergeResults(results, deltaTop.Results(), opts.K)
+	}
 	for i := range results {
 		results[i].Dist = math.Sqrt(results[i].Dist)
 	}

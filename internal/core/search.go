@@ -109,8 +109,13 @@ type QueryStats struct {
 	TargetPathLen int
 	// PartitionsScanned counts distinct partitions loaded.
 	PartitionsScanned int
-	// RecordsScanned counts raw series compared with ED.
+	// RecordsScanned counts raw series compared with ED, including delta
+	// records merged from the in-memory ingestion index.
 	RecordsScanned int
+	// DeltaScanned counts the subset of RecordsScanned served by the
+	// in-memory delta index (appended, not yet compacted); always zero
+	// without a live ingestion pipeline.
+	DeltaScanned int
 	// BytesLoaded approximates I/O as full-partition loads, the unit the
 	// paper's query-time model charges for.
 	BytesLoaded int64
@@ -202,17 +207,32 @@ func (ix *Index) SearchContext(ctx context.Context, q []float64, opts SearchOpti
 	// their candidate set is always a superset of CLIMBER-kNN's, as in
 	// Figure 9). The partitions are in memory already, so the widening
 	// charges no additional loads.
+	widened := false
 	if opts.Variant != VariantODSmallest && top.Len() < opts.K {
-		widened := make(scanPlan, len(plan))
+		widened = true
+		wplan := make(scanPlan, len(plan))
 		for pid := range plan {
-			widened[pid] = nil
+			wplan[pid] = nil
 		}
-		if err := ix.executePlan(ctx, widened, plan, q, top, false, &stats); err != nil {
+		if err := ix.executePlan(ctx, wplan, plan, q, top, false, &stats); err != nil {
 			return nil, err
 		}
 	}
 
+	// Merge acked-but-uncompacted writes from the in-memory delta index so
+	// they are visible to searches before any compaction lands them.
+	deltaTop, err := ix.scanDelta(ctx, plan, widened, opts.K, &stats,
+		func(values []float64, bound float64) float64 {
+			return series.SqDistEarlyAbandon(q, values, bound)
+		})
+	if err != nil {
+		return nil, err
+	}
+
 	results := top.Results()
+	if deltaTop != nil {
+		results = mergeResults(results, deltaTop.Results(), opts.K)
+	}
 	for i := range results {
 		results[i].Dist = math.Sqrt(results[i].Dist)
 	}

@@ -103,6 +103,7 @@ func Registry() map[string]Runner {
 		"abl-dual":     AblationDual,
 		"abl-sampling": AblationSampling,
 		"landscape":    Landscape,
+		"mixed":        MixedWorkload,
 	}
 }
 

@@ -22,7 +22,7 @@ func TestRegistryComplete(t *testing.T) {
 	// ablations DESIGN.md calls out.
 	want := []string{"fig7a", "fig7b", "fig7cd", "fig8ab", "fig8cd",
 		"fig9", "fig10", "fig11a", "fig11b", "fig12", "table1",
-		"abl-decay", "abl-dual", "abl-sampling", "landscape"}
+		"abl-decay", "abl-dual", "abl-sampling", "landscape", "mixed"}
 	reg := Registry()
 	for _, id := range want {
 		if reg[id] == nil {
@@ -158,6 +158,19 @@ func TestAblationSmoke(t *testing.T) {
 		if !strings.Contains(out, "Ablation") {
 			t.Errorf("%s output missing caption:\n%s", id, out)
 		}
+	}
+}
+
+func TestMixedSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runner smoke tests are slow")
+	}
+	out := runnerSmoke(t, "mixed")
+	if !strings.Contains(out, "append-batch") || !strings.Contains(out, "search") {
+		t.Errorf("mixed output missing latency rows:\n%s", out)
+	}
+	if !strings.Contains(out, "visibility:") {
+		t.Errorf("mixed output missing visibility check:\n%s", out)
 	}
 }
 

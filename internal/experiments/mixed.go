@@ -1,0 +1,187 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"climber"
+	"climber/internal/dataset"
+)
+
+// MixedWorkload measures the serving-layer scenario the paper's static
+// evaluation never exercises: searches racing live ingestion. It builds a
+// CLIMBER database, then runs concurrent writer goroutines (appending fresh
+// series through the WAL + delta ingestion pipeline) against concurrent
+// reader goroutines (kNN searches), and reports append and search latency
+// side by side together with the pipeline's compaction counters and a
+// visibility check (every acked series must be findable immediately).
+func MixedWorkload(s Scale, workDir string, out io.Writer) error {
+	const (
+		writers     = 2
+		readers     = 4
+		batchSize   = 16
+		seriesLen   = dataset.RandomWalkLength
+		compactRecs = 512
+	)
+	n := s.BaseSize
+	appendBatches := 10 * s.Queries
+	searches := 40 * s.Queries
+
+	ds, err := dataset.ByName("randomwalk", n, 7)
+	if err != nil {
+		return err
+	}
+	dir, err := os.MkdirTemp(workDir, "mixed-")
+	if err != nil {
+		return err
+	}
+	cfg := climberConfig(s, n)
+	opts := []climber.Option{
+		climber.WithSegments(cfg.Segments),
+		climber.WithPivots(cfg.NumPivots),
+		climber.WithPrefixLen(cfg.PrefixLen),
+		climber.WithCapacity(cfg.Capacity),
+		climber.WithBlockSize(cfg.BlockSize),
+		climber.WithSeed(cfg.Seed),
+		climber.WithCompactionRecords(compactRecs),
+		climber.WithCompactionAge(500 * time.Millisecond),
+	}
+	if PartitionCacheBytes > 0 {
+		opts = append(opts, climber.WithPartitionCacheBytes(PartitionCacheBytes))
+	}
+	db, err := climber.BuildDataset(dir, ds, opts...)
+	if err != nil {
+		return err
+	}
+	defer db.Close()
+
+	_, qs := dataset.Queries(ds, 50, 21)
+	fresh := dataset.RandomWalk(seriesLen, appendBatches*batchSize, 12345)
+
+	var (
+		mu             sync.Mutex
+		appendLat      []time.Duration
+		searchLat      []time.Duration
+		firstErr       error
+		appendedSeries int
+	)
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+	}
+
+	var wg sync.WaitGroup
+	batch := make(chan int, appendBatches)
+	for b := 0; b < appendBatches; b++ {
+		batch <- b
+	}
+	close(batch)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for b := range batch {
+				recs := make([][]float64, batchSize)
+				for i := range recs {
+					recs[i] = fresh.Get(b*batchSize + i)
+				}
+				start := time.Now()
+				if _, err := db.Append(recs); err != nil {
+					fail(err)
+					return
+				}
+				d := time.Since(start)
+				mu.Lock()
+				appendLat = append(appendLat, d)
+				appendedSeries += batchSize
+				mu.Unlock()
+			}
+		}()
+	}
+	query := make(chan int, searches)
+	for q := 0; q < searches; q++ {
+		query <- q
+	}
+	close(query)
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for q := range query {
+				start := time.Now()
+				if _, err := db.Search(qs[q%len(qs)], s.K); err != nil {
+					fail(err)
+					return
+				}
+				d := time.Since(start)
+				mu.Lock()
+				searchLat = append(searchLat, d)
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return firstErr
+	}
+
+	// Visibility check: every acked series answers a self-query at distance
+	// ~0, whether it is still in the delta or already compacted.
+	visible := 0
+	const probes = 20
+	for i := 0; i < probes; i++ {
+		q := fresh.Get((i * 37) % fresh.Len())
+		res, err := db.Search(q, 5)
+		if err != nil {
+			return err
+		}
+		if len(res) > 0 && res[0].Dist < 1e-3 {
+			visible++
+		}
+	}
+	ing := db.IngestStats()
+	if err := db.Flush(); err != nil {
+		return err
+	}
+
+	tab := &Table{
+		Caption: fmt.Sprintf("Mixed read/write workload (%d searches x K=%d vs %d appended series, %dw/%dr goroutines)",
+			searches, s.K, appendedSeries, writers, readers),
+		Header: []string{"op", "ops", "avg-ms", "p50-ms", "p95-ms", "max-ms"},
+	}
+	addLatRow(tab, "append-batch", appendLat)
+	addLatRow(tab, "search", searchLat)
+	if err := tab.Write(out); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "ingest: %d series acked, %d compactions (%d series), delta at sample: %d records, WAL at sample: %d bytes\n",
+		ing.AppendedSeries, ing.Compactions, ing.CompactedSeries, ing.DeltaRecords, ing.WALBytes)
+	fmt.Fprintf(out, "visibility: %d/%d appended series answered their self-query at distance ~0\n", visible, probes)
+	return nil
+}
+
+// addLatRow folds one latency population into a table row.
+func addLatRow(tab *Table, name string, lat []time.Duration) {
+	if len(lat) == 0 {
+		tab.Add(name, 0, "-", "-", "-", "-")
+		return
+	}
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	var total time.Duration
+	for _, d := range lat {
+		total += d
+	}
+	pct := func(p float64) time.Duration {
+		i := int(p * float64(len(lat)-1))
+		return lat[i]
+	}
+	tab.Add(name, len(lat),
+		ms(total/time.Duration(len(lat))), ms(pct(0.5)), ms(pct(0.95)), ms(lat[len(lat)-1]))
+}

@@ -1,0 +1,392 @@
+package ingest
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"climber/internal/core"
+)
+
+// ErrClosed is returned by Append and Flush after Close.
+var ErrClosed = errors.New("ingest: ingester is closed")
+
+// Config tunes the ingestion pipeline. The zero value is usable: every
+// field falls back to the documented default.
+type Config struct {
+	// CompactRecords triggers a background compaction once the delta holds
+	// at least this many records. Default: 4096.
+	CompactRecords int
+	// CompactAge triggers a compaction once the oldest uncompacted record
+	// has waited this long, bounding how much WAL a restart replays even
+	// under a trickle of writes. Default: 5s.
+	CompactAge time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.CompactRecords <= 0 {
+		c.CompactRecords = 4096
+	}
+	if c.CompactAge <= 0 {
+		c.CompactAge = 5 * time.Second
+	}
+	return c
+}
+
+// Stats is a snapshot of the pipeline's counters.
+type Stats struct {
+	// AppendCalls and AppendedSeries count acked Append invocations and the
+	// series they carried (cumulative, including compacted ones).
+	AppendCalls    int64
+	AppendedSeries int64
+	// ReplayedSeries counts WAL entries restored into the delta at open.
+	ReplayedSeries int64
+	// WALBytes is the log's current size.
+	WALBytes int64
+	// Compactions and CompactedSeries count completed compactions and the
+	// records they landed in partition files.
+	Compactions     int64
+	CompactedSeries int64
+	// DeltaRecords and DeltaBytes describe the resident delta index.
+	DeltaRecords int
+	DeltaBytes   int64
+	// CompactErrors counts failed compaction attempts (each is retried on
+	// the next trigger).
+	CompactErrors int64
+}
+
+// Ingester is the streaming write path of one index: WAL + delta + background
+// compactor. Create it with Open; it serialises every mutation internally,
+// so any number of goroutines may Append concurrently — with each other and
+// with searches.
+type Ingester struct {
+	ix    *core.Index
+	wal   *WAL
+	delta *MemDelta
+	save  func() error // persists the index manifest (partition counts)
+	cfg   Config
+	// baseRecords is the partition-file record count at Open, before WAL
+	// replay. TotalRecords builds on it instead of re-summing live counts,
+	// so compactions in flight (or half-failed) can never skew the total.
+	baseRecords int64
+
+	// sem is a one-slot semaphore serialising appends, compactions, and
+	// close; lock selects it against ctx.Done() so a caller whose request
+	// was cancelled stops waiting behind a long compaction instead of
+	// pinning its admission slot. Searches never take it — they read the
+	// delta under its own RWMutex. closed is guarded by sem.
+	sem    chan struct{}
+	closed bool
+
+	kick     chan struct{} // nudges the compactor when the size threshold trips
+	stop     chan struct{}
+	stopOnce sync.Once
+	done     chan struct{}
+
+	appendCalls     atomic.Int64
+	appendedSeries  atomic.Int64
+	replayedSeries  atomic.Int64
+	walBytes        atomic.Int64
+	compactions     atomic.Int64
+	compactedSeries atomic.Int64
+	compactErrors   atomic.Int64
+}
+
+// Open attaches a streaming ingestion pipeline to ix: it opens (creating if
+// absent) the WAL at walPath, replays acked-but-uncompacted entries into a
+// fresh delta index, installs the delta on the index's search paths, and
+// starts the background compactor. save is called after each compaction
+// lands records in partition files, before the WAL is truncated — it must
+// persist the index manifest so the partition counts (and with them the ID
+// counter seeded at the next open) survive.
+//
+// Replay is idempotent across the crash window: entries whose ID precedes
+// the persisted record count were already compacted before the crash (IDs
+// are dense and sequential) and are skipped, so a kill between manifest
+// save and WAL truncation cannot duplicate records.
+func Open(ix *core.Index, walPath string, save func() error, cfg Config) (*Ingester, error) {
+	cfg = cfg.withDefaults()
+	wal, entries, err := OpenWAL(walPath, ix.Skel.SeriesLen)
+	if err != nil {
+		return nil, err
+	}
+
+	delta := NewMemDelta()
+	baseline := ix.PersistedRecords()
+	maxID := -1
+	routed := make([]core.Routed, 0, len(entries))
+	for _, e := range entries {
+		if e.ID > maxID {
+			maxID = e.ID
+		}
+		if e.ID < baseline {
+			continue // already compacted before the crash
+		}
+		routed = append(routed, core.Routed{ID: e.ID, Route: ix.RouteNew(e.ID, e.Values), Values: e.Values})
+	}
+	delta.Add(routed)
+	if maxID >= 0 {
+		ix.EnsureNextID(maxID + 1)
+	}
+	ix.SetDelta(delta)
+
+	g := &Ingester{
+		ix:          ix,
+		wal:         wal,
+		delta:       delta,
+		save:        save,
+		cfg:         cfg,
+		baseRecords: int64(baseline),
+		sem:         make(chan struct{}, 1),
+		kick:        make(chan struct{}, 1),
+		stop:        make(chan struct{}),
+		done:        make(chan struct{}),
+	}
+	g.replayedSeries.Store(int64(len(routed)))
+	g.walBytes.Store(wal.Size())
+	go g.run()
+	return g, nil
+}
+
+// Append routes, logs, and indexes the given series, returning their
+// assigned IDs in input order. When Append returns nil, every series is
+// durable (fsynced in the WAL) and immediately visible to searches (resident
+// in the delta index). ctx is honoured while waiting for the write lock and
+// before starting the write; the log append itself is not interruptible —
+// once the fsync begins, the ack follows.
+func (g *Ingester) Append(ctx context.Context, data [][]float64) ([]int, error) {
+	if len(data) == 0 {
+		return nil, nil
+	}
+	seriesLen := g.ix.Skel.SeriesLen
+	for i, r := range data {
+		if len(r) != seriesLen {
+			return nil, fmt.Errorf("ingest: series %d has length %d, index stores %d", i, len(r), seriesLen)
+		}
+	}
+	if err := g.lock(ctx); err != nil {
+		return nil, err
+	}
+	defer g.unlock()
+	if g.closed {
+		return nil, ErrClosed
+	}
+
+	first := g.ix.ReserveIDs(len(data))
+	ids := make([]int, len(data))
+	entries := make([]Entry, len(data))
+	routed := make([]core.Routed, len(data))
+	for i, r := range data {
+		id := first + i
+		ids[i] = id
+		// Round through float32 up front: partition files store float32, so
+		// the delta, the WAL, and the compacted record all carry identical
+		// values — a search hit has the same distance wherever it is served
+		// from, and replayed routes match the originals.
+		vals := roundF32(r)
+		entries[i] = Entry{ID: id, Values: vals}
+		routed[i] = core.Routed{ID: id, Route: g.ix.RouteNew(id, vals), Values: vals}
+	}
+	if err := g.wal.Append(entries); err != nil {
+		// Nothing durable, nothing indexed: hand the ID reservation back so
+		// the sequence stays dense (initNextID re-derives the counter from
+		// the record count at the next open; a burned gap below that count
+		// would make it reissue IDs of durable records).
+		g.ix.UnreserveIDs(first, len(data))
+		return nil, err
+	}
+	g.delta.Add(routed)
+	g.walBytes.Store(g.wal.Size())
+	g.appendCalls.Add(1)
+	g.appendedSeries.Add(int64(len(data)))
+	if g.delta.Len() >= g.cfg.CompactRecords {
+		select {
+		case g.kick <- struct{}{}:
+		default:
+		}
+	}
+	return ids, nil
+}
+
+// Flush synchronously compacts the delta into partition files, persists the
+// manifest, and truncates the WAL. It returns once every previously acked
+// write is in its partition file (or with the error that stopped the
+// compaction, leaving WAL and delta intact for a retry).
+func (g *Ingester) Flush(ctx context.Context) error {
+	if err := g.lock(ctx); err != nil {
+		return err
+	}
+	defer g.unlock()
+	if g.closed {
+		return ErrClosed
+	}
+	return g.compactLocked()
+}
+
+// Close stops the background compactor, runs a final compaction so nothing
+// is left for the next open to replay, and closes the WAL. Close is
+// idempotent; Append and Flush return ErrClosed afterwards.
+func (g *Ingester) Close() error {
+	g.stopOnce.Do(func() { close(g.stop) })
+	<-g.done
+
+	g.lockBlocking()
+	defer g.unlock()
+	if g.closed {
+		return nil
+	}
+	g.closed = true
+	err := g.compactLocked()
+	if cerr := g.wal.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// Abandon drops the ingester the way a killed process would: the
+// background compactor stops and the WAL closes with its contents intact —
+// no final compaction, no truncation. Acked-but-uncompacted records remain
+// in the log for the next Open to replay. Crash-recovery test harnesses use
+// it to simulate a kill without exiting the process (which also releases
+// the WAL's single-writer file lock, as a real death would).
+func (g *Ingester) Abandon() {
+	g.stopOnce.Do(func() { close(g.stop) })
+	<-g.done
+	g.lockBlocking()
+	defer g.unlock()
+	if g.closed {
+		return
+	}
+	g.closed = true
+	_ = g.wal.Close()
+}
+
+// lock acquires the write semaphore, giving up when ctx is cancelled so a
+// dead request does not wait out a compaction.
+func (g *Ingester) lock(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	select {
+	case g.sem <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (g *Ingester) lockBlocking() { g.sem <- struct{}{} }
+func (g *Ingester) unlock()       { <-g.sem }
+
+// Stats snapshots the pipeline's counters.
+func (g *Ingester) Stats() Stats {
+	return Stats{
+		AppendCalls:     g.appendCalls.Load(),
+		AppendedSeries:  g.appendedSeries.Load(),
+		ReplayedSeries:  g.replayedSeries.Load(),
+		WALBytes:        g.walBytes.Load(),
+		Compactions:     g.compactions.Load(),
+		CompactedSeries: g.compactedSeries.Load(),
+		DeltaRecords:    g.delta.Len(),
+		DeltaBytes:      g.delta.Bytes(),
+		CompactErrors:   g.compactErrors.Load(),
+	}
+}
+
+// DeltaLen returns the number of acked records not yet compacted.
+func (g *Ingester) DeltaLen() int { return g.delta.Len() }
+
+// TotalRecords returns the database's acked record count: the partition
+// records present at open plus every series acked since (replayed or
+// appended). Compactions only move records between the delta and the
+// partition files, so the sum is exact at every instant — including while a
+// compaction is mid-flight or retrying after a failure — and needs no lock.
+func (g *Ingester) TotalRecords() int {
+	return int(g.baseRecords + g.replayedSeries.Load() + g.appendedSeries.Load())
+}
+
+// run is the background compactor: it wakes on the size-threshold kick and
+// on a timer that enforces the age threshold.
+func (g *Ingester) run() {
+	defer close(g.done)
+	poll := g.cfg.CompactAge / 4
+	if poll < 50*time.Millisecond {
+		poll = 50 * time.Millisecond
+	}
+	if poll > time.Second {
+		poll = time.Second
+	}
+	ticker := time.NewTicker(poll)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-g.stop:
+			return
+		case <-g.kick:
+		case <-ticker.C:
+			if g.delta.Len() < g.cfg.CompactRecords && g.delta.OldestAge() < g.cfg.CompactAge {
+				continue
+			}
+		}
+		g.lockBlocking()
+		if !g.closed {
+			if err := g.compactLocked(); err != nil {
+				g.compactErrors.Add(1)
+			}
+		}
+		g.unlock()
+	}
+}
+
+// compactLocked drains the delta into partition files. Caller holds the
+// write semaphore.
+//
+// Ordering is what makes a crash at any point safe:
+//
+//  1. write the records into partition files (atomic per-partition replace,
+//     partition cache invalidated) — a crash here leaves some records both
+//     on disk and in the WAL, but the manifest still carries the old counts,
+//     so replay's baseline skip cannot lose them and the next compaction's
+//     partition rewrite folds the re-replayed records in place of the
+//     orphaned copies (same IDs, same destinations, same values);
+//  2. persist the manifest — from here the counts (and the ID counter they
+//     seed) include the compacted records;
+//  3. truncate the WAL — replay now has nothing to re-apply;
+//  4. drop the delta.
+//
+// Searches running concurrently may transiently see a record in both the
+// delta and a partition file between steps 1 and 4; the search path
+// deduplicates results by ID, and the copies carry identical values.
+func (g *Ingester) compactLocked() error {
+	recs := g.delta.Snapshot()
+	if len(recs) == 0 {
+		return nil
+	}
+	if err := g.ix.WriteRouted(recs); err != nil {
+		return fmt.Errorf("ingest: compact: %w", err)
+	}
+	if err := g.save(); err != nil {
+		return fmt.Errorf("ingest: persist manifest: %w", err)
+	}
+	if err := g.wal.Reset(); err != nil {
+		return err
+	}
+	g.delta.Reset()
+	g.walBytes.Store(g.wal.Size())
+	g.compactions.Add(1)
+	g.compactedSeries.Add(int64(len(recs)))
+	return nil
+}
+
+// roundF32 copies values through float32, the precision every durable tier
+// (WAL, partition files) stores.
+func roundF32(values []float64) []float64 {
+	out := make([]float64, len(values))
+	for i, v := range values {
+		out[i] = float64(float32(v))
+	}
+	return out
+}

@@ -1,0 +1,10 @@
+//go:build !unix
+
+package ingest
+
+import "os"
+
+// lockFile is a no-op on platforms without flock semantics; the
+// single-writer requirement is then the operator's responsibility, as it
+// was before file locking existed.
+func lockFile(f *os.File) error { return nil }

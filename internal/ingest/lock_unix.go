@@ -1,0 +1,18 @@
+//go:build unix
+
+package ingest
+
+import (
+	"os"
+	"syscall"
+)
+
+// lockFile takes an exclusive, non-blocking advisory lock on the open WAL
+// file. The kernel releases it automatically when the file descriptor
+// closes — including on process death, which is exactly the property the
+// single-writer guarantee needs: a crashed writer never wedges the
+// directory, while a live one keeps a second writer (or a carelessly
+// pointed tool) from truncating the WAL out from under it.
+func lockFile(f *os.File) error {
+	return syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB)
+}

@@ -1,0 +1,145 @@
+package ingest
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"climber/internal/cluster"
+	"climber/internal/core"
+	"climber/internal/storage"
+)
+
+// MemDelta is the in-memory index of appended-but-not-yet-compacted
+// records. Records are stored under the (partition, cluster) destination
+// the skeleton routed them to, so a search prunes the delta exactly as it
+// prunes the on-disk index: only records whose destination the query plan
+// covers are compared. It implements core.DeltaSource.
+//
+// MemDelta is safe for concurrent use: searches scan it (read lock) while
+// the ingester adds records and the compactor drains it (write lock).
+type MemDelta struct {
+	mu sync.RWMutex
+	// byPartition groups records by destination partition, then cluster.
+	byPartition map[int]map[storage.ClusterID][]deltaRec
+	records     int
+	bytes       int64
+	oldest      time.Time // arrival of the oldest resident record
+}
+
+type deltaRec struct {
+	id     int
+	values []float64
+}
+
+// NewMemDelta returns an empty delta index.
+func NewMemDelta() *MemDelta {
+	return &MemDelta{byPartition: make(map[int]map[storage.ClusterID][]deltaRec)}
+}
+
+// Add inserts routed records. The values slices are retained — callers must
+// not mutate them afterwards (the ingester hands over freshly decoded
+// copies).
+func (d *MemDelta) Add(recs []core.Routed) {
+	if len(recs) == 0 {
+		return
+	}
+	now := time.Now()
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.records == 0 {
+		d.oldest = now
+	}
+	for _, r := range recs {
+		clusters, ok := d.byPartition[r.Route.Partition]
+		if !ok {
+			clusters = make(map[storage.ClusterID][]deltaRec)
+			d.byPartition[r.Route.Partition] = clusters
+		}
+		clusters[r.Route.Cluster] = append(clusters[r.Route.Cluster], deltaRec{id: r.ID, values: r.Values})
+		d.records++
+		d.bytes += int64(storage.RecordBytes(len(r.Values)))
+	}
+}
+
+// ScanPartition implements core.DeltaSource: it streams the records routed
+// to partition pid, narrowed to the listed clusters (nil means all).
+func (d *MemDelta) ScanPartition(pid int, clusters map[storage.ClusterID]struct{}, fn func(id int, values []float64) error) error {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	byCluster, ok := d.byPartition[pid]
+	if !ok {
+		return nil
+	}
+	for cid, recs := range byCluster {
+		if clusters != nil {
+			if _, want := clusters[cid]; !want {
+				continue
+			}
+		}
+		for _, r := range recs {
+			if err := fn(r.id, r.values); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Len returns the number of resident records.
+func (d *MemDelta) Len() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.records
+}
+
+// Bytes returns the resident records' storage-equivalent volume.
+func (d *MemDelta) Bytes() int64 {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.bytes
+}
+
+// OldestAge returns how long the oldest resident record has been waiting
+// for compaction; zero when the delta is empty.
+func (d *MemDelta) OldestAge() time.Duration {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	if d.records == 0 {
+		return 0
+	}
+	return time.Since(d.oldest)
+}
+
+// Snapshot returns every resident record in ascending ID order, ready for
+// the compactor to land in partition files. The delta keeps serving reads
+// unchanged; pair with Reset once the snapshot is durable on disk.
+func (d *MemDelta) Snapshot() []core.Routed {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	out := make([]core.Routed, 0, d.records)
+	for pid, byCluster := range d.byPartition {
+		for cid, recs := range byCluster {
+			for _, r := range recs {
+				out = append(out, core.Routed{
+					ID:     r.id,
+					Route:  cluster.Route{Partition: pid, Cluster: cid},
+					Values: r.values,
+				})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Reset drops every resident record. The compactor calls it after the
+// snapshot it drained is durable in partition files and the manifest is
+// persisted.
+func (d *MemDelta) Reset() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.byPartition = make(map[int]map[storage.ClusterID][]deltaRec)
+	d.records = 0
+	d.bytes = 0
+}

@@ -1,0 +1,211 @@
+package ingest
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func walEntries(n, seriesLen int) []Entry {
+	out := make([]Entry, n)
+	for i := range out {
+		vals := make([]float64, seriesLen)
+		for j := range vals {
+			vals[j] = float64(float32(float64(i*seriesLen+j) * 0.25))
+		}
+		out[i] = Entry{ID: 1000 + i, Values: vals}
+	}
+	return out
+}
+
+func TestWALRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.clmw")
+	w, replayed, err := OpenWAL(path, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(replayed) != 0 {
+		t.Fatalf("fresh WAL replayed %d entries", len(replayed))
+	}
+	want := walEntries(25, 8)
+	if err := w.Append(want[:10]); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(want[10:]); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	w2, got, err := OpenWAL(path, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	if len(got) != len(want) {
+		t.Fatalf("replayed %d entries, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i].ID != want[i].ID {
+			t.Fatalf("entry %d ID = %d, want %d", i, got[i].ID, want[i].ID)
+		}
+		for j := range got[i].Values {
+			if got[i].Values[j] != want[i].Values[j] {
+				t.Fatalf("entry %d value %d = %v, want %v (float32 round trip must be exact)",
+					i, j, got[i].Values[j], want[i].Values[j])
+			}
+		}
+	}
+}
+
+func TestWALSeriesLenMismatch(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.clmw")
+	w, _, err := OpenWAL(path, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+	if _, _, err := OpenWAL(path, 16); err == nil {
+		t.Fatal("series-length mismatch accepted")
+	}
+}
+
+func TestWALTruncatedTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.clmw")
+	w, _, err := OpenWAL(path, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := walEntries(5, 4)
+	if err := w.Append(want); err != nil {
+		t.Fatal(err)
+	}
+	goodSize := w.Size()
+	w.Close()
+
+	// Simulate a crash mid-write: append half a record's worth of garbage.
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{24, 0, 0, 0, 0xde, 0xad}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	w2, got, err := OpenWAL(path, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	if len(got) != len(want) {
+		t.Fatalf("replayed %d entries after tail corruption, want %d", len(got), len(want))
+	}
+	if w2.Size() != goodSize {
+		t.Fatalf("WAL size %d after tail truncation, want %d", w2.Size(), goodSize)
+	}
+	// Appends continue cleanly after the truncation.
+	if err := w2.Append(walEntries(1, 4)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWALCorruptRecordDropsTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.clmw")
+	w, _, err := OpenWAL(path, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(walEntries(4, 4)); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+
+	// Flip a byte inside the third record's payload: it and everything
+	// after must be dropped; the first two records survive.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recSize := 8 + 8 + 4*4
+	off := walHeaderSize + 2*recSize + 12
+	data[off] ^= 0xff
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	w2, got, err := OpenWAL(path, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	if len(got) != 2 {
+		t.Fatalf("replayed %d entries past a corrupt record, want 2", len(got))
+	}
+}
+
+func TestWALReset(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.clmw")
+	w, _, err := OpenWAL(path, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(walEntries(8, 4)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Size() != walHeaderSize {
+		t.Fatalf("size after reset = %d, want %d", w.Size(), walHeaderSize)
+	}
+	// Post-reset appends land after the header, not after stale bytes.
+	post := walEntries(3, 4)
+	if err := w.Append(post); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+	w2, got, err := OpenWAL(path, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	if len(got) != 3 || got[0].ID != post[0].ID {
+		t.Fatalf("replayed %d entries after reset+append, want 3 starting at %d", len(got), post[0].ID)
+	}
+}
+
+func TestDecodeEntryRejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		{1, 2, 3},
+		{0, 0, 0, 0, 0, 0, 0, 0},         // payloadLen 0 < 8
+		{255, 255, 255, 255, 0, 0, 0, 0}, // oversized payload
+		{9, 0, 0, 0, 0, 0, 0, 0, 1},      // misaligned payload length
+		{12, 0, 0, 0, 9, 9, 9, 9, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12}, // bad CRC
+	}
+	for i, b := range cases {
+		if _, n, err := DecodeEntry(b); err == nil || n != 0 {
+			t.Errorf("case %d: garbage decoded (n=%d, err=%v)", i, n, err)
+		}
+	}
+}
+
+func TestEntryPrecisionMatchesStorage(t *testing.T) {
+	// Values an entry carries after decode must equal the float32 rounding
+	// partition files apply, so a record served from the delta and the same
+	// record served from disk have identical distances.
+	vals := []float64{math.Pi, -1e-8, 12345.6789, 0}
+	enc := AppendEntry(nil, Entry{ID: 1, Values: vals})
+	e, _, err := DecodeEntry(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range vals {
+		if want := float64(float32(v)); e.Values[i] != want {
+			t.Fatalf("value %d decoded as %v, want float32-rounded %v", i, e.Values[i], want)
+		}
+	}
+}

@@ -49,13 +49,18 @@ type metrics struct {
 	searches     atomic.Int64 // /search requests answered (incl. errors)
 	batches      atomic.Int64 // /search/batch requests answered
 	batchQueries atomic.Int64 // queries inside answered batches
+	appends      atomic.Int64 // /append requests answered (incl. errors)
+	appendSeries atomic.Int64 // series inside successful appends
+	flushes      atomic.Int64 // /flush requests answered
 	badRequests  atomic.Int64 // 400s from decode/validation
 	rejected     atomic.Int64 // 429s from admission control
 	canceled     atomic.Int64 // queries aborted by client disconnect
 	errors       atomic.Int64 // internal query failures
 	inflight     atomic.Int64 // queries currently holding an admission slot
 	queued       atomic.Int64 // requests currently waiting for a slot
-	latency      *histogram
+	latency      *histogram   // read path (search + batch) only
+	appendLat    *histogram   // write path; fsync-bound, kept out of the
+	// query histogram so write bursts cannot skew search percentiles
 }
 
 // ServerStats is the JSON shape of the server section of GET /stats.
@@ -63,6 +68,9 @@ type ServerStats struct {
 	Searches      int64   `json:"searches"`
 	Batches       int64   `json:"batches"`
 	BatchQueries  int64   `json:"batch_queries"`
+	Appends       int64   `json:"appends"`
+	AppendSeries  int64   `json:"append_series"`
+	Flushes       int64   `json:"flushes"`
 	BadRequests   int64   `json:"bad_requests"`
 	Rejected      int64   `json:"rejected"`
 	Canceled      int64   `json:"canceled"`
@@ -77,6 +85,9 @@ func (m *metrics) snapshot(uptime time.Duration) ServerStats {
 		Searches:      m.searches.Load(),
 		Batches:       m.batches.Load(),
 		BatchQueries:  m.batchQueries.Load(),
+		Appends:       m.appends.Load(),
+		AppendSeries:  m.appendSeries.Load(),
+		Flushes:       m.flushes.Load(),
 		BadRequests:   m.badRequests.Load(),
 		Rejected:      m.rejected.Load(),
 		Canceled:      m.canceled.Load(),
@@ -87,9 +98,26 @@ func (m *metrics) snapshot(uptime time.Duration) ServerStats {
 	}
 }
 
+// renderHistogram writes one histogram in Prometheus text exposition; the
+// cumulative count is derived from the buckets at render time so one
+// exposition always satisfies bucket{le="+Inf"} == _count.
+func renderHistogram(w *strings.Builder, name, help string, h *histogram) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
+	var cum int64
+	for i, le := range latencyBuckets {
+		cum += h.buckets[i].Load()
+		fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, strconv.FormatFloat(le, 'g', -1, 64), cum)
+	}
+	cum += h.inf.Load()
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, cum)
+	fmt.Fprintf(w, "%s_sum %g\n", name, float64(h.sumNs.Load())/1e9)
+	fmt.Fprintf(w, "%s_count %d\n", name, cum)
+}
+
 // renderProm writes the Prometheus text exposition of the server counters,
-// the latency histogram, and the DB's partition-cache counters.
-func (m *metrics) renderProm(w *strings.Builder, cache climber.CacheStats) {
+// the latency histograms, and the DB's partition-cache and ingestion
+// counters.
+func (m *metrics) renderProm(w *strings.Builder, cache climber.CacheStats, ing climber.IngestStats) {
 	metric := func(name, help, kind string, v int64) {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, kind)
 		fmt.Fprintf(w, "%s %d\n", name, v)
@@ -106,22 +134,26 @@ func (m *metrics) renderProm(w *strings.Builder, cache climber.CacheStats) {
 	gauge("climber_inflight_queries", "Queries currently holding an admission slot.", m.inflight.Load())
 	gauge("climber_queued_requests", "Requests currently waiting for an admission slot.", m.queued.Load())
 
-	fmt.Fprintf(w, "# HELP climber_query_latency_seconds End-to-end query latency (admission to answer).\n")
-	fmt.Fprintf(w, "# TYPE climber_query_latency_seconds histogram\n")
-	var cum int64
-	for i, le := range latencyBuckets {
-		cum += m.latency.buckets[i].Load()
-		fmt.Fprintf(w, "climber_query_latency_seconds_bucket{le=%q} %d\n",
-			strconv.FormatFloat(le, 'g', -1, 64), cum)
-	}
-	cum += m.latency.inf.Load()
-	fmt.Fprintf(w, "climber_query_latency_seconds_bucket{le=\"+Inf\"} %d\n", cum)
-	fmt.Fprintf(w, "climber_query_latency_seconds_sum %g\n", float64(m.latency.sumNs.Load())/1e9)
-	fmt.Fprintf(w, "climber_query_latency_seconds_count %d\n", cum)
+	renderHistogram(w, "climber_query_latency_seconds",
+		"End-to-end query latency (admission to answer).", m.latency)
+	renderHistogram(w, "climber_append_latency_seconds",
+		"End-to-end append latency (admission to durable ack).", m.appendLat)
 
 	counter("climber_partition_cache_hits_total", "Partition opens served from the shared cache.", cache.Hits)
 	counter("climber_partition_cache_misses_total", "Partition opens that loaded from disk.", cache.Misses)
 	counter("climber_partition_cache_evictions_total", "Partitions evicted to hold the byte budget.", cache.Evictions)
 	counter("climber_partition_cache_bytes_saved_total", "Partition-file bytes the cache avoided re-reading.", cache.BytesSaved)
 	counter("climber_partitions_loaded_total", "Real partition disk loads.", cache.PartitionsLoaded)
+
+	counter("climber_append_requests_total", "Answered /append requests.", m.appends.Load())
+	counter("climber_append_series_total", "Series inside successful appends.", m.appendSeries.Load())
+	counter("climber_flush_requests_total", "Answered /flush requests.", m.flushes.Load())
+	counter("climber_ingest_appended_series_total", "Series acked by the ingestion pipeline.", ing.AppendedSeries)
+	counter("climber_ingest_replayed_series_total", "WAL entries replayed into the delta at open.", ing.ReplayedSeries)
+	counter("climber_compactions_total", "Completed delta-to-partition compactions.", ing.Compactions)
+	counter("climber_compacted_series_total", "Series moved from the delta into partition files.", ing.CompactedSeries)
+	counter("climber_compact_errors_total", "Failed background compaction attempts.", ing.CompactErrors)
+	gauge("climber_wal_bytes", "Current write-ahead-log size in bytes.", ing.WALBytes)
+	gauge("climber_delta_records", "Acked records resident in the in-memory delta index.", int64(ing.DeltaRecords))
+	gauge("climber_delta_bytes", "Storage-equivalent bytes resident in the delta index.", ing.DeltaBytes)
 }

@@ -33,6 +33,21 @@ type BatchRequest struct {
 	MaxPartitions int         `json:"max_partitions,omitempty"`
 }
 
+// AppendRequest is the body of POST /append.
+type AppendRequest struct {
+	// Series are the data series to ingest; each must have the indexed
+	// length.
+	Series [][]float64 `json:"series"`
+}
+
+// AppendResponse is the body of a successful POST /append. When it arrives
+// the series are durable (WAL-fsynced) and visible to /search.
+type AppendResponse struct {
+	// IDs are the assigned record IDs, aligned positionally with the
+	// request's Series.
+	IDs []int `json:"ids"`
+}
+
 // Result is one neighbour in a response.
 type Result struct {
 	ID   int     `json:"id"`
@@ -159,6 +174,28 @@ func decodeBatchRequest(data []byte, seriesLen, maxK, maxBatch int) (*BatchReque
 	for i, q := range req.Queries {
 		if err := checkQuery(q, seriesLen); err != nil {
 			return nil, fmt.Errorf("query %d: %w", i, err)
+		}
+	}
+	return &req, nil
+}
+
+// decodeAppendRequest parses and validates a POST /append body: every
+// series is finite with the indexed length, and 1 <= len(series) <=
+// maxAppend.
+func decodeAppendRequest(data []byte, seriesLen, maxAppend int) (*AppendRequest, error) {
+	var req AppendRequest
+	if err := decodeJSON(data, &req); err != nil {
+		return nil, err
+	}
+	if len(req.Series) == 0 {
+		return nil, fmt.Errorf("series is empty")
+	}
+	if len(req.Series) > maxAppend {
+		return nil, fmt.Errorf("append of %d series exceeds the server limit %d", len(req.Series), maxAppend)
+	}
+	for i, s := range req.Series {
+		if err := checkQuery(s, seriesLen); err != nil {
+			return nil, fmt.Errorf("series %d: %w", i, err)
 		}
 	}
 	return &req, nil

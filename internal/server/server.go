@@ -7,17 +7,20 @@
 //
 //	POST /search        one kNN query   {"query": [...], "k": 10, ...}
 //	POST /search/batch  many queries    {"queries": [[...], ...], "k": 10, ...}
+//	POST /append        ingest series   {"series": [[...], ...]}
+//	POST /flush         force compaction of acked writes into partitions
 //	GET  /info          database shape (series length, groups, partitions)
-//	GET  /stats         server counters + partition-cache counters, JSON
+//	GET  /stats         server + cache + ingestion counters, JSON
 //	GET  /healthz       liveness probe
 //	GET  /metrics       Prometheus text exposition
 //
-// Admission control bounds the number of in-flight queries: a request
-// beyond MaxInFlight waits for a slot up to QueueTimeout and is answered
-// 429 when none frees up. The request context is threaded through the
-// whole core search path, so a client that disconnects mid-query stops the
-// partition scans it triggered instead of burning disk and CPU to compute
-// an answer nobody will read.
+// Admission control bounds the number of in-flight queries AND writes: a
+// request beyond MaxInFlight waits for a slot up to QueueTimeout and is
+// answered 429 when none frees up. The request context is threaded through
+// the whole core search path, so a client that disconnects mid-query stops
+// the partition scans it triggered instead of burning disk and CPU to
+// compute an answer nobody will read. An append whose response was never
+// read is still durable — once its WAL fsync starts, the write lands.
 package server
 
 import (
@@ -54,6 +57,8 @@ type Config struct {
 	MaxK int
 	// MaxBatch caps the query count of one batch request. Default: 256.
 	MaxBatch int
+	// MaxAppend caps the series count of one append request. Default: 1024.
+	MaxAppend int
 	// MaxBodyBytes caps a request body. Default: 32 MB.
 	MaxBodyBytes int64
 	// BodyReadTimeout bounds how long reading one request body may take.
@@ -75,6 +80,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxBatch <= 0 {
 		c.MaxBatch = 256
+	}
+	if c.MaxAppend <= 0 {
+		c.MaxAppend = 1024
 	}
 	if c.MaxBodyBytes <= 0 {
 		c.MaxBodyBytes = 32 << 20
@@ -113,6 +121,7 @@ func New(db *climber.DB, cfg Config) *Server {
 	}
 	s.sem = make(chan struct{}, s.cfg.MaxInFlight)
 	s.m.latency = newHistogram()
+	s.m.appendLat = newHistogram()
 	return s
 }
 
@@ -121,6 +130,8 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /search", s.handleSearch)
 	mux.HandleFunc("POST /search/batch", s.handleBatch)
+	mux.HandleFunc("POST /append", s.handleAppend)
+	mux.HandleFunc("POST /flush", s.handleFlush)
 	mux.HandleFunc("GET /info", s.handleInfo)
 	mux.HandleFunc("GET /stats", s.handleStats)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -331,6 +342,59 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, BatchResponse{Results: out})
 }
 
+func (s *Server) handleAppend(w http.ResponseWriter, r *http.Request) {
+	// Writes share the query admission budget: ingesting a batch of series
+	// costs routing CPU, a WAL fsync, and delta inserts, so an overloaded
+	// server queues and sheds appends exactly as it does searches.
+	release, status, err := s.admit(r.Context())
+	if err != nil {
+		writeError(w, status, err)
+		return
+	}
+	defer release()
+	body, ok := s.readBody(w, r)
+	if !ok {
+		return
+	}
+	req, err := decodeAppendRequest(body, s.seriesLen, s.cfg.MaxAppend)
+	if err != nil {
+		s.m.badRequests.Add(1)
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if s.hookAdmitted != nil {
+		s.hookAdmitted(r.Context())
+	}
+
+	start := time.Now()
+	ids, err := s.db.AppendContext(r.Context(), req.Series)
+	s.m.appendLat.observe(time.Since(start))
+	s.m.appends.Add(1)
+	if !s.finishQuery(w, err) {
+		return
+	}
+	s.m.appendSeries.Add(int64(len(req.Series)))
+	writeJSON(w, http.StatusOK, AppendResponse{IDs: ids})
+}
+
+// handleFlush forces a synchronous compaction: every previously acked
+// append is in its partition file when the 200 arrives. Operators use it
+// before snapshotting the database directory; tests use it to exercise the
+// compaction path deterministically.
+func (s *Server) handleFlush(w http.ResponseWriter, r *http.Request) {
+	release, status, err := s.admit(r.Context())
+	if err != nil {
+		writeError(w, status, err)
+		return
+	}
+	defer release()
+	s.m.flushes.Add(1)
+	if !s.finishQuery(w, s.db.FlushContext(r.Context())) {
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "flushed"})
+}
+
 func toWire(res []climber.Result) []Result {
 	out := make([]Result, len(res))
 	for i, r := range res {
@@ -361,14 +425,16 @@ func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
 
 // StatsResponse is the body of GET /stats.
 type StatsResponse struct {
-	Server ServerStats        `json:"server"`
-	Cache  climber.CacheStats `json:"cache"`
+	Server ServerStats         `json:"server"`
+	Cache  climber.CacheStats  `json:"cache"`
+	Ingest climber.IngestStats `json:"ingest"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, StatsResponse{
 		Server: s.m.snapshot(time.Since(s.started)),
 		Cache:  s.db.CacheStats(),
+		Ingest: s.db.IngestStats(),
 	})
 }
 
@@ -378,7 +444,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	var b strings.Builder
-	s.m.renderProm(&b, s.db.CacheStats())
+	s.m.renderProm(&b, s.db.CacheStats(), s.db.IngestStats())
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	_, _ = io.WriteString(w, b.String())
 }

@@ -546,3 +546,118 @@ func TestInflightGaugeReturnsToZero(t *testing.T) {
 		t.Fatalf("%d admission slots leaked", len(srv.sem))
 	}
 }
+
+// TestAppendEndpoint covers the live-ingestion walkthrough: POST /append
+// acks durable writes that /search sees immediately, /stats and /metrics
+// report the pipeline, and /flush compacts on demand.
+func TestAppendEndpoint(t *testing.T) {
+	db, _ := buildTestDB(t, 1200,
+		climber.WithCompactionRecords(1<<20), climber.WithCompactionAge(time.Hour))
+	h := New(db, Config{}).Handler()
+
+	fresh := dataset.RandomWalk(64, 10, 4242)
+	series := make([][]float64, fresh.Len())
+	for i := range series {
+		x := make([]float64, 64)
+		copy(x, fresh.Get(i))
+		series[i] = x
+	}
+	rec := postJSON(t, h, "/append", AppendRequest{Series: series})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("append status %d: %s", rec.Code, rec.Body)
+	}
+	var ar AppendResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &ar); err != nil {
+		t.Fatal(err)
+	}
+	if len(ar.IDs) != 10 || ar.IDs[0] != 1200 {
+		t.Fatalf("append ids = %v, want 1200..1209", ar.IDs)
+	}
+
+	// Immediately visible to /search, before any compaction.
+	found := 0
+	for i, q := range series {
+		rec := postJSON(t, h, "/search", SearchRequest{Query: q, K: 3})
+		if rec.Code != http.StatusOK {
+			t.Fatalf("search status %d: %s", rec.Code, rec.Body)
+		}
+		var sr SearchResponse
+		if err := json.Unmarshal(rec.Body.Bytes(), &sr); err != nil {
+			t.Fatal(err)
+		}
+		if len(sr.Results) > 0 && sr.Results[0].ID == ar.IDs[i] && sr.Results[0].Dist < 1e-4 {
+			found++
+		}
+	}
+	if found < 9 {
+		t.Fatalf("found %d/10 appended series via /search, want >= 9", found)
+	}
+
+	// /info counts them; /stats reports the pipeline.
+	var info InfoResponse
+	if err := json.Unmarshal(getPath(t, h, "/info").Body.Bytes(), &info); err != nil {
+		t.Fatal(err)
+	}
+	if info.NumRecords != 1210 {
+		t.Fatalf("/info num_records = %d, want 1210", info.NumRecords)
+	}
+	var stats StatsResponse
+	if err := json.Unmarshal(getPath(t, h, "/stats").Body.Bytes(), &stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Server.Appends != 1 || stats.Server.AppendSeries != 10 {
+		t.Fatalf("server append counters: %+v", stats.Server)
+	}
+	if stats.Ingest.DeltaRecords != 10 || stats.Ingest.WALBytes <= 12 {
+		t.Fatalf("ingest stats: %+v", stats.Ingest)
+	}
+
+	// /flush drains the delta; records stay findable.
+	if rec := postJSON(t, h, "/flush", struct{}{}); rec.Code != http.StatusOK {
+		t.Fatalf("flush status %d: %s", rec.Code, rec.Body)
+	}
+	if err := json.Unmarshal(getPath(t, h, "/stats").Body.Bytes(), &stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Ingest.DeltaRecords != 0 || stats.Ingest.Compactions != 1 {
+		t.Fatalf("ingest stats after flush: %+v", stats.Ingest)
+	}
+	rec = postJSON(t, h, "/search", SearchRequest{Query: series[3], K: 3})
+	var sr SearchResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &sr); err != nil {
+		t.Fatal(err)
+	}
+	if len(sr.Results) == 0 || sr.Results[0].ID != ar.IDs[3] {
+		t.Fatalf("appended series lost after flush: %+v", sr.Results)
+	}
+
+	// Prometheus exposition carries the ingestion metrics.
+	body := getPath(t, h, "/metrics").Body.String()
+	for _, m := range []string{
+		"climber_append_requests_total 1",
+		"climber_append_series_total 10",
+		"climber_compactions_total 1",
+		"climber_delta_records 0",
+		"climber_wal_bytes 12",
+	} {
+		if !strings.Contains(body, m) {
+			t.Errorf("/metrics missing %q", m)
+		}
+	}
+}
+
+// TestAppendValidationErrors: malformed append bodies are clean 400s.
+func TestAppendValidationErrors(t *testing.T) {
+	db, _ := buildTestDB(t, 1000)
+	h := New(db, Config{MaxAppend: 4}).Handler()
+	cases := []any{
+		AppendRequest{}, // empty
+		AppendRequest{Series: [][]float64{{1, 2, 3}}}, // wrong length
+		AppendRequest{Series: make([][]float64, 5)},   // over MaxAppend
+	}
+	for i, body := range cases {
+		if rec := postJSON(t, h, "/append", body); rec.Code != http.StatusBadRequest {
+			t.Errorf("case %d: status %d, want 400", i, rec.Code)
+		}
+	}
+}
