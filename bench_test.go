@@ -2,7 +2,7 @@
 // evaluation (Section VII). Each benchmark exercises the operation the
 // artefact measures — query latency, build cost, recall — at a bench-sized
 // workload; the full sweeps with paper-style rows come from
-// cmd/climber-bench (see DESIGN.md's experiment index).
+// cmd/climber-bench (see the experiment index in internal/experiments).
 //
 // Recall and effort are attached to benchmarks as custom metrics
 // (recall, partitions/query, records/query) so `go test -bench` output
@@ -435,7 +435,7 @@ func BenchmarkFig12PrefixLen(b *testing.B) {
 	}
 }
 
-// --- Ablations: design choices DESIGN.md calls out --------------------------------
+// --- Ablations: design choices the experiments package calls out --------------------------------
 
 func BenchmarkAblationDecay(b *testing.B) {
 	const n = 5000

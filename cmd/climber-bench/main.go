@@ -7,15 +7,18 @@
 //	climber-bench -experiment all -scale medium -out results.txt
 //
 // Experiment IDs: fig7a fig7b fig7cd fig8ab fig8cd fig9 fig10 fig11a
-// fig11b fig12 table1 (or "all"). Scales: small, medium, large. See
-// DESIGN.md for the experiment index and EXPERIMENTS.md for recorded
-// paper-vs-measured results.
+// fig11b fig12 table1 (or "all"). Scales: small, medium, large. The
+// experiment index lives in internal/experiments (each runner's doc
+// comment names the paper artefact it reproduces).
 //
 // Beyond the paper artefacts, "mixed" runs a concurrent read/write workload
 // against the streaming ingestion pipeline (internal/ingest) and reports
-// append and search latency side by side:
+// append and search latency side by side, and "sharded" compares an
+// unsharded DB with the same dataset split over four shard servers behind
+// the scatter-gather router (internal/shard):
 //
 //	climber-bench -experiment mixed -scale small
+//	climber-bench -experiment sharded -scale small
 package main
 
 import (

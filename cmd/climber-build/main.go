@@ -7,6 +7,14 @@
 //
 // The resulting database directory is queried with climber-query and
 // inspected with climber-inspect.
+//
+// With -shards N the dataset is split round-robin into N independent
+// databases <dir>/shard-0 .. <dir>/shard-N-1, each a complete CLIMBER
+// directory (own skeleton, partitions, WAL), plus a <dir>/shards.json
+// topology template pointing at localhost ports 9001..900N — edit the URLs
+// for a real deployment, start one climber-serve per shard directory, and
+// front them with climber-router. Under the round-robin split record i of
+// the dataset keeps global ID i through the router.
 package main
 
 import (
@@ -14,9 +22,12 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"path/filepath"
 
 	"climber"
 	"climber/internal/dataset"
+	"climber/internal/series"
+	"climber/internal/shard"
 )
 
 func main() {
@@ -33,6 +44,8 @@ func main() {
 		sample   = flag.Float64("sample", 0.1, "skeleton sampling rate alpha")
 		seed     = flag.Uint64("seed", 42, "build seed")
 		decay    = flag.String("decay", "exponential", "pivot weight decay: exponential or linear")
+		shards   = flag.Int("shards", 0, "split the dataset into this many shard databases under -dir (0 = one unsharded database)")
+		port     = flag.Int("shard-port", 9001, "first localhost port in the generated shards.json template")
 	)
 	flag.Parse()
 	if *data == "" || *dir == "" {
@@ -56,14 +69,45 @@ func main() {
 		opts = append(opts, climber.WithLinearDecay())
 	}
 
+	if *shards > 1 {
+		buildShards(ds, *dir, *shards, *port, opts)
+		return
+	}
+
 	db, err := climber.BuildDataset(*dir, ds, opts...)
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer db.Close()
+	printSummary(*dir, db)
+}
+
+// buildShards splits ds round-robin, builds one database per shard under
+// dir (the climber.ShardDirs layout), and writes a shards.json topology
+// template next to them.
+func buildShards(ds *series.Dataset, dir string, n, firstPort int, opts []climber.Option) {
+	topo := shard.LocalTopology(n, firstPort)
+	dirs := climber.ShardDirs(dir, n)
+	for s, sub := range shard.SplitDataset(ds, n) {
+		db, err := climber.BuildDataset(dirs[s], sub, opts...)
+		if err != nil {
+			log.Fatalf("shard %d: %v", s, err)
+		}
+		printSummary(dirs[s], db)
+		db.Close()
+	}
+	topoPath := filepath.Join(dir, "shards.json")
+	if err := topo.Save(topoPath); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote topology template %s — edit the URLs, start one\n", topoPath)
+	fmt.Printf("climber-serve per shard directory, then: climber-router -topology %s\n", topoPath)
+}
+
+func printSummary(dir string, db *climber.DB) {
 	info := db.Info()
 	stats := db.Index().Stats
-	fmt.Printf("built CLIMBER index in %s\n", *dir)
+	fmt.Printf("built CLIMBER index in %s\n", dir)
 	fmt.Printf("  records:        %d (length %d)\n", info.NumRecords, info.SeriesLen)
 	fmt.Printf("  groups:         %d (incl. fall-back G0)\n", info.NumGroups)
 	fmt.Printf("  partitions:     %d\n", info.NumPartitions)

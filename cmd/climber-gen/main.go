@@ -6,8 +6,8 @@
 //	climber-gen -dataset randomwalk -count 20000 -seed 1 -out rw.clmb
 //
 // Datasets: randomwalk (256 pts), sift (128 pts), dna (192 pts),
-// eeg (256 pts). See DESIGN.md for how each stands in for the paper's
-// corpus.
+// eeg (256 pts). Each generator stands in for one of the corpora of the
+// paper's evaluation (Section VII); see internal/dataset for the shapes.
 package main
 
 import (

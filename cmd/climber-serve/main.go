@@ -9,6 +9,7 @@
 //
 //	POST /search        one kNN query
 //	POST /search/batch  many queries in one request
+//	POST /search/prefix one query shorter than the indexed length
 //	POST /append        ingest new series (durable + immediately searchable)
 //	POST /flush         force compaction of acked writes into partitions
 //	GET  /info          database shape

@@ -1,0 +1,101 @@
+// Package api is the HTTP wire contract of the CLIMBER serving stack: the
+// request/response types, their decode-and-validate functions, and the small
+// serving primitives (admission limiter, latency histogram, JSON response
+// helpers) shared by the single-node query server (internal/server, mounted
+// by cmd/climber-serve) and the shard router (internal/shard, mounted by
+// cmd/climber-router).
+//
+// Both layers speak exactly the same dialect: a router can front any set of
+// climber-serve processes, and a client cannot tell a single node from a
+// sharded deployment by the shapes on the wire. Keeping the contract in one
+// package is what enforces that — the router forwards request bodies it
+// validated with the same decoders the shard will re-apply, and merges
+// response bodies it can decode with the very types the shard encoded.
+package api
+
+import "climber"
+
+// DefaultK is the answer-set size used when a request omits k.
+const DefaultK = 10
+
+// SearchRequest is the body of POST /search and POST /search/prefix. For
+// /search the query must have the indexed series length; for /search/prefix
+// it may be shorter (see DecodePrefixRequest).
+type SearchRequest struct {
+	// Query is the query series.
+	Query []float64 `json:"query"`
+	// K is the answer-set size; omitted or zero means DefaultK.
+	K int `json:"k,omitempty"`
+	// Variant selects the query algorithm: "knn", "adaptive-2x",
+	// "adaptive-4x" (default) or "od-smallest".
+	Variant string `json:"variant,omitempty"`
+	// MaxPartitions, when positive, overrides the adaptive variants'
+	// partition cap.
+	MaxPartitions int `json:"max_partitions,omitempty"`
+}
+
+// BatchRequest is the body of POST /search/batch. The per-request options
+// apply to every query of the batch.
+type BatchRequest struct {
+	// Queries are the query series; each must have the indexed length.
+	Queries [][]float64 `json:"queries"`
+	// K is the per-query answer-set size; omitted or zero means DefaultK.
+	K int `json:"k,omitempty"`
+	// Variant selects the query algorithm for every query of the batch.
+	Variant string `json:"variant,omitempty"`
+	// MaxPartitions, when positive, overrides the adaptive variants'
+	// partition cap for every query of the batch.
+	MaxPartitions int `json:"max_partitions,omitempty"`
+}
+
+// AppendRequest is the body of POST /append.
+type AppendRequest struct {
+	// Series are the data series to ingest; each must have the indexed
+	// length.
+	Series [][]float64 `json:"series"`
+}
+
+// AppendResponse is the body of a successful POST /append. When it arrives
+// the series are durable (WAL-fsynced) and visible to /search.
+type AppendResponse struct {
+	// IDs are the assigned record IDs, aligned positionally with the
+	// request's Series.
+	IDs []int `json:"ids"`
+}
+
+// Result is one neighbour in a response: the record ID and its Euclidean
+// distance to the query.
+type Result struct {
+	ID   int     `json:"id"`
+	Dist float64 `json:"dist"`
+}
+
+// SearchResponse is the body of a successful POST /search or POST
+// /search/prefix.
+type SearchResponse struct {
+	// Results are the approximate nearest neighbours, ascending by distance.
+	Results []Result `json:"results"`
+	// Stats is the effort behind the query (partitions scanned, records
+	// compared, cache traffic).
+	Stats climber.Stats `json:"stats"`
+}
+
+// BatchResponse is the body of a successful POST /search/batch; Results
+// aligns positionally with the request's Queries.
+type BatchResponse struct {
+	Results [][]Result `json:"results"`
+}
+
+// InfoResponse is the body of GET /info: the database's structural shape.
+type InfoResponse struct {
+	SeriesLen     int `json:"series_len"`
+	NumRecords    int `json:"num_records"`
+	NumGroups     int `json:"num_groups"`
+	NumPartitions int `json:"num_partitions"`
+	SkeletonBytes int `json:"skeleton_bytes"`
+}
+
+// ErrorResponse is the JSON body of every non-2xx answer.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}

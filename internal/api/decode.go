@@ -1,0 +1,180 @@
+package api
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+
+	"climber"
+)
+
+// ParseVariant maps the wire name of a query algorithm to its Variant.
+func ParseVariant(s string) (climber.Variant, error) {
+	switch s {
+	case "", "adaptive-4x":
+		return climber.Adaptive4X, nil
+	case "knn":
+		return climber.KNN, nil
+	case "adaptive-2x":
+		return climber.Adaptive2X, nil
+	case "od-smallest":
+		return climber.ODSmallest, nil
+	default:
+		return 0, fmt.Errorf("unknown variant %q (knn, adaptive-2x, adaptive-4x, od-smallest)", s)
+	}
+}
+
+// DecodeJSON unmarshals one JSON value from data, rejecting trailing
+// garbage. encoding/json rejects NaN and infinite numbers on its own, so a
+// decoded query is always finite.
+func DecodeJSON(data []byte, v any) error {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	if err := dec.Decode(v); err != nil {
+		return err
+	}
+	if dec.More() {
+		return fmt.Errorf("trailing data after JSON body")
+	}
+	return nil
+}
+
+// CheckQuery validates one query series against the index shape: non-empty,
+// exactly seriesLen values, all finite.
+func CheckQuery(q []float64, seriesLen int) error {
+	if len(q) == 0 {
+		return fmt.Errorf("query is empty")
+	}
+	if len(q) != seriesLen {
+		return fmt.Errorf("query length %d, index expects %d", len(q), seriesLen)
+	}
+	return checkFinite(q)
+}
+
+// checkFinite rejects NaN and infinite readings.
+func checkFinite(q []float64) error {
+	for _, v := range q {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("query contains a non-finite value")
+		}
+	}
+	return nil
+}
+
+// checkOptions validates and normalises the shared request options in
+// place: k defaults to DefaultK and is bounded by maxK, the variant must
+// parse, and max_partitions must not be negative.
+func checkOptions(k *int, variant string, maxPartitions, maxK int) error {
+	if *k == 0 {
+		*k = DefaultK
+	}
+	if *k < 0 {
+		return fmt.Errorf("k must be positive, got %d", *k)
+	}
+	if *k > maxK {
+		return fmt.Errorf("k %d exceeds the server limit %d", *k, maxK)
+	}
+	if _, err := ParseVariant(variant); err != nil {
+		return err
+	}
+	if maxPartitions < 0 {
+		return fmt.Errorf("max_partitions must not be negative, got %d", maxPartitions)
+	}
+	return nil
+}
+
+// DecodeSearchRequest parses and validates a POST /search body. On success
+// the request is well-formed: the query is finite with the indexed length,
+// 1 <= k <= maxK, and the variant parses.
+func DecodeSearchRequest(data []byte, seriesLen, maxK int) (*SearchRequest, error) {
+	var req SearchRequest
+	if err := DecodeJSON(data, &req); err != nil {
+		return nil, err
+	}
+	if err := checkOptions(&req.K, req.Variant, req.MaxPartitions, maxK); err != nil {
+		return nil, err
+	}
+	if err := CheckQuery(req.Query, seriesLen); err != nil {
+		return nil, err
+	}
+	return &req, nil
+}
+
+// DecodePrefixRequest parses and validates a POST /search/prefix body. The
+// query may be shorter than the indexed series length but no shorter than
+// minLen (the index's PAA segment count — shorter prefixes cannot be
+// transformed); every other guarantee matches DecodeSearchRequest.
+func DecodePrefixRequest(data []byte, minLen, seriesLen, maxK int) (*SearchRequest, error) {
+	var req SearchRequest
+	if err := DecodeJSON(data, &req); err != nil {
+		return nil, err
+	}
+	if err := checkOptions(&req.K, req.Variant, req.MaxPartitions, maxK); err != nil {
+		return nil, err
+	}
+	if len(req.Query) < minLen || len(req.Query) > seriesLen {
+		return nil, fmt.Errorf("prefix query length %d outside [%d, %d]", len(req.Query), minLen, seriesLen)
+	}
+	if err := checkFinite(req.Query); err != nil {
+		return nil, err
+	}
+	return &req, nil
+}
+
+// DecodeBatchRequest parses and validates a POST /search/batch body with
+// the same guarantees as DecodeSearchRequest for every query, plus
+// 1 <= len(queries) <= maxBatch.
+func DecodeBatchRequest(data []byte, seriesLen, maxK, maxBatch int) (*BatchRequest, error) {
+	var req BatchRequest
+	if err := DecodeJSON(data, &req); err != nil {
+		return nil, err
+	}
+	if err := checkOptions(&req.K, req.Variant, req.MaxPartitions, maxK); err != nil {
+		return nil, err
+	}
+	if len(req.Queries) == 0 {
+		return nil, fmt.Errorf("queries is empty")
+	}
+	if len(req.Queries) > maxBatch {
+		return nil, fmt.Errorf("batch of %d queries exceeds the server limit %d", len(req.Queries), maxBatch)
+	}
+	for i, q := range req.Queries {
+		if err := CheckQuery(q, seriesLen); err != nil {
+			return nil, fmt.Errorf("query %d: %w", i, err)
+		}
+	}
+	return &req, nil
+}
+
+// DecodeAppendRequest parses and validates a POST /append body: every
+// series is finite with the indexed length, and 1 <= len(series) <=
+// maxAppend.
+func DecodeAppendRequest(data []byte, seriesLen, maxAppend int) (*AppendRequest, error) {
+	var req AppendRequest
+	if err := DecodeJSON(data, &req); err != nil {
+		return nil, err
+	}
+	if len(req.Series) == 0 {
+		return nil, fmt.Errorf("series is empty")
+	}
+	if len(req.Series) > maxAppend {
+		return nil, fmt.Errorf("append of %d series exceeds the server limit %d", len(req.Series), maxAppend)
+	}
+	for i, s := range req.Series {
+		if err := CheckQuery(s, seriesLen); err != nil {
+			return nil, fmt.Errorf("series %d: %w", i, err)
+		}
+	}
+	return &req, nil
+}
+
+// SearchOptions converts validated request options to climber search
+// options. The variant must have been validated during decode.
+func SearchOptions(variant string, maxPartitions int) []climber.SearchOption {
+	v, _ := ParseVariant(variant) // validated during decode
+	opts := []climber.SearchOption{climber.WithVariant(v)}
+	if maxPartitions > 0 {
+		opts = append(opts, climber.WithMaxPartitions(maxPartitions))
+	}
+	return opts
+}

@@ -1,0 +1,62 @@
+package api
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// LatencyBuckets are the upper bounds (seconds) of the serving-layer
+// latency histograms, chosen to straddle the in-memory-hit to
+// multi-partition-scan range; an implicit +Inf bucket catches the rest.
+var LatencyBuckets = []float64{
+	0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// Histogram is a fixed-bucket latency histogram with atomic counters; safe
+// for concurrent observation and rendering. The total count is derived
+// from the buckets at render time so one exposition always satisfies the
+// Prometheus invariant bucket{le="+Inf"} == _count, even when queries
+// finish mid-scrape.
+type Histogram struct {
+	buckets []atomic.Int64 // per-bucket at observe, cumulated at render
+	inf     atomic.Int64
+	sumNs   atomic.Int64
+}
+
+// NewHistogram builds an empty histogram over LatencyBuckets.
+func NewHistogram() *Histogram {
+	return &Histogram{buckets: make([]atomic.Int64, len(LatencyBuckets))}
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	s := d.Seconds()
+	h.sumNs.Add(d.Nanoseconds())
+	for i, le := range LatencyBuckets {
+		if s <= le {
+			h.buckets[i].Add(1)
+			return
+		}
+	}
+	h.inf.Add(1)
+}
+
+// Render writes the histogram in Prometheus text exposition under the
+// given metric name; the cumulative count is derived from the buckets at
+// render time so one exposition always satisfies bucket{le="+Inf"} ==
+// _count.
+func (h *Histogram) Render(w *strings.Builder, name, help string) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
+	var cum int64
+	for i, le := range LatencyBuckets {
+		cum += h.buckets[i].Load()
+		fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, strconv.FormatFloat(le, 'g', -1, 64), cum)
+	}
+	cum += h.inf.Load()
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, cum)
+	fmt.Fprintf(w, "%s_sum %g\n", name, float64(h.sumNs.Load())/1e9)
+	fmt.Fprintf(w, "%s_count %d\n", name, cum)
+}

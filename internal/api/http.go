@@ -1,0 +1,58 @@
+package api
+
+import (
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"os"
+	"time"
+)
+
+// StatusClientClosedRequest is the non-standard status (nginx's 499)
+// reported when the client disconnected before its answer was ready. The
+// client never sees it; it keeps access logs and metrics honest.
+const StatusClientClosedRequest = 499
+
+// WriteJSON encodes v as the JSON body of a response with the given status.
+func WriteJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v) // the client is gone if this fails; nothing to do
+}
+
+// WriteError answers with an ErrorResponse carrying err's message.
+func WriteError(w http.ResponseWriter, status int, err error) {
+	WriteJSON(w, status, ErrorResponse{Error: err.Error()})
+}
+
+// ReadBody slurps one request body under a size cap and read deadline,
+// shared by every serving layer. The deadline bounds admission-slot
+// occupancy against slow-trickling clients; writers that cannot set one
+// (test recorders) are served without it. On failure it returns the HTTP
+// status to answer with (400, 408, or 413) alongside the error, and has
+// already marked the connection for closure — the connection still holds
+// unread body bytes, and net/http's post-handler drain of them must not
+// wait past the deadline either.
+func ReadBody(w http.ResponseWriter, r *http.Request, maxBytes int64, timeout time.Duration) (body []byte, status int, err error) {
+	rc := http.NewResponseController(w)
+	hasDeadline := rc.SetReadDeadline(time.Now().Add(timeout)) == nil
+	body, err = io.ReadAll(http.MaxBytesReader(w, r.Body, maxBytes))
+	if err != nil {
+		w.Header().Set("Connection", "close")
+		status = http.StatusBadRequest
+		var tooLarge *http.MaxBytesError
+		switch {
+		case errors.As(err, &tooLarge):
+			status = http.StatusRequestEntityTooLarge
+		case errors.Is(err, os.ErrDeadlineExceeded):
+			status = http.StatusRequestTimeout
+		}
+		return nil, status, err
+	}
+	if hasDeadline {
+		_ = rc.SetReadDeadline(time.Time{}) // disarm for the next request
+	}
+	return body, 0, nil
+}

@@ -1,4 +1,4 @@
-package server
+package api
 
 import (
 	"math"
@@ -15,7 +15,7 @@ func FuzzSearchRequest(f *testing.F) {
 	f.Add([]byte(`{"query": [0.5, -1.25, 3e10, 4e-10], "k": 1, "variant": "knn"}`))
 	f.Add([]byte(`{"query": [1,2,3,4], "variant": "od-smallest", "max_partitions": 3}`))
 	f.Add([]byte(`{"queries": [[1,2,3,4],[5,6,7,8]], "k": 2}`))
-	f.Add([]byte(`{"query": [1,2,3]}`))          // wrong length
+	f.Add([]byte(`{"query": [1,2,3]}`)) // wrong length
 	f.Add([]byte(`{"query": [1,2,3,4], "k": -7}`))
 	f.Add([]byte(`{"query": [1,2,3,4]} trailing`))
 	f.Add([]byte(`{"query": "not an array"}`))
@@ -27,7 +27,7 @@ func FuzzSearchRequest(f *testing.F) {
 
 	const seriesLen, maxK, maxBatch = 4, 100, 8
 	f.Fuzz(func(t *testing.T, data []byte) {
-		req, err := decodeSearchRequest(data, seriesLen, maxK)
+		req, err := DecodeSearchRequest(data, seriesLen, maxK)
 		if err == nil {
 			if len(req.Query) != seriesLen {
 				t.Fatalf("accepted query of length %d, want %d", len(req.Query), seriesLen)
@@ -40,14 +40,14 @@ func FuzzSearchRequest(f *testing.F) {
 			if req.K < 1 || req.K > maxK {
 				t.Fatalf("accepted k=%d outside [1, %d]", req.K, maxK)
 			}
-			if _, verr := parseVariant(req.Variant); verr != nil {
+			if _, verr := ParseVariant(req.Variant); verr != nil {
 				t.Fatalf("accepted unparseable variant %q", req.Variant)
 			}
 			if req.MaxPartitions < 0 {
 				t.Fatalf("accepted negative max_partitions %d", req.MaxPartitions)
 			}
 		}
-		breq, err := decodeBatchRequest(data, seriesLen, maxK, maxBatch)
+		breq, err := DecodeBatchRequest(data, seriesLen, maxK, maxBatch)
 		if err == nil {
 			if len(breq.Queries) < 1 || len(breq.Queries) > maxBatch {
 				t.Fatalf("accepted batch of %d queries outside [1, %d]", len(breq.Queries), maxBatch)

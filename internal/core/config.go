@@ -1,11 +1,3 @@
-// Package core implements CLIMBER itself: the CLIMBER-FX feature-extraction
-// pipeline, the two-level CLIMBER-INX index (Sections IV-V), and the
-// CLIMBER-kNN / CLIMBER-kNN-Adaptive query algorithms (Section VI).
-//
-// The index skeleton — the groups list and the forest of tries under them
-// (paper Figure 5) — is small enough to broadcast, while the data series
-// themselves live in capacity-bounded partition files managed by the
-// cluster/storage substrate.
 package core
 
 import (
@@ -49,7 +41,7 @@ type Config struct {
 	BlockSize int
 	// DisableWDTieBreak turns off the Weight Distance stage of Algorithm 1,
 	// resolving Overlap Distance ties randomly. It exists only for the
-	// dual-representation ablation (DESIGN.md); production indexes keep it
+	// dual-representation ablation (cmd/climber-bench -experiment abl-dual); production indexes keep it
 	// false.
 	DisableWDTieBreak bool
 }

@@ -1,0 +1,35 @@
+// Package core implements CLIMBER itself: the CLIMBER-FX feature-extraction
+// pipeline, the two-level CLIMBER-INX index (paper Sections IV-V), and the
+// CLIMBER-kNN / CLIMBER-kNN-Adaptive query algorithms (Section VI).
+//
+// # Structure
+//
+// An Index is a Skeleton plus partition files. The skeleton — the pivot
+// set, the data-series groups with their rank-insensitive centroids, and
+// the rank-sensitive trie under each group (paper Figure 5) — is small
+// enough to broadcast and serialises into the index.clms manifest
+// (SaveIndex/OpenIndex, io.go). The data series themselves live in
+// capacity-bounded partition files managed by the cluster/storage
+// substrate, grouped on disk by record cluster (trie node).
+//
+// The main flows through the package:
+//
+//   - Build (build.go): sample → pivots → groups → tries → route every
+//     record → pack partition files; the phase timings land in BuildStats.
+//   - Search / SearchPrefix / SearchBatch (search.go, prefix.go,
+//     batch.go): navigate the skeleton to a scan plan, scan partitions in
+//     parallel with context cancellation, rank by true Euclidean
+//     distance, widen within loaded partitions when the plan covers fewer
+//     than K records.
+//   - Append / WriteRouted (append.go): route new records through the
+//     existing skeleton and merge them into partition files by atomic
+//     replace; record IDs come from a single atomic counter (ReserveIDs)
+//     so concurrent writers never collide.
+//   - DeltaSource (delta.go): the seam through which the streaming
+//     ingestion layer (internal/ingest) makes acked-but-uncompacted
+//     records visible to every search with plan-identical pruning.
+//
+// Layers above: the public climber.DB wraps an Index with the ingestion
+// pipeline and the partition cache; internal/server serves one DB over
+// HTTP; internal/shard scatter-gathers over many such servers.
+package core

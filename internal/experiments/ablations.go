@@ -9,7 +9,7 @@ import (
 	"climber/internal/metric"
 )
 
-// The ablation runners probe the design choices DESIGN.md calls out. They
+// The ablation runners probe the reproduction/s load-bearing design choices. They
 // go beyond the paper's published figures: each isolates one mechanism of
 // CLIMBER and measures what it buys.
 

@@ -6,8 +6,8 @@
 // Absolute numbers differ from the paper (their testbed is a 112-core
 // Spark/HDFS cluster over terabytes; ours is a simulated multi-worker
 // runtime over megabytes) — the reproduced artefacts are the *shapes*: who
-// wins, by what rough factor, and where the crossovers fall. EXPERIMENTS.md
-// records paper-vs-measured for every run.
+// wins, by what rough factor, and where the crossovers fall. The CLI
+// harness (cmd/climber-bench) regenerates every artefact on demand.
 package experiments
 
 import (
@@ -104,6 +104,7 @@ func Registry() map[string]Runner {
 		"abl-sampling": AblationSampling,
 		"landscape":    Landscape,
 		"mixed":        MixedWorkload,
+		"sharded":      ShardedWorkload,
 	}
 }
 

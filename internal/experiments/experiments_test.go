@@ -19,10 +19,10 @@ func tinyScale() Scale {
 
 func TestRegistryComplete(t *testing.T) {
 	// Every artefact of the paper's evaluation must have a runner, plus the
-	// ablations DESIGN.md calls out.
+	// ablations the package calls out.
 	want := []string{"fig7a", "fig7b", "fig7cd", "fig8ab", "fig8cd",
 		"fig9", "fig10", "fig11a", "fig11b", "fig12", "table1",
-		"abl-decay", "abl-dual", "abl-sampling", "landscape", "mixed"}
+		"abl-decay", "abl-dual", "abl-sampling", "landscape", "mixed", "sharded"}
 	reg := Registry()
 	for _, id := range want {
 		if reg[id] == nil {
@@ -171,6 +171,19 @@ func TestMixedSmoke(t *testing.T) {
 	}
 	if !strings.Contains(out, "visibility:") {
 		t.Errorf("mixed output missing visibility check:\n%s", out)
+	}
+}
+
+func TestShardedSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runner smoke tests are slow")
+	}
+	out := runnerSmoke(t, "sharded")
+	for _, want := range []string{"unsharded (in-proc)", "router (HTTP, merged)",
+		"answer agreement", "rendezvous-routed"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("sharded output missing %q:\n%s", want, out)
+		}
 	}
 }
 

@@ -1,0 +1,182 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"climber"
+	"climber/internal/dataset"
+	"climber/internal/server"
+	"climber/internal/shard"
+)
+
+// ShardedWorkload measures the horizontal-scaling path the paper's Spark
+// deployment motivates (Section VII runs on a 112-core cluster): the same
+// dataset served by one climber.DB versus split round-robin over N shard
+// DBs behind real HTTP servers and a scatter-gather router. It reports
+// query latency for the unsharded DB (in-process), a single shard over
+// HTTP, and the router (full scatter + merge), the answer agreement
+// between the sharded and unsharded deployments, and the rendezvous spread
+// of a routed append burst.
+func ShardedWorkload(s Scale, workDir string, out io.Writer) error {
+	const nShards = 4
+	n := s.BaseSize
+	searches := 10 * s.Queries
+
+	ds, err := dataset.ByName("randomwalk", n, 7)
+	if err != nil {
+		return err
+	}
+	cfg := climberConfig(s, n)
+	buildOpts := func(pivots int) []climber.Option {
+		opts := []climber.Option{
+			climber.WithSegments(cfg.Segments),
+			climber.WithPivots(pivots),
+			climber.WithPrefixLen(cfg.PrefixLen),
+			climber.WithCapacity(cfg.Capacity),
+			climber.WithBlockSize(cfg.BlockSize),
+			climber.WithSeed(cfg.Seed),
+		}
+		if PartitionCacheBytes > 0 {
+			opts = append(opts, climber.WithPartitionCacheBytes(PartitionCacheBytes))
+		}
+		return opts
+	}
+	dir, err := os.MkdirTemp(workDir, "sharded-")
+	if err != nil {
+		return err
+	}
+
+	full, err := climber.BuildDataset(filepath.Join(dir, "full"), ds, buildOpts(cfg.NumPivots)...)
+	if err != nil {
+		return err
+	}
+	defer full.Close()
+
+	// Shard DBs behind real HTTP servers; per-shard pivot counts re-clamp
+	// to the smaller per-shard sample.
+	shardCfg := clampPivots(cfg, n/nShards)
+	shardOpts := buildOpts(shardCfg.NumPivots)
+	shardDirs := climber.ShardDirs(dir, nShards)
+	topo := &shard.Topology{}
+	var servers []*httptest.Server
+	defer func() {
+		for _, ts := range servers {
+			ts.Close()
+		}
+	}()
+	var shardDBs []*climber.DB
+	defer func() { climber.CloseShards(shardDBs) }()
+	for i, sub := range shard.SplitDataset(ds, nShards) {
+		db, err := climber.BuildDataset(shardDirs[i], sub, shardOpts...)
+		if err != nil {
+			return err
+		}
+		if err := db.Close(); err != nil { // reopened below via the multi-open helper
+			return err
+		}
+	}
+	shardDBs, err = climber.OpenShards(shardDirs, shardOpts...)
+	if err != nil {
+		return err
+	}
+	for i, db := range shardDBs {
+		ts := httptest.NewServer(server.New(db, server.Config{}).Handler())
+		servers = append(servers, ts)
+		topo.Shards = append(topo.Shards, shard.Info{ID: filepath.Base(shardDirs[i]), URL: ts.URL})
+	}
+	if err := topo.Validate(); err != nil {
+		return err
+	}
+	router := shard.NewRouter(topo, shard.Config{})
+	defer router.Close()
+	routerSrv := httptest.NewServer(router.Handler())
+	defer routerSrv.Close()
+	client := shard.NewClient(routerSrv.URL)
+	shard0 := shard.NewClient(servers[0].URL)
+
+	_, qs := dataset.Queries(ds, 50, 21)
+	var directLat, oneShardLat, routedLat []time.Duration
+	agree := 0.0
+	for q := 0; q < searches; q++ {
+		query := qs[q%len(qs)]
+
+		start := time.Now()
+		want, err := full.Search(query, s.K)
+		if err != nil {
+			return err
+		}
+		directLat = append(directLat, time.Since(start))
+
+		start = time.Now()
+		if _, err := shard0.Search(query, s.K); err != nil {
+			return err
+		}
+		oneShardLat = append(oneShardLat, time.Since(start))
+
+		start = time.Now()
+		got, err := client.Search(query, s.K)
+		if err != nil {
+			return err
+		}
+		routedLat = append(routedLat, time.Since(start))
+
+		// Agreement: fraction of the unsharded answer set the sharded
+		// deployment reproduced (IDs are comparable thanks to the
+		// round-robin split's exact global-ID encoding).
+		wantIDs := make(map[int]struct{}, len(want))
+		for _, r := range want {
+			wantIDs[r.ID] = struct{}{}
+		}
+		hit := 0
+		for _, r := range got.Results {
+			if _, ok := wantIDs[r.ID]; ok {
+				hit++
+			}
+		}
+		if len(want) > 0 {
+			agree += float64(hit) / float64(len(want))
+		}
+	}
+	agree /= float64(searches)
+
+	// Append burst through the router: rendezvous spread across shards.
+	burst := dataset.RandomWalk(dataset.RandomWalkLength, 64, 9999)
+	series := make([][]float64, burst.Len())
+	for i := range series {
+		series[i] = burst.Get(i)
+	}
+	ids, err := client.Append(series)
+	if err != nil {
+		return err
+	}
+	perShard := make([]int, nShards)
+	for _, id := range ids {
+		perShard[id%topo.Stride()]++
+	}
+	spread := make([]string, nShards)
+	for i, c := range perShard {
+		spread[i] = fmt.Sprintf("%s=%d", topo.Shards[i].ID, c)
+	}
+	sort.Strings(spread)
+
+	tab := &Table{
+		Caption: fmt.Sprintf("Sharded deployment: %d records over %d shards, %d searches x K=%d (router: scatter-gather + global top-k merge)",
+			n, nShards, searches, s.K),
+		Header: []string{"path", "ops", "avg-ms", "p50-ms", "p95-ms", "max-ms"},
+	}
+	addLatRow(tab, "unsharded (in-proc)", directLat)
+	addLatRow(tab, "one shard (HTTP)", oneShardLat)
+	addLatRow(tab, "router (HTTP, merged)", routedLat)
+	if err := tab.Write(out); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "answer agreement with the unsharded DB: %.3f (approximate engines on different skeletons)\n", agree)
+	fmt.Fprintf(out, "append burst of %d series rendezvous-routed: %v\n", len(series), spread)
+	return nil
+}

@@ -40,7 +40,7 @@ type Assigner struct {
 	// UseWeightTieBreak enables the WD stage (stage 2). It defaults to
 	// true — Algorithm 1 as published. Setting it false resolves OD ties
 	// randomly, ablating the rank-sensitive half of the dual
-	// representation (the "single representation" ablation of DESIGN.md).
+	// representation (the "single representation" ablation, cmd/climber-bench -experiment abl-dual).
 	UseWeightTieBreak bool
 }
 

@@ -2,116 +2,72 @@ package server
 
 import (
 	"fmt"
-	"strconv"
 	"strings"
 	"sync/atomic"
 	"time"
 
 	"climber"
+	"climber/internal/api"
 )
 
-// latencyBuckets are the upper bounds (seconds) of the query latency
-// histogram, chosen to straddle the in-memory-hit to multi-partition-scan
-// range; an implicit +Inf bucket catches the rest.
-var latencyBuckets = []float64{
-	0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
-}
-
-// histogram is a fixed-bucket latency histogram with atomic counters; safe
-// for concurrent observation and rendering. The total count is derived
-// from the buckets at render time so one exposition always satisfies the
-// Prometheus invariant bucket{le="+Inf"} == _count, even when queries
-// finish mid-scrape.
-type histogram struct {
-	buckets []atomic.Int64 // per-bucket at observe, cumulated at render
-	inf     atomic.Int64
-	sumNs   atomic.Int64
-}
-
-func newHistogram() *histogram {
-	return &histogram{buckets: make([]atomic.Int64, len(latencyBuckets))}
-}
-
-func (h *histogram) observe(d time.Duration) {
-	s := d.Seconds()
-	h.sumNs.Add(d.Nanoseconds())
-	for i, le := range latencyBuckets {
-		if s <= le {
-			h.buckets[i].Add(1)
-			return
-		}
-	}
-	h.inf.Add(1)
-}
-
-// metrics aggregates the server's operational counters.
+// metrics aggregates the server's operational counters. The admission
+// counters (rejected, canceled, inflight, queued) are written by the shared
+// api.Limiter through pointers handed over at construction, so one set of
+// numbers backs both /stats and /metrics.
 type metrics struct {
-	searches     atomic.Int64 // /search requests answered (incl. errors)
-	batches      atomic.Int64 // /search/batch requests answered
-	batchQueries atomic.Int64 // queries inside answered batches
-	appends      atomic.Int64 // /append requests answered (incl. errors)
-	appendSeries atomic.Int64 // series inside successful appends
-	flushes      atomic.Int64 // /flush requests answered
-	badRequests  atomic.Int64 // 400s from decode/validation
-	rejected     atomic.Int64 // 429s from admission control
-	canceled     atomic.Int64 // queries aborted by client disconnect
-	errors       atomic.Int64 // internal query failures
-	inflight     atomic.Int64 // queries currently holding an admission slot
-	queued       atomic.Int64 // requests currently waiting for a slot
-	latency      *histogram   // read path (search + batch) only
-	appendLat    *histogram   // write path; fsync-bound, kept out of the
+	searches     atomic.Int64   // /search requests answered (incl. errors)
+	batches      atomic.Int64   // /search/batch requests answered
+	batchQueries atomic.Int64   // queries inside answered batches
+	prefixes     atomic.Int64   // /search/prefix requests answered
+	appends      atomic.Int64   // /append requests answered (incl. errors)
+	appendSeries atomic.Int64   // series inside successful appends
+	flushes      atomic.Int64   // /flush requests answered
+	badRequests  atomic.Int64   // 400s from decode/validation
+	rejected     atomic.Int64   // 429s from admission control
+	canceled     atomic.Int64   // queries aborted by client disconnect
+	errors       atomic.Int64   // internal query failures
+	inflight     atomic.Int64   // queries currently holding an admission slot
+	queued       atomic.Int64   // requests currently waiting for a slot
+	latency      *api.Histogram // read path (search + batch + prefix) only
+	appendLat    *api.Histogram // write path; fsync-bound, kept out of the
 	// query histogram so write bursts cannot skew search percentiles
 }
 
 // ServerStats is the JSON shape of the server section of GET /stats.
 type ServerStats struct {
-	Searches      int64   `json:"searches"`
-	Batches       int64   `json:"batches"`
-	BatchQueries  int64   `json:"batch_queries"`
-	Appends       int64   `json:"appends"`
-	AppendSeries  int64   `json:"append_series"`
-	Flushes       int64   `json:"flushes"`
-	BadRequests   int64   `json:"bad_requests"`
-	Rejected      int64   `json:"rejected"`
-	Canceled      int64   `json:"canceled"`
-	Errors        int64   `json:"errors"`
-	InFlight      int64   `json:"in_flight"`
-	Queued        int64   `json:"queued"`
-	UptimeSeconds float64 `json:"uptime_seconds"`
+	Searches       int64   `json:"searches"`
+	Batches        int64   `json:"batches"`
+	BatchQueries   int64   `json:"batch_queries"`
+	PrefixSearches int64   `json:"prefix_searches"`
+	Appends        int64   `json:"appends"`
+	AppendSeries   int64   `json:"append_series"`
+	Flushes        int64   `json:"flushes"`
+	BadRequests    int64   `json:"bad_requests"`
+	Rejected       int64   `json:"rejected"`
+	Canceled       int64   `json:"canceled"`
+	Errors         int64   `json:"errors"`
+	InFlight       int64   `json:"in_flight"`
+	Queued         int64   `json:"queued"`
+	UptimeSeconds  float64 `json:"uptime_seconds"`
 }
 
 func (m *metrics) snapshot(uptime time.Duration) ServerStats {
 	return ServerStats{
-		Searches:      m.searches.Load(),
-		Batches:       m.batches.Load(),
-		BatchQueries:  m.batchQueries.Load(),
-		Appends:       m.appends.Load(),
-		AppendSeries:  m.appendSeries.Load(),
-		Flushes:       m.flushes.Load(),
-		BadRequests:   m.badRequests.Load(),
-		Rejected:      m.rejected.Load(),
-		Canceled:      m.canceled.Load(),
-		Errors:        m.errors.Load(),
-		InFlight:      m.inflight.Load(),
-		Queued:        m.queued.Load(),
-		UptimeSeconds: uptime.Seconds(),
+		Searches:       m.searches.Load(),
+		Batches:        m.batches.Load(),
+		BatchQueries:   m.batchQueries.Load(),
+		PrefixSearches: m.prefixes.Load(),
+		Appends:        m.appends.Load(),
+		AppendSeries:   m.appendSeries.Load(),
+		Flushes:        m.flushes.Load(),
+		BadRequests:    m.badRequests.Load(),
+		Rejected:       m.rejected.Load(),
+		Canceled:       m.canceled.Load(),
+		Errors:         m.errors.Load(),
+		InFlight:       m.inflight.Load(),
+		Queued:         m.queued.Load(),
+		UptimeSeconds:  uptime.Seconds(),
 	}
-}
-
-// renderHistogram writes one histogram in Prometheus text exposition; the
-// cumulative count is derived from the buckets at render time so one
-// exposition always satisfies bucket{le="+Inf"} == _count.
-func renderHistogram(w *strings.Builder, name, help string, h *histogram) {
-	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
-	var cum int64
-	for i, le := range latencyBuckets {
-		cum += h.buckets[i].Load()
-		fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, strconv.FormatFloat(le, 'g', -1, 64), cum)
-	}
-	cum += h.inf.Load()
-	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, cum)
-	fmt.Fprintf(w, "%s_sum %g\n", name, float64(h.sumNs.Load())/1e9)
-	fmt.Fprintf(w, "%s_count %d\n", name, cum)
 }
 
 // renderProm writes the Prometheus text exposition of the server counters,
@@ -127,6 +83,7 @@ func (m *metrics) renderProm(w *strings.Builder, cache climber.CacheStats, ing c
 	counter("climber_search_requests_total", "Answered /search requests.", m.searches.Load())
 	counter("climber_batch_requests_total", "Answered /search/batch requests.", m.batches.Load())
 	counter("climber_batch_queries_total", "Queries inside answered batches.", m.batchQueries.Load())
+	counter("climber_prefix_requests_total", "Answered /search/prefix requests.", m.prefixes.Load())
 	counter("climber_bad_requests_total", "Requests rejected with 400.", m.badRequests.Load())
 	counter("climber_rejected_total", "Requests rejected with 429 by admission control.", m.rejected.Load())
 	counter("climber_canceled_total", "Queries aborted by client disconnect.", m.canceled.Load())
@@ -134,10 +91,10 @@ func (m *metrics) renderProm(w *strings.Builder, cache climber.CacheStats, ing c
 	gauge("climber_inflight_queries", "Queries currently holding an admission slot.", m.inflight.Load())
 	gauge("climber_queued_requests", "Requests currently waiting for an admission slot.", m.queued.Load())
 
-	renderHistogram(w, "climber_query_latency_seconds",
-		"End-to-end query latency (admission to answer).", m.latency)
-	renderHistogram(w, "climber_append_latency_seconds",
-		"End-to-end append latency (admission to durable ack).", m.appendLat)
+	m.latency.Render(w, "climber_query_latency_seconds",
+		"End-to-end query latency (admission to answer).")
+	m.appendLat.Render(w, "climber_append_latency_seconds",
+		"End-to-end append latency (admission to durable ack).")
 
 	counter("climber_partition_cache_hits_total", "Partition opens served from the shared cache.", cache.Hits)
 	counter("climber_partition_cache_misses_total", "Partition opens that loaded from disk.", cache.Misses)

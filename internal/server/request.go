@@ -1,212 +1,35 @@
 package server
 
-import (
-	"bytes"
-	"encoding/json"
-	"fmt"
-	"math"
+import "climber/internal/api"
 
-	"climber"
-)
+// The request/response wire types are shared with the shard router through
+// internal/api — a router can front any set of climber-serve processes
+// because both layers speak exactly the same dialect. The aliases keep this
+// package's historical names working for its users and tests.
 
-// SearchRequest is the body of POST /search.
-type SearchRequest struct {
-	// Query is the full-length query series; its length must equal the
-	// indexed series length.
-	Query []float64 `json:"query"`
-	// K is the answer-set size; omitted or zero means DefaultK.
-	K int `json:"k,omitempty"`
-	// Variant selects the query algorithm: "knn", "adaptive-2x",
-	// "adaptive-4x" (default) or "od-smallest".
-	Variant string `json:"variant,omitempty"`
-	// MaxPartitions, when positive, overrides the adaptive variants'
-	// partition cap.
-	MaxPartitions int `json:"max_partitions,omitempty"`
-}
+// SearchRequest is the body of POST /search and POST /search/prefix.
+type SearchRequest = api.SearchRequest
 
-// BatchRequest is the body of POST /search/batch. The per-request options
-// apply to every query of the batch.
-type BatchRequest struct {
-	Queries       [][]float64 `json:"queries"`
-	K             int         `json:"k,omitempty"`
-	Variant       string      `json:"variant,omitempty"`
-	MaxPartitions int         `json:"max_partitions,omitempty"`
-}
+// BatchRequest is the body of POST /search/batch.
+type BatchRequest = api.BatchRequest
 
 // AppendRequest is the body of POST /append.
-type AppendRequest struct {
-	// Series are the data series to ingest; each must have the indexed
-	// length.
-	Series [][]float64 `json:"series"`
-}
+type AppendRequest = api.AppendRequest
 
-// AppendResponse is the body of a successful POST /append. When it arrives
-// the series are durable (WAL-fsynced) and visible to /search.
-type AppendResponse struct {
-	// IDs are the assigned record IDs, aligned positionally with the
-	// request's Series.
-	IDs []int `json:"ids"`
-}
+// AppendResponse is the body of a successful POST /append.
+type AppendResponse = api.AppendResponse
 
 // Result is one neighbour in a response.
-type Result struct {
-	ID   int     `json:"id"`
-	Dist float64 `json:"dist"`
-}
+type Result = api.Result
 
-// SearchResponse is the body of a successful POST /search.
-type SearchResponse struct {
-	Results []Result      `json:"results"`
-	Stats   climber.Stats `json:"stats"`
-}
+// SearchResponse is the body of a successful POST /search or /search/prefix.
+type SearchResponse = api.SearchResponse
 
-// BatchResponse is the body of a successful POST /search/batch; Results
-// aligns positionally with the request's Queries.
-type BatchResponse struct {
-	Results [][]Result `json:"results"`
-}
+// BatchResponse is the body of a successful POST /search/batch.
+type BatchResponse = api.BatchResponse
+
+// InfoResponse is the body of GET /info.
+type InfoResponse = api.InfoResponse
 
 // DefaultK is the answer-set size used when a request omits k.
-const DefaultK = 10
-
-// parseVariant maps the wire name of a query algorithm to its Variant.
-func parseVariant(s string) (climber.Variant, error) {
-	switch s {
-	case "", "adaptive-4x":
-		return climber.Adaptive4X, nil
-	case "knn":
-		return climber.KNN, nil
-	case "adaptive-2x":
-		return climber.Adaptive2X, nil
-	case "od-smallest":
-		return climber.ODSmallest, nil
-	default:
-		return 0, fmt.Errorf("unknown variant %q (knn, adaptive-2x, adaptive-4x, od-smallest)", s)
-	}
-}
-
-// decodeJSON unmarshals one JSON value from data, rejecting trailing
-// garbage. encoding/json rejects NaN and infinite numbers on its own, so a
-// decoded query is always finite.
-func decodeJSON(data []byte, v any) error {
-	dec := json.NewDecoder(bytes.NewReader(data))
-	if err := dec.Decode(v); err != nil {
-		return err
-	}
-	if dec.More() {
-		return fmt.Errorf("trailing data after JSON body")
-	}
-	return nil
-}
-
-// checkQuery validates one query series against the index shape.
-func checkQuery(q []float64, seriesLen int) error {
-	if len(q) == 0 {
-		return fmt.Errorf("query is empty")
-	}
-	if len(q) != seriesLen {
-		return fmt.Errorf("query length %d, index expects %d", len(q), seriesLen)
-	}
-	for _, v := range q {
-		if math.IsNaN(v) || math.IsInf(v, 0) {
-			return fmt.Errorf("query contains a non-finite value")
-		}
-	}
-	return nil
-}
-
-// checkOptions validates and normalises the shared request options in
-// place: k defaults to DefaultK and is bounded by maxK, the variant must
-// parse, and max_partitions must not be negative.
-func checkOptions(k *int, variant string, maxPartitions, maxK int) error {
-	if *k == 0 {
-		*k = DefaultK
-	}
-	if *k < 0 {
-		return fmt.Errorf("k must be positive, got %d", *k)
-	}
-	if *k > maxK {
-		return fmt.Errorf("k %d exceeds the server limit %d", *k, maxK)
-	}
-	if _, err := parseVariant(variant); err != nil {
-		return err
-	}
-	if maxPartitions < 0 {
-		return fmt.Errorf("max_partitions must not be negative, got %d", maxPartitions)
-	}
-	return nil
-}
-
-// decodeSearchRequest parses and validates a POST /search body. On success
-// the request is well-formed: the query is finite with the indexed length,
-// 1 <= k <= maxK, and the variant parses.
-func decodeSearchRequest(data []byte, seriesLen, maxK int) (*SearchRequest, error) {
-	var req SearchRequest
-	if err := decodeJSON(data, &req); err != nil {
-		return nil, err
-	}
-	if err := checkOptions(&req.K, req.Variant, req.MaxPartitions, maxK); err != nil {
-		return nil, err
-	}
-	if err := checkQuery(req.Query, seriesLen); err != nil {
-		return nil, err
-	}
-	return &req, nil
-}
-
-// decodeBatchRequest parses and validates a POST /search/batch body with
-// the same guarantees as decodeSearchRequest for every query, plus
-// 1 <= len(queries) <= maxBatch.
-func decodeBatchRequest(data []byte, seriesLen, maxK, maxBatch int) (*BatchRequest, error) {
-	var req BatchRequest
-	if err := decodeJSON(data, &req); err != nil {
-		return nil, err
-	}
-	if err := checkOptions(&req.K, req.Variant, req.MaxPartitions, maxK); err != nil {
-		return nil, err
-	}
-	if len(req.Queries) == 0 {
-		return nil, fmt.Errorf("queries is empty")
-	}
-	if len(req.Queries) > maxBatch {
-		return nil, fmt.Errorf("batch of %d queries exceeds the server limit %d", len(req.Queries), maxBatch)
-	}
-	for i, q := range req.Queries {
-		if err := checkQuery(q, seriesLen); err != nil {
-			return nil, fmt.Errorf("query %d: %w", i, err)
-		}
-	}
-	return &req, nil
-}
-
-// decodeAppendRequest parses and validates a POST /append body: every
-// series is finite with the indexed length, and 1 <= len(series) <=
-// maxAppend.
-func decodeAppendRequest(data []byte, seriesLen, maxAppend int) (*AppendRequest, error) {
-	var req AppendRequest
-	if err := decodeJSON(data, &req); err != nil {
-		return nil, err
-	}
-	if len(req.Series) == 0 {
-		return nil, fmt.Errorf("series is empty")
-	}
-	if len(req.Series) > maxAppend {
-		return nil, fmt.Errorf("append of %d series exceeds the server limit %d", len(req.Series), maxAppend)
-	}
-	for i, s := range req.Series {
-		if err := checkQuery(s, seriesLen); err != nil {
-			return nil, fmt.Errorf("series %d: %w", i, err)
-		}
-	}
-	return &req, nil
-}
-
-// searchOpts converts validated request options to climber search options.
-func searchOpts(variant string, maxPartitions int) []climber.SearchOption {
-	v, _ := parseVariant(variant) // validated during decode
-	opts := []climber.SearchOption{climber.WithVariant(v)}
-	if maxPartitions > 0 {
-		opts = append(opts, climber.WithMaxPartitions(maxPartitions))
-	}
-	return opts
-}
+const DefaultK = api.DefaultK

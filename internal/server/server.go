@@ -7,12 +7,17 @@
 //
 //	POST /search        one kNN query   {"query": [...], "k": 10, ...}
 //	POST /search/batch  many queries    {"queries": [[...], ...], "k": 10, ...}
+//	POST /search/prefix one query shorter than the indexed length
 //	POST /append        ingest series   {"series": [[...], ...]}
 //	POST /flush         force compaction of acked writes into partitions
 //	GET  /info          database shape (series length, groups, partitions)
 //	GET  /stats         server + cache + ingestion counters, JSON
 //	GET  /healthz       liveness probe
 //	GET  /metrics       Prometheus text exposition
+//
+// The request/response types and the serving primitives (admission limiter,
+// latency histogram) live in internal/api, shared with the shard router
+// (internal/shard) that scatter-gathers over several of these servers.
 //
 // Admission control bounds the number of in-flight queries AND writes: a
 // request beyond MaxInFlight waits for a slot up to QueueTimeout and is
@@ -25,22 +30,21 @@ package server
 
 import (
 	"context"
-	"encoding/json"
 	"errors"
 	"io"
 	"net/http"
-	"os"
 	"runtime"
 	"strings"
 	"time"
 
 	"climber"
+	"climber/internal/api"
 )
 
 // StatusClientClosedRequest is the non-standard status (nginx's 499)
 // reported when the client disconnected before its answer was ready. The
 // client never sees it; it keeps access logs and metrics honest.
-const StatusClientClosedRequest = 499
+const StatusClientClosedRequest = api.StatusClientClosedRequest
 
 // Config tunes the service. The zero value is usable: every field falls
 // back to the documented default.
@@ -99,7 +103,8 @@ type Server struct {
 	db        *climber.DB
 	cfg       Config
 	seriesLen int
-	sem       chan struct{}
+	minPrefix int // shortest admissible /search/prefix query (PAA segments)
+	lim       *api.Limiter
 	m         metrics
 	started   time.Time
 
@@ -117,11 +122,17 @@ func New(db *climber.DB, cfg Config) *Server {
 		db:        db,
 		cfg:       cfg.withDefaults(),
 		seriesLen: db.Info().SeriesLen,
+		minPrefix: db.Index().Skel.Cfg.Segments,
 		started:   time.Now(),
 	}
-	s.sem = make(chan struct{}, s.cfg.MaxInFlight)
-	s.m.latency = newHistogram()
-	s.m.appendLat = newHistogram()
+	s.lim = api.NewLimiter(s.cfg.MaxInFlight, s.cfg.QueueTimeout, api.LimiterCounters{
+		Queued:   &s.m.queued,
+		Rejected: &s.m.rejected,
+		Canceled: &s.m.canceled,
+		InFlight: &s.m.inflight,
+	})
+	s.m.latency = api.NewHistogram()
+	s.m.appendLat = api.NewHistogram()
 	return s
 }
 
@@ -130,6 +141,7 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /search", s.handleSearch)
 	mux.HandleFunc("POST /search/batch", s.handleBatch)
+	mux.HandleFunc("POST /search/prefix", s.handlePrefix)
 	mux.HandleFunc("POST /append", s.handleAppend)
 	mux.HandleFunc("POST /flush", s.handleFlush)
 	mux.HandleFunc("GET /info", s.handleInfo)
@@ -139,103 +151,20 @@ func (s *Server) Handler() http.Handler {
 	return mux
 }
 
-// errorResponse is the JSON body of every non-2xx answer.
-type errorResponse struct {
-	Error string `json:"error"`
-}
-
-func writeJSON(w http.ResponseWriter, status int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	enc := json.NewEncoder(w)
-	_ = enc.Encode(v) // the client is gone if this fails; nothing to do
-}
-
-func writeError(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, errorResponse{Error: err.Error()})
-}
-
 // admit acquires an in-flight slot, waiting up to QueueTimeout. It returns
 // the release function, or the HTTP status that denied admission.
 func (s *Server) admit(ctx context.Context) (release func(), status int, err error) {
-	select {
-	case s.sem <- struct{}{}: // fast path: a slot is free
-	default:
-		s.m.queued.Add(1)
-		timer := time.NewTimer(s.cfg.QueueTimeout)
-		select {
-		case s.sem <- struct{}{}:
-			timer.Stop()
-			s.m.queued.Add(-1)
-		case <-timer.C:
-			s.m.queued.Add(-1)
-			s.m.rejected.Add(1)
-			return nil, http.StatusTooManyRequests, errors.New("server at capacity; retry later")
-		case <-ctx.Done():
-			timer.Stop()
-			s.m.queued.Add(-1)
-			s.m.canceled.Add(1) // the client hung up while waiting in line
-			return nil, StatusClientClosedRequest, ctx.Err()
-		}
-	}
-	s.m.inflight.Add(1)
-	return func() {
-		s.m.inflight.Add(-1)
-		<-s.sem
-	}, 0, nil
-}
-
-// acquireExtra grabs up to n additional admission slots without blocking,
-// returning how many it got and a release function. Batch requests use it
-// to widen their internal worker pool only as far as idle capacity allows,
-// keeping the total number of concurrently executing queries — single or
-// inside batches — within MaxInFlight.
-func (s *Server) acquireExtra(n int) (got int, release func()) {
-	for got < n {
-		select {
-		case s.sem <- struct{}{}:
-			got++
-		default:
-			n = got
-		}
-	}
-	s.m.inflight.Add(int64(got))
-	return got, func() {
-		s.m.inflight.Add(int64(-got))
-		for i := 0; i < got; i++ {
-			<-s.sem
-		}
-	}
+	return s.lim.Admit(ctx)
 }
 
 // readBody slurps the request body under the configured size cap and read
-// deadline. The deadline bounds slot occupancy against slow-trickling
-// clients; writers that cannot set one (test recorders) are served without
-// it.
+// deadline via the shared api.ReadBody, counting failures as bad requests.
 func (s *Server) readBody(w http.ResponseWriter, r *http.Request) ([]byte, bool) {
-	rc := http.NewResponseController(w)
-	hasDeadline := rc.SetReadDeadline(time.Now().Add(s.cfg.BodyReadTimeout)) == nil
-	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	body, status, err := api.ReadBody(w, r, s.cfg.MaxBodyBytes, s.cfg.BodyReadTimeout)
 	if err != nil {
-		// Keep the deadline armed: the connection still holds unread body
-		// bytes, and net/http's post-handler drain of them must not wait
-		// past the deadline either. The connection is closed after the
-		// error response instead of being reused.
-		w.Header().Set("Connection", "close")
-		var tooLarge *http.MaxBytesError
-		status := http.StatusBadRequest
-		switch {
-		case errors.As(err, &tooLarge):
-			status = http.StatusRequestEntityTooLarge
-		case errors.Is(err, os.ErrDeadlineExceeded):
-			status = http.StatusRequestTimeout
-		}
 		s.m.badRequests.Add(1)
-		writeError(w, status, err)
+		api.WriteError(w, status, err)
 		return nil, false
-	}
-	if hasDeadline {
-		_ = rc.SetReadDeadline(time.Time{}) // disarm for the next request
 	}
 	return body, true
 }
@@ -251,16 +180,16 @@ func (s *Server) finishQuery(w http.ResponseWriter, err error) bool {
 		return true
 	case errors.Is(err, context.Canceled):
 		s.m.canceled.Add(1)
-		writeError(w, StatusClientClosedRequest, err)
+		api.WriteError(w, StatusClientClosedRequest, err)
 	case errors.Is(err, context.DeadlineExceeded):
 		s.m.errors.Add(1)
-		writeError(w, http.StatusGatewayTimeout, err)
+		api.WriteError(w, http.StatusGatewayTimeout, err)
 	case errors.Is(err, climber.ErrClosed):
 		s.m.errors.Add(1)
-		writeError(w, http.StatusServiceUnavailable, err)
+		api.WriteError(w, http.StatusServiceUnavailable, err)
 	default:
 		s.m.errors.Add(1)
-		writeError(w, http.StatusInternalServerError, err)
+		api.WriteError(w, http.StatusInternalServerError, err)
 	}
 	return false
 }
@@ -270,7 +199,7 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	// and CPU-expensive work an overloaded server must not do unbounded.
 	release, status, err := s.admit(r.Context())
 	if err != nil {
-		writeError(w, status, err)
+		api.WriteError(w, status, err)
 		return
 	}
 	defer release()
@@ -278,10 +207,10 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	req, err := decodeSearchRequest(body, s.seriesLen, s.cfg.MaxK)
+	req, err := api.DecodeSearchRequest(body, s.seriesLen, s.cfg.MaxK)
 	if err != nil {
 		s.m.badRequests.Add(1)
-		writeError(w, http.StatusBadRequest, err)
+		api.WriteError(w, http.StatusBadRequest, err)
 		return
 	}
 	if s.hookAdmitted != nil {
@@ -290,19 +219,22 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 
 	start := time.Now()
 	res, stats, err := s.db.SearchWithStatsContext(r.Context(), req.Query, req.K,
-		searchOpts(req.Variant, req.MaxPartitions)...)
-	s.m.latency.observe(time.Since(start))
+		api.SearchOptions(req.Variant, req.MaxPartitions)...)
+	s.m.latency.Observe(time.Since(start))
 	s.m.searches.Add(1)
 	if !s.finishQuery(w, err) {
 		return
 	}
-	writeJSON(w, http.StatusOK, SearchResponse{Results: toWire(res), Stats: stats})
+	api.WriteJSON(w, http.StatusOK, SearchResponse{Results: toWire(res), Stats: stats})
 }
 
-func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+// handlePrefix answers a query shorter than the indexed series length —
+// candidates are ranked over the first len(query) readings of each record
+// (see climber.DB.SearchPrefix).
+func (s *Server) handlePrefix(w http.ResponseWriter, r *http.Request) {
 	release, status, err := s.admit(r.Context())
 	if err != nil {
-		writeError(w, status, err)
+		api.WriteError(w, status, err)
 		return
 	}
 	defer release()
@@ -310,10 +242,42 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	req, err := decodeBatchRequest(body, s.seriesLen, s.cfg.MaxK, s.cfg.MaxBatch)
+	req, err := api.DecodePrefixRequest(body, s.minPrefix, s.seriesLen, s.cfg.MaxK)
 	if err != nil {
 		s.m.badRequests.Add(1)
-		writeError(w, http.StatusBadRequest, err)
+		api.WriteError(w, http.StatusBadRequest, err)
+		return
+	}
+	if s.hookAdmitted != nil {
+		s.hookAdmitted(r.Context())
+	}
+
+	start := time.Now()
+	res, stats, err := s.db.SearchPrefixWithStatsContext(r.Context(), req.Query, req.K,
+		api.SearchOptions(req.Variant, req.MaxPartitions)...)
+	s.m.latency.Observe(time.Since(start))
+	s.m.prefixes.Add(1)
+	if !s.finishQuery(w, err) {
+		return
+	}
+	api.WriteJSON(w, http.StatusOK, SearchResponse{Results: toWire(res), Stats: stats})
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	release, status, err := s.admit(r.Context())
+	if err != nil {
+		api.WriteError(w, status, err)
+		return
+	}
+	defer release()
+	body, ok := s.readBody(w, r)
+	if !ok {
+		return
+	}
+	req, err := api.DecodeBatchRequest(body, s.seriesLen, s.cfg.MaxK, s.cfg.MaxBatch)
+	if err != nil {
+		s.m.badRequests.Add(1)
+		api.WriteError(w, http.StatusBadRequest, err)
 		return
 	}
 	if s.hookAdmitted != nil {
@@ -323,13 +287,13 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	// The request's own slot funds one batch worker; widen only into slots
 	// that are idle right now so batches never execute more concurrent
 	// queries than MaxInFlight allows across the whole server.
-	extra, releaseExtra := s.acquireExtra(min(len(req.Queries), s.cfg.MaxInFlight) - 1)
+	extra, releaseExtra := s.lim.AcquireExtra(min(len(req.Queries), s.cfg.MaxInFlight) - 1)
 	defer releaseExtra()
 
 	start := time.Now()
 	batch, err := s.db.SearchBatchContextWorkers(r.Context(), req.Queries, req.K, 1+extra,
-		searchOpts(req.Variant, req.MaxPartitions)...)
-	s.m.latency.observe(time.Since(start))
+		api.SearchOptions(req.Variant, req.MaxPartitions)...)
+	s.m.latency.Observe(time.Since(start))
 	s.m.batches.Add(1)
 	if !s.finishQuery(w, err) {
 		return
@@ -339,7 +303,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	for i, res := range batch {
 		out[i] = toWire(res)
 	}
-	writeJSON(w, http.StatusOK, BatchResponse{Results: out})
+	api.WriteJSON(w, http.StatusOK, BatchResponse{Results: out})
 }
 
 func (s *Server) handleAppend(w http.ResponseWriter, r *http.Request) {
@@ -348,7 +312,7 @@ func (s *Server) handleAppend(w http.ResponseWriter, r *http.Request) {
 	// server queues and sheds appends exactly as it does searches.
 	release, status, err := s.admit(r.Context())
 	if err != nil {
-		writeError(w, status, err)
+		api.WriteError(w, status, err)
 		return
 	}
 	defer release()
@@ -356,10 +320,10 @@ func (s *Server) handleAppend(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	req, err := decodeAppendRequest(body, s.seriesLen, s.cfg.MaxAppend)
+	req, err := api.DecodeAppendRequest(body, s.seriesLen, s.cfg.MaxAppend)
 	if err != nil {
 		s.m.badRequests.Add(1)
-		writeError(w, http.StatusBadRequest, err)
+		api.WriteError(w, http.StatusBadRequest, err)
 		return
 	}
 	if s.hookAdmitted != nil {
@@ -368,13 +332,13 @@ func (s *Server) handleAppend(w http.ResponseWriter, r *http.Request) {
 
 	start := time.Now()
 	ids, err := s.db.AppendContext(r.Context(), req.Series)
-	s.m.appendLat.observe(time.Since(start))
+	s.m.appendLat.Observe(time.Since(start))
 	s.m.appends.Add(1)
 	if !s.finishQuery(w, err) {
 		return
 	}
 	s.m.appendSeries.Add(int64(len(req.Series)))
-	writeJSON(w, http.StatusOK, AppendResponse{IDs: ids})
+	api.WriteJSON(w, http.StatusOK, AppendResponse{IDs: ids})
 }
 
 // handleFlush forces a synchronous compaction: every previously acked
@@ -384,7 +348,7 @@ func (s *Server) handleAppend(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleFlush(w http.ResponseWriter, r *http.Request) {
 	release, status, err := s.admit(r.Context())
 	if err != nil {
-		writeError(w, status, err)
+		api.WriteError(w, status, err)
 		return
 	}
 	defer release()
@@ -392,7 +356,7 @@ func (s *Server) handleFlush(w http.ResponseWriter, r *http.Request) {
 	if !s.finishQuery(w, s.db.FlushContext(r.Context())) {
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]string{"status": "flushed"})
+	api.WriteJSON(w, http.StatusOK, map[string]string{"status": "flushed"})
 }
 
 func toWire(res []climber.Result) []Result {
@@ -403,18 +367,9 @@ func toWire(res []climber.Result) []Result {
 	return out
 }
 
-// InfoResponse is the body of GET /info.
-type InfoResponse struct {
-	SeriesLen     int `json:"series_len"`
-	NumRecords    int `json:"num_records"`
-	NumGroups     int `json:"num_groups"`
-	NumPartitions int `json:"num_partitions"`
-	SkeletonBytes int `json:"skeleton_bytes"`
-}
-
 func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
 	info := s.db.Info()
-	writeJSON(w, http.StatusOK, InfoResponse{
+	api.WriteJSON(w, http.StatusOK, InfoResponse{
 		SeriesLen:     info.SeriesLen,
 		NumRecords:    info.NumRecords,
 		NumGroups:     info.NumGroups,
@@ -431,7 +386,7 @@ type StatsResponse struct {
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, StatsResponse{
+	api.WriteJSON(w, http.StatusOK, StatsResponse{
 		Server: s.m.snapshot(time.Since(s.started)),
 		Cache:  s.db.CacheStats(),
 		Ingest: s.db.IngestStats(),
@@ -439,7 +394,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	api.WriteJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {

@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"climber"
+	"climber/internal/api"
 	"climber/internal/dataset"
 )
 
@@ -76,7 +77,7 @@ func TestSearchMatchesDB(t *testing.T) {
 			if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
 				t.Fatal(err)
 			}
-			v, err := parseVariant(variant)
+			v, err := api.ParseVariant(variant)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -130,6 +131,45 @@ func TestBatchMatchesDB(t *testing.T) {
 	}
 }
 
+// TestPrefixMatchesDB checks that /search/prefix answers match
+// DB.SearchPrefix on the same database, and that out-of-range prefix
+// lengths are clean 400s.
+func TestPrefixMatchesDB(t *testing.T) {
+	db, data := buildTestDB(t, 1200)
+	h := New(db, Config{}).Handler()
+	for _, qid := range []int{3, 700} {
+		q := data[qid][:32]
+		rec := postJSON(t, h, "/search/prefix", SearchRequest{Query: q, K: 11})
+		if rec.Code != http.StatusOK {
+			t.Fatalf("prefix query %d: status %d: %s", qid, rec.Code, rec.Body)
+		}
+		var resp SearchResponse
+		if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+			t.Fatal(err)
+		}
+		want, err := db.SearchPrefix(q, 11)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(resp.Results) != len(want) {
+			t.Fatalf("prefix query %d: %d results, want %d", qid, len(resp.Results), len(want))
+		}
+		for i, r := range resp.Results {
+			if r.ID != want[i].ID || r.Dist != want[i].Dist {
+				t.Fatalf("prefix query %d result %d: got %+v want %+v", qid, i, r, want[i])
+			}
+		}
+	}
+	// Shorter than the PAA segment count (8 in buildTestDB) or longer than
+	// the indexed length: rejected at decode, not deep in the core.
+	for _, n := range []int{4, 65} {
+		q := make([]float64, n)
+		if rec := postJSON(t, h, "/search/prefix", SearchRequest{Query: q, K: 3}); rec.Code != http.StatusBadRequest {
+			t.Errorf("prefix length %d: status %d, want 400", n, rec.Code)
+		}
+	}
+}
+
 func TestBadRequests(t *testing.T) {
 	db, data := buildTestDB(t, 600)
 	h := New(db, Config{MaxK: 100, MaxBatch: 4}).Handler()
@@ -153,7 +193,7 @@ func TestBadRequests(t *testing.T) {
 		if rec.Code != http.StatusBadRequest {
 			t.Errorf("%s: status %d, want 400", c.name, rec.Code)
 		}
-		var er errorResponse
+		var er api.ErrorResponse
 		if err := json.Unmarshal(rec.Body.Bytes(), &er); err != nil || er.Error == "" {
 			t.Errorf("%s: malformed error body %q", c.name, rec.Body)
 		}
@@ -459,8 +499,11 @@ func TestBatchCancellation(t *testing.T) {
 func TestQueuedDisconnectCountsCanceled(t *testing.T) {
 	db, _ := buildTestDB(t, 600)
 	srv := New(db, Config{MaxInFlight: 1, QueueTimeout: 10 * time.Second})
-	srv.sem <- struct{}{} // occupy the only slot
-	defer func() { <-srv.sem }()
+	releaseSlot, _, err := srv.admit(context.Background()) // occupy the only slot
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer releaseSlot()
 	ctx, cancel := context.WithCancel(context.Background())
 	go func() {
 		time.Sleep(10 * time.Millisecond)
@@ -512,8 +555,8 @@ func TestBatchRespectsAdmissionBudget(t *testing.T) {
 	if got := maxSeen.Load(); got > 2 {
 		t.Fatalf("batch held %d admission slots, limit is 2", got)
 	}
-	if srv.m.inflight.Load() != 0 || len(srv.sem) != 0 {
-		t.Fatalf("slots leaked after batch: inflight=%d sem=%d", srv.m.inflight.Load(), len(srv.sem))
+	if srv.m.inflight.Load() != 0 || srv.lim.Held() != 0 {
+		t.Fatalf("slots leaked after batch: inflight=%d sem=%d", srv.m.inflight.Load(), srv.lim.Held())
 	}
 }
 
@@ -542,8 +585,8 @@ func TestInflightGaugeReturnsToZero(t *testing.T) {
 	if got := srv.m.inflight.Load(); got != 0 {
 		t.Fatalf("inflight gauge %d after drain, want 0", got)
 	}
-	if len(srv.sem) != 0 {
-		t.Fatalf("%d admission slots leaked", len(srv.sem))
+	if srv.lim.Held() != 0 {
+		t.Fatalf("%d admission slots leaked", srv.lim.Held())
 	}
 }
 

@@ -1,0 +1,71 @@
+package shard
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+
+	"climber/internal/api"
+)
+
+// Client is a minimal Go client for the serving dialect — usable against a
+// single climber-serve process and a climber-router alike, since both
+// speak the same wire contract. Experiment harnesses and tools use it; it
+// is not a general SDK.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// NewClient wraps the server or router at base (scheme + host + port).
+func NewClient(base string) *Client {
+	return &Client{base: base, hc: &http.Client{}}
+}
+
+// post sends one JSON request and decodes the 200 body into out.
+func (c *Client) post(path string, in, out any) error {
+	raw, err := json.Marshal(in)
+	if err != nil {
+		return err
+	}
+	resp, err := c.hc.Post(c.base+path, "application/json", bytes.NewReader(raw))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		var er api.ErrorResponse
+		if jerr := api.DecodeJSON(body, &er); jerr == nil && er.Error != "" {
+			return fmt.Errorf("shard client: %s: status %d: %s", path, resp.StatusCode, er.Error)
+		}
+		return fmt.Errorf("shard client: %s: status %d", path, resp.StatusCode)
+	}
+	return api.DecodeJSON(body, out)
+}
+
+// Search runs one kNN query. Against a router the response carries the
+// scatter shape (shards asked/answered, partial); against a single server
+// those fields stay zero.
+func (c *Client) Search(q []float64, k int) (*SearchResponse, error) {
+	var out SearchResponse
+	if err := c.post("/search", api.SearchRequest{Query: q, K: k}, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Append ingests series and returns their assigned IDs (global IDs when
+// talking to a router).
+func (c *Client) Append(series [][]float64) ([]int, error) {
+	var out api.AppendResponse
+	if err := c.post("/append", api.AppendRequest{Series: series}, &out); err != nil {
+		return nil, err
+	}
+	return out.IDs, nil
+}

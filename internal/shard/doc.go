@@ -1,0 +1,39 @@
+// Package shard scales CLIMBER past one machine: it partitions the record
+// keyspace across N independent climber.DB instances — each a full database
+// directory with its own skeleton, partition files, WAL, delta index, and
+// compactor, served by an ordinary climber-serve process — and fronts them
+// with a scatter-gather HTTP router (cmd/climber-router) that speaks the
+// exact single-node dialect of internal/api.
+//
+// # Topology and global IDs
+//
+// A Topology (shards.json, loaded at start) names every shard and its base
+// URL. Each shard owns one residue class of the global record-ID space:
+//
+//	global = local*Stride() + IDBase
+//
+// where local is the shard's own dense build/append sequence. Splitting a
+// dataset round-robin (SplitDataset) makes the encoding exact — record i of
+// the original dataset keeps global ID i — so a sharded deployment is
+// indistinguishable from an unsharded one on the wire. Two topology entries
+// sharing an IDBase declare read replicas; the merge deduplicates their
+// answers by global ID.
+//
+// # Routing
+//
+// Reads (/search, /search/prefix, /search/batch) scatter to every shard —
+// the keyspace is hash-partitioned, so any shard may hold a neighbour — and
+// the router merges the per-shard top-k by ascending (distance, global ID),
+// the same total order the unsharded engine uses. Failure policy is
+// configurable: the all-shards policy (Quorum 0) fails fast, cancelling the
+// surviving sub-queries on the first shard error; a positive Quorum serves
+// degraded answers marked partial while at least that many shards answer.
+//
+// Appends route each series by rendezvous (highest-random-weight) hashing
+// over its global append sequence number (Topology.Rank), walking the rank
+// order to the first healthy shard; each shard's WAL acks its own
+// sub-batch, so crash recovery stays per-shard.
+//
+// A background prober keeps per-shard health flags that /healthz reports
+// and the quorum and append paths consult.
+package shard

@@ -1,0 +1,33 @@
+package shard
+
+import "climber/internal/series"
+
+// SplitDataset partitions ds round-robin across n shards: record i goes to
+// shard i%n, taking local position i/n. Round-robin is chosen over hashing
+// for the *build-time* split because it makes the global-ID encoding exact
+// under the default topology (IDBase = shard position): shard i%n assigns
+// the record local ID i/n, and GlobalID recovers (i/n)*n + i%n = i — a
+// sharded deployment answers queries with the same record IDs an unsharded
+// build of the full dataset would. Appends flowing through the router
+// later are placed by rendezvous hashing instead (Topology.Rank); global
+// IDs stay unique either way because every shard extends its own residue
+// class.
+func SplitDataset(ds *series.Dataset, n int) []*series.Dataset {
+	if n < 1 {
+		n = 1
+	}
+	out := make([]*series.Dataset, n)
+	total := ds.Len()
+	for s := range out {
+		// Shard s receives records s, s+n, s+2n, ...
+		cnt := (total - s + n - 1) / n
+		if cnt < 0 {
+			cnt = 0
+		}
+		out[s] = series.NewDatasetCap(ds.Length(), cnt)
+	}
+	for i := 0; i < total; i++ {
+		out[i%n].Append(ds.Get(i))
+	}
+	return out
+}

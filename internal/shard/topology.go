@@ -1,0 +1,189 @@
+package shard
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"net/url"
+	"os"
+	"sort"
+	"strings"
+)
+
+// Info describes one shard of a topology: a stable name, the base URL of
+// the climber-serve process holding the shard's DB directory, and the
+// shard's ID namespace.
+type Info struct {
+	// ID is the shard's stable name — the rendezvous-hash key for append
+	// routing, and the label under which the shard appears in the router's
+	// /stats, /healthz, and /metrics. IDs must be unique in a topology.
+	ID string `json:"id"`
+	// URL is the base URL of the shard's HTTP server (scheme + host +
+	// port, no path), e.g. "http://10.0.0.7:8080".
+	URL string `json:"url"`
+	// IDBase is the shard's residue in the global record-ID encoding
+	// (see Topology.GlobalID). Omitted, it defaults to the shard's
+	// position in the topology. Two entries sharing an IDBase declare
+	// read replicas of the same keyspace slice: the router merges their
+	// answers and deduplicates by global ID.
+	IDBase *int `json:"id_base,omitempty"`
+}
+
+// Topology is a static shard map: the full set of shards a router
+// scatter-gathers over, loaded from a shards.json file at start. The
+// zero-downtime way to change a topology is to start a new router over the
+// new file and cut clients over; dynamic membership is a documented
+// follow-up (see ROADMAP.md).
+type Topology struct {
+	Shards []Info `json:"shards"`
+
+	// stride is the modulus of the global-ID encoding, derived from the
+	// largest IDBase at validation time.
+	stride int
+}
+
+// LoadTopology reads and validates a shards.json topology file.
+func LoadTopology(path string) (*Topology, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("shard: read topology: %w", err)
+	}
+	var t Topology
+	if err := json.Unmarshal(raw, &t); err != nil {
+		return nil, fmt.Errorf("shard: parse topology %s: %w", path, err)
+	}
+	if err := t.Validate(); err != nil {
+		return nil, fmt.Errorf("shard: topology %s: %w", path, err)
+	}
+	return &t, nil
+}
+
+// LocalTopology builds an n-shard topology named shard-0..shard-n-1 with
+// consecutive localhost ports starting at firstPort — the shape
+// climber-build -shards writes as a template and the walkthroughs use.
+func LocalTopology(n, firstPort int) *Topology {
+	t := &Topology{}
+	for i := 0; i < n; i++ {
+		t.Shards = append(t.Shards, Info{
+			ID:  fmt.Sprintf("shard-%d", i),
+			URL: fmt.Sprintf("http://localhost:%d", firstPort+i),
+		})
+	}
+	if err := t.Validate(); err != nil {
+		panic(err) // unreachable: the generated topology is well-formed
+	}
+	return t
+}
+
+// Validate checks the topology's invariants — at least one shard, unique
+// non-empty IDs, parseable http(s) URLs, non-negative ID bases — and
+// freezes the global-ID stride. It must be called (directly or via
+// LoadTopology) before GlobalID or Rank.
+func (t *Topology) Validate() error {
+	if len(t.Shards) == 0 {
+		return fmt.Errorf("no shards")
+	}
+	seen := make(map[string]struct{}, len(t.Shards))
+	maxBase := 0
+	for i := range t.Shards {
+		s := &t.Shards[i]
+		if s.ID == "" {
+			return fmt.Errorf("shard %d has no id", i)
+		}
+		if _, dup := seen[s.ID]; dup {
+			return fmt.Errorf("duplicate shard id %q", s.ID)
+		}
+		seen[s.ID] = struct{}{}
+		u, err := url.Parse(s.URL)
+		if err != nil || (u.Scheme != "http" && u.Scheme != "https") || u.Host == "" {
+			return fmt.Errorf("shard %q has invalid url %q (want http(s)://host[:port])", s.ID, s.URL)
+		}
+		if s.IDBase == nil {
+			base := i
+			s.IDBase = &base
+		}
+		if *s.IDBase < 0 {
+			return fmt.Errorf("shard %q has negative id_base %d", s.ID, *s.IDBase)
+		}
+		if *s.IDBase > maxBase {
+			maxBase = *s.IDBase
+		}
+	}
+	t.stride = maxBase + 1
+	return nil
+}
+
+// Stride returns the modulus of the global-ID encoding: one more than the
+// largest IDBase, so every shard's namespace is a distinct residue class.
+func (t *Topology) Stride() int { return t.stride }
+
+// GlobalID maps a record's shard-local ID to its global ID:
+//
+//	global = local*Stride() + IDBase
+//
+// Every shard assigns its own records dense local IDs 0,1,2,... (the build
+// sequence), so interleaving by residue class keeps global IDs unique
+// across shards no matter how unevenly they grow. When a dataset is split
+// round-robin (SplitDataset), the encoding is exact: record i of the
+// original dataset keeps global ID i.
+func (t *Topology) GlobalID(shard, local int) int {
+	return local*t.stride + *t.Shards[shard].IDBase
+}
+
+// rendezvousScore hashes (shard ID, key) into the shard's weight for the
+// key — FNV-1a over the ID bytes then the key bytes.
+func rendezvousScore(shardID string, key uint64) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(shardID))
+	var kb [8]byte
+	for i := 0; i < 8; i++ {
+		kb[i] = byte(key >> (8 * i))
+	}
+	_, _ = h.Write(kb[:])
+	return h.Sum64()
+}
+
+// Rank orders the shard indices by descending rendezvous (highest-random-
+// weight) score for key: Rank(key)[0] is the key's owner, and the rest is
+// the stable failover order — removing one shard reassigns only that
+// shard's keys, every other key keeps its owner. The router walks this
+// order to place appends on the first healthy shard.
+func (t *Topology) Rank(key uint64) []int {
+	type scored struct {
+		idx   int
+		score uint64
+	}
+	ss := make([]scored, len(t.Shards))
+	for i := range t.Shards {
+		ss[i] = scored{idx: i, score: rendezvousScore(t.Shards[i].ID, key)}
+	}
+	sort.Slice(ss, func(a, b int) bool {
+		if ss[a].score != ss[b].score {
+			return ss[a].score > ss[b].score
+		}
+		return t.Shards[ss[a].idx].ID < t.Shards[ss[b].idx].ID // total order on hash ties
+	})
+	out := make([]int, len(ss))
+	for i, s := range ss {
+		out[i] = s.idx
+	}
+	return out
+}
+
+// Save writes the topology as an indented shards.json to path —
+// climber-build -shards uses it to emit a ready-to-edit template next to
+// the shard directories it builds.
+func (t *Topology) Save(path string) error {
+	var b strings.Builder
+	enc := json.NewEncoder(&b)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(struct {
+		Shards []Info `json:"shards"`
+	}{t.Shards}); err != nil {
+		return fmt.Errorf("shard: encode topology: %w", err)
+	}
+	if err := os.WriteFile(path, []byte(b.String()), 0o644); err != nil {
+		return fmt.Errorf("shard: write topology: %w", err)
+	}
+	return nil
+}

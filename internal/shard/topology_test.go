@@ -1,0 +1,148 @@
+package shard
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"climber/internal/dataset"
+)
+
+func TestTopologyValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		topo Topology
+	}{
+		{"empty", Topology{}},
+		{"no id", Topology{Shards: []Info{{URL: "http://x"}}}},
+		{"dup id", Topology{Shards: []Info{{ID: "a", URL: "http://x"}, {ID: "a", URL: "http://y"}}}},
+		{"bad scheme", Topology{Shards: []Info{{ID: "a", URL: "ftp://x"}}}},
+		{"no host", Topology{Shards: []Info{{ID: "a", URL: "http://"}}}},
+	}
+	for _, c := range cases {
+		if err := c.topo.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted %+v", c.name, c.topo)
+		}
+	}
+	neg := -1
+	bad := Topology{Shards: []Info{{ID: "a", URL: "http://x", IDBase: &neg}}}
+	if err := bad.Validate(); err == nil {
+		t.Error("negative id_base accepted")
+	}
+}
+
+func TestTopologyDefaultsAndStride(t *testing.T) {
+	topo := LocalTopology(3, 9001)
+	if topo.Stride() != 3 {
+		t.Fatalf("stride %d, want 3", topo.Stride())
+	}
+	for i, s := range topo.Shards {
+		if *s.IDBase != i {
+			t.Fatalf("shard %d id_base %d, want %d", i, *s.IDBase, i)
+		}
+	}
+	// Explicit shared bases shrink the stride to the namespace count.
+	b0, b1 := 0, 0
+	repl := Topology{Shards: []Info{
+		{ID: "a", URL: "http://x", IDBase: &b0},
+		{ID: "b", URL: "http://y", IDBase: &b1},
+	}}
+	if err := repl.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if repl.Stride() != 1 {
+		t.Fatalf("replica stride %d, want 1", repl.Stride())
+	}
+}
+
+// TestGlobalIDExactUnderRoundRobin: the documented invariant that a
+// round-robin split plus the default topology keeps original dataset IDs.
+func TestGlobalIDExactUnderRoundRobin(t *testing.T) {
+	const n, shards = 107, 4 // deliberately not a multiple of the shard count
+	ds := dataset.RandomWalk(16, n, 5)
+	parts := SplitDataset(ds, shards)
+	topo := LocalTopology(shards, 9001)
+	total := 0
+	for s, p := range parts {
+		for local := 0; local < p.Len(); local++ {
+			global := topo.GlobalID(s, local)
+			if global != local*shards+s {
+				t.Fatalf("shard %d local %d: global %d", s, local, global)
+			}
+			// The record at (s, local) is record global of the original.
+			got, want := p.Get(local), ds.Get(global)
+			for j := range want {
+				if got[j] != want[j] {
+					t.Fatalf("shard %d local %d: values differ from original record %d", s, local, global)
+				}
+			}
+		}
+		total += p.Len()
+	}
+	if total != n {
+		t.Fatalf("split covers %d records, want %d", total, n)
+	}
+}
+
+// TestRendezvousStability: removing one shard reassigns only the keys it
+// owned; every other key keeps its owner — the property that makes
+// rendezvous hashing the right append-routing function.
+func TestRendezvousStability(t *testing.T) {
+	full := LocalTopology(4, 9001)
+	reduced := &Topology{Shards: full.Shards[:3]} // shard-3 removed
+	if err := reduced.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	moved, kept := 0, 0
+	for key := uint64(0); key < 2000; key++ {
+		a := full.Shards[full.Rank(key)[0]].ID
+		b := reduced.Shards[reduced.Rank(key)[0]].ID
+		if a == "shard-3" {
+			moved++
+			continue // its keys must move somewhere
+		}
+		if a != b {
+			t.Fatalf("key %d moved from %s to %s although its owner survived", key, a, b)
+		}
+		kept++
+	}
+	if moved == 0 || kept == 0 {
+		t.Fatalf("degenerate key distribution: moved=%d kept=%d", moved, kept)
+	}
+	// Balance sanity: each of 4 shards owns a non-trivial share.
+	counts := make(map[string]int)
+	for key := uint64(0); key < 2000; key++ {
+		counts[full.Shards[full.Rank(key)[0]].ID]++
+	}
+	for id, c := range counts {
+		if c < 200 {
+			t.Fatalf("shard %s owns only %d of 2000 keys", id, c)
+		}
+	}
+}
+
+func TestLoadAndSaveTopology(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "shards.json")
+	topo := LocalTopology(2, 9001)
+	if err := topo.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadTopology(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loaded.Shards) != 2 || loaded.Stride() != 2 || loaded.Shards[1].ID != "shard-1" {
+		t.Fatalf("round trip lost data: %+v", loaded)
+	}
+	// Malformed files are refused with context.
+	if err := os.WriteFile(path, []byte(`{"shards": [{"id": "a"}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadTopology(path); err == nil {
+		t.Fatal("accepted a topology with an invalid URL")
+	}
+	if _, err := LoadTopology(filepath.Join(dir, "missing.json")); err == nil {
+		t.Fatal("accepted a missing file")
+	}
+}

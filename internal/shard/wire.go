@@ -1,0 +1,80 @@
+package shard
+
+import (
+	"encoding/json"
+
+	"climber"
+	"climber/internal/api"
+)
+
+// SearchResponse is the router's body for POST /search and POST
+// /search/prefix: the globally merged top-k plus the scatter-gather shape
+// of the answer. Results carry global IDs (Topology.GlobalID); Stats is
+// the summed effort of every shard that answered.
+type SearchResponse struct {
+	Results []api.Result  `json:"results"`
+	Stats   climber.Stats `json:"stats"`
+	// ShardsAsked and ShardsAnswered report the scatter fan-out; with a
+	// quorum policy ShardsAnswered may be smaller when a shard is down.
+	ShardsAsked    int `json:"shards_asked"`
+	ShardsAnswered int `json:"shards_answered"`
+	// Partial marks an answer merged from fewer shards than the topology
+	// holds — complete for the shards that answered, possibly missing
+	// neighbours held by the ones that did not.
+	Partial bool `json:"partial,omitempty"`
+}
+
+// BatchResponse is the router's body for POST /search/batch; Results
+// aligns positionally with the request's Queries, each merged like a
+// single /search answer.
+type BatchResponse struct {
+	Results        [][]api.Result `json:"results"`
+	ShardsAsked    int            `json:"shards_asked"`
+	ShardsAnswered int            `json:"shards_answered"`
+	Partial        bool           `json:"partial,omitempty"`
+}
+
+// InfoResponse is the router's body for GET /info: the aggregate shape of
+// the sharded database. Sums count each ID namespace once, so read
+// replicas do not double-count records.
+type InfoResponse struct {
+	api.InfoResponse
+	NumShards      int `json:"num_shards"`
+	ShardsAnswered int `json:"shards_answered"`
+}
+
+// StatsResponse is the router's body for GET /stats: its own counters plus
+// every reachable shard's /stats body verbatim, keyed by shard ID.
+type StatsResponse struct {
+	Router RouterStats                `json:"router"`
+	Shards map[string]json.RawMessage `json:"shards"`
+}
+
+// HealthzResponse is the router's body for GET /healthz. Status is "ok"
+// when every shard is up, "degraded" while the configured policy can still
+// be served, and accompanies a 503 otherwise.
+type HealthzResponse struct {
+	Status string `json:"status"`
+	// Shards maps shard ID to "up" or "down" per the last health probe.
+	Shards map[string]string `json:"shards"`
+}
+
+// RouterStats is the JSON shape of the router section of GET /stats.
+type RouterStats struct {
+	Searches          int64   `json:"searches"`
+	Batches           int64   `json:"batches"`
+	PrefixSearches    int64   `json:"prefix_searches"`
+	Appends           int64   `json:"appends"`
+	AppendSeries      int64   `json:"append_series"`
+	Flushes           int64   `json:"flushes"`
+	BadRequests       int64   `json:"bad_requests"`
+	Rejected          int64   `json:"rejected"`
+	Canceled          int64   `json:"canceled"`
+	Errors            int64   `json:"errors"`
+	PartialAnswers    int64   `json:"partial_answers"`
+	DuplicatesDropped int64   `json:"duplicates_dropped"`
+	ShardErrors       int64   `json:"shard_errors"`
+	InFlight          int64   `json:"in_flight"`
+	Queued            int64   `json:"queued"`
+	UptimeSeconds     float64 `json:"uptime_seconds"`
+}
