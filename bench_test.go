@@ -529,6 +529,9 @@ func BenchmarkPartitionCache(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
+			// Close before the next subcase opens the directory: the WAL
+			// carries a single-writer lock.
+			b.Cleanup(func() { db.Close() })
 			// One pass outside the timer so "warm" measures the steady
 			// state, not the first-touch loads.
 			for _, q := range queries {
@@ -579,6 +582,7 @@ func BenchmarkPartitionCacheBatch(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
+			b.Cleanup(func() { db.Close() })
 			// One untimed batch so "warm" measures the steady state.
 			if _, err := db.SearchBatch(queries, benchK); err != nil {
 				b.Fatal(err)

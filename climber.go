@@ -32,6 +32,20 @@
 //	db, err := climber.Open(dir, climber.WithPartitionCacheBytes(256<<20))
 //	// ... Search / SearchBatch as usual; db.CacheStats() reports the effect.
 //
+// # Anytime queries
+//
+// Every query runs on a planner/executor engine (internal/core): the
+// planner ranks the partitions worth scanning, the executor runs them step
+// by step. Budgets bound a query's effort — it stops at a step boundary
+// and returns its best partial answer (Stats.Partial):
+//
+//	res, stats, err := db.SearchWithStats(q, 100, climber.WithTimeBudget(5*time.Millisecond))
+//	res, stats, err := db.SearchWithStats(q, 100, climber.WithMaxPartitions(2))
+//
+// SearchProgressive streams a monotonically improving snapshot after every
+// executed step, so consumers can render early answers or stop when
+// satisfied.
+//
 // # Serving, cancellation, and Close
 //
 // Every query method has a ...Context variant (SearchContext,
@@ -106,6 +120,22 @@ type Stats struct {
 	// partition opens served from / missing the shared partition cache
 	// (see WithPartitionCacheBytes); both are zero when the cache is off.
 	PartitionCacheHits, PartitionCacheMisses int
+	// StepsPlanned is the number of executable steps (distinct partitions)
+	// the query planner emitted; StepsExecuted counts how many actually
+	// ran. They differ when a budget stopped the plan early; an answer can
+	// also be Partial with all steps executed (the budget expired during
+	// the within-partition widening pass), so test Partial, not the
+	// counters, to detect truncation.
+	StepsPlanned, StepsExecuted int
+	// Partial marks an answer whose execution stopped before the full plan
+	// — a budget (WithTimeBudget, WithMaxPartitions) ran out or a
+	// progressive consumer stopped the query. The results are still the
+	// best answer for the effort spent.
+	Partial bool
+	// BudgetExhausted names the budget dimension that stopped a Partial
+	// query ("max-partitions", "deadline", "min-records", "callback");
+	// empty when the plan ran to completion.
+	BudgetExhausted string
 }
 
 // IngestStats reports the cumulative state of the DB's streaming write
@@ -274,9 +304,47 @@ func WithVariant(v Variant) SearchOption {
 	return func(s *core.SearchOptions) { s.Variant = v }
 }
 
-// WithMaxPartitions overrides the adaptive variants' partition cap.
+// WithMaxPartitions bounds a query to at most n partition loads. For the
+// adaptive variants it shrinks the plan (the paper's MaxNumPartitions
+// parameter); for every variant it is additionally enforced as an
+// execution budget, so a plan that still wants more partitions (KNN's base
+// node spanning several, OD-Smallest's whole-group scans) stops after n
+// loads and returns its best answer marked partial (Stats.Partial).
 func WithMaxPartitions(n int) SearchOption {
-	return func(s *core.SearchOptions) { s.MaxPartitions = n }
+	return func(s *core.SearchOptions) {
+		s.MaxPartitions = n
+		s.Budget.MaxPartitions = n
+	}
+}
+
+// WithTimeBudget turns the query into an anytime query: the engine stops
+// at the first plan-step boundary past the budget and returns the best
+// answer assembled so far, marked partial (Stats.Partial with
+// Stats.BudgetExhausted = "deadline"). Scans are never interrupted
+// mid-partition, so the overshoot is bounded by one step; combine with a
+// request context deadline for a hard stop. d <= 0 is ignored.
+//
+// Cost: enforcing step boundaries means the plan's partitions scan one at
+// a time in rank order instead of concurrently, so a multi-partition
+// query under a generous time budget runs somewhat longer than an
+// unbudgeted one. Use WithMaxPartitions (which keeps the concurrent scan)
+// when the goal is an I/O cap rather than a wall-clock contract.
+func WithTimeBudget(d time.Duration) SearchOption {
+	return func(s *core.SearchOptions) {
+		if d > 0 {
+			s.Budget.Deadline = time.Now().Add(d)
+		}
+	}
+}
+
+// WithMinRecords is a recall proxy budget: the query stops once at least n
+// candidate records have been compared, returning a partial answer when
+// the plan held more. More candidates compared means higher expected
+// recall, so callers can trade accuracy for latency without reasoning
+// about partitions or wall-clock time. Like WithTimeBudget, it trades the
+// plan's partition parallelism for step-boundary control.
+func WithMinRecords(n int) SearchOption {
+	return func(s *core.SearchOptions) { s.Budget.MinRecords = n }
 }
 
 // DB is a built CLIMBER database. A DB is safe for concurrent use; the
@@ -429,6 +497,10 @@ func statsOf(qs core.QueryStats) Stats {
 		BytesLoaded:          qs.BytesLoaded,
 		PartitionCacheHits:   qs.CacheHits,
 		PartitionCacheMisses: qs.CacheMisses,
+		StepsPlanned:         qs.StepsPlanned,
+		StepsExecuted:        qs.StepsExecuted,
+		Partial:              qs.Partial,
+		BudgetExhausted:      qs.BudgetExhausted,
 	}
 }
 
@@ -597,6 +669,66 @@ func (db *DB) SearchPrefixWithStatsContext(ctx context.Context, q []float64, k i
 	return resultsOf(sr.Results), statsOf(sr.Stats), nil
 }
 
+// SearchUpdate is one progressive answer snapshot delivered during
+// SearchProgressiveContext: the best top-k assembled after a plan step.
+// Snapshots are monotonically non-worsening — each one's result set is at
+// least as large, and its k-th distance at least as small, as the previous
+// one's.
+type SearchUpdate struct {
+	// Results are the current approximate nearest neighbours, ascending by
+	// Euclidean distance.
+	Results []Result
+	// Step counts the plan steps executed so far; StepsPlanned is the
+	// plan's total, so Step/StepsPlanned is the coverage fraction.
+	Step, StepsPlanned int
+	// Final marks the last snapshot: its Results are exactly the query's
+	// returned answer.
+	Final bool
+	// Stats is the effort accumulated so far.
+	Stats Stats
+}
+
+// SearchProgressive answers a kNN query progressively: fn receives a
+// monotonically improving SearchUpdate after every executed plan step and
+// a final one when the answer is complete. Returning false from fn stops
+// the query early — the returned results are the best answer so far,
+// marked partial. Combine with WithTimeBudget / WithMaxPartitions for
+// budget-bounded anytime queries (the ProS serving mode: first answers
+// after one partition, refined step by step).
+//
+// fn runs synchronously on the query's goroutine and must not block for
+// long. Progressive execution scans partitions sequentially in plan-rank
+// order, trading the run-to-completion path's partition parallelism for
+// step-boundary control.
+func (db *DB) SearchProgressive(q []float64, k int, fn func(SearchUpdate) bool, opts ...SearchOption) ([]Result, Stats, error) {
+	return db.SearchProgressiveContext(context.Background(), q, k, fn, opts...)
+}
+
+// SearchProgressiveContext is SearchProgressive under a context, with the
+// same cancellation semantics as SearchContext.
+func (db *DB) SearchProgressiveContext(ctx context.Context, q []float64, k int, fn func(SearchUpdate) bool, opts ...SearchOption) ([]Result, Stats, error) {
+	if db.closed.Load() {
+		return nil, Stats{}, ErrClosed
+	}
+	var sink func(core.Snapshot) bool
+	if fn != nil {
+		sink = func(s core.Snapshot) bool {
+			return fn(SearchUpdate{
+				Results:      resultsOf(s.Results),
+				Step:         s.Step,
+				StepsPlanned: s.StepsPlanned,
+				Final:        s.Final,
+				Stats:        statsOf(s.Stats),
+			})
+		}
+	}
+	sr, err := db.ix.SearchProgressive(ctx, q, searchOptions(k, opts), sink)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	return resultsOf(sr.Results), statsOf(sr.Stats), nil
+}
+
 // SearchBatch answers many queries concurrently with the default Adaptive4X
 // algorithm; results align positionally with the queries.
 func (db *DB) SearchBatch(queries [][]float64, k int, opts ...SearchOption) ([][]Result, error) {
@@ -615,18 +747,30 @@ func (db *DB) SearchBatchContext(ctx context.Context, queries [][]float64, k int
 // batch's internal parallelism within their admission budget instead of
 // letting every batch fan out to full machine width.
 func (db *DB) SearchBatchContextWorkers(ctx context.Context, queries [][]float64, k, workers int, opts ...SearchOption) ([][]Result, error) {
+	out, _, err := db.SearchBatchWithStatsContextWorkers(ctx, queries, k, workers, opts...)
+	return out, err
+}
+
+// SearchBatchWithStatsContextWorkers is SearchBatchContextWorkers plus each
+// query's effort statistics, positionally aligned with the queries. Serving
+// layers use the per-query stats to mark budget-truncated batch answers
+// partial. Note that a WithTimeBudget deadline is fixed once for the whole
+// batch, bounding the batch end to end rather than each query separately.
+func (db *DB) SearchBatchWithStatsContextWorkers(ctx context.Context, queries [][]float64, k, workers int, opts ...SearchOption) ([][]Result, []Stats, error) {
 	if db.closed.Load() {
-		return nil, ErrClosed
+		return nil, nil, ErrClosed
 	}
 	batch, err := db.ix.SearchBatchContext(ctx, queries, searchOptions(k, opts), workers)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	out := make([][]Result, len(batch))
+	stats := make([]Stats, len(batch))
 	for i, sr := range batch {
 		out[i] = resultsOf(sr.Results)
+		stats[i] = statsOf(sr.Stats)
 	}
-	return out, nil
+	return out, stats, nil
 }
 
 // Close releases the database's resources: the ingestion pipeline stops

@@ -19,6 +19,14 @@
 //
 //	climber-bench -experiment mixed -scale small
 //	climber-bench -experiment sharded -scale small
+//
+// "budget" measures the anytime-query contract: recall as a function of
+// per-query partition and time budgets against the run-to-completion
+// answer, plus a progressive-convergence trace. -max-partitions and
+// -time-budget narrow the sweep to one budget value:
+//
+//	climber-bench -experiment budget -scale small
+//	climber-bench -experiment budget -max-partitions 2
 package main
 
 import (
@@ -42,9 +50,13 @@ func main() {
 		outPath    = flag.String("out", "", "also append output to this file")
 		workDir    = flag.String("work", "", "working directory for build artefacts (default: temp)")
 		cache      = flag.Int64("cache-bytes", 0, "partition cache budget in bytes for every experiment cluster (0 = off, the paper-faithful cost accounting)")
+		maxParts   = flag.Int("max-partitions", 0, "budget experiment: evaluate this single partition budget instead of the default sweep")
+		timeBudget = flag.Duration("time-budget", 0, "budget experiment: evaluate this single per-query time budget instead of the default sweep")
 	)
 	flag.Parse()
 	experiments.PartitionCacheBytes = *cache
+	experiments.BudgetMaxPartitions = *maxParts
+	experiments.BudgetTimeLimit = *timeBudget
 
 	scale, ok := experiments.Scales()[*scaleName]
 	if !ok {

@@ -5,10 +5,15 @@
 // Usage:
 //
 //	climber-query -dir ./db -data rw.clmb -id 17 -k 100 -variant adaptive-4x -exact
+//	climber-query -dir ./db -data rw.clmb -id 17 -k 100 -max-partitions 2
+//	climber-query -dir ./db -data rw.clmb -id 17 -k 100 -time-budget 2ms -progressive
 //
 // The query series is drawn from the dataset file by record ID, matching
 // the paper's workload ("query objects are randomly selected from the
-// entire dataset").
+// entire dataset"). -max-partitions and -time-budget turn the query into
+// an anytime query: it stops when the budget is spent and reports its best
+// partial answer; -progressive streams the improving snapshots as the
+// engine executes plan steps.
 package main
 
 import (
@@ -45,17 +50,20 @@ func main() {
 	log.SetPrefix("climber-query: ")
 
 	var (
-		dir     = flag.String("dir", "", "database directory (required)")
-		data    = flag.String("data", "", "dataset file the index was built from (required)")
-		id      = flag.Int("id", 0, "record ID to use as the query")
-		k       = flag.Int("k", 100, "answer size K")
-		variant = flag.String("variant", "adaptive-4x", "query algorithm: knn, adaptive-2x, adaptive-4x, od-smallest")
-		exact   = flag.Bool("exact", false, "also compute the exact answer and report recall")
-		show    = flag.Int("show", 10, "number of results to print")
-		sample  = flag.Int("sample", 0, "evaluate a workload of this many random queries instead of one -id query")
-		seed    = flag.Uint64("seed", 7, "workload sampling seed (with -sample)")
-		explain = flag.Bool("explain", false, "print the index-navigation trace")
-		cache   = flag.Int64("cache-bytes", 0, "partition cache budget in bytes (0 disables the cache)")
+		dir         = flag.String("dir", "", "database directory (required)")
+		data        = flag.String("data", "", "dataset file the index was built from (required)")
+		id          = flag.Int("id", 0, "record ID to use as the query")
+		k           = flag.Int("k", 100, "answer size K")
+		variant     = flag.String("variant", "adaptive-4x", "query algorithm: knn, adaptive-2x, adaptive-4x, od-smallest")
+		exact       = flag.Bool("exact", false, "also compute the exact answer and report recall")
+		show        = flag.Int("show", 10, "number of results to print")
+		sample      = flag.Int("sample", 0, "evaluate a workload of this many random queries instead of one -id query")
+		seed        = flag.Uint64("seed", 7, "workload sampling seed (with -sample)")
+		explain     = flag.Bool("explain", false, "print the index-navigation trace")
+		cache       = flag.Int64("cache-bytes", 0, "partition cache budget in bytes (0 disables the cache)")
+		maxParts    = flag.Int("max-partitions", 0, "bound the query to at most this many partition loads (0 = unbounded); truncated answers are reported partial")
+		timeBudget  = flag.Duration("time-budget", 0, "anytime-query time budget (e.g. 5ms); the engine answers with its best partial result at the deadline")
+		progressive = flag.Bool("progressive", false, "stream progressive answer snapshots while the query runs")
 	)
 	flag.Parse()
 	if *dir == "" || *data == "" {
@@ -76,10 +84,21 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	budgetOpts := func() []climber.SearchOption {
+		var opts []climber.SearchOption
+		if *maxParts > 0 {
+			opts = append(opts, climber.WithMaxPartitions(*maxParts))
+		}
+		if *timeBudget > 0 {
+			opts = append(opts, climber.WithTimeBudget(*timeBudget))
+		}
+		return opts
+	}
+
 	if *sample > 0 {
 		// The workload evaluator compares every variant; -variant applies
 		// to single-query mode only.
-		evaluateWorkload(db, ds, *sample, *k, *seed, *cache > 0)
+		evaluateWorkload(db, ds, *sample, *k, *seed, *cache > 0, budgetOpts())
 		printCacheStats(db, *cache)
 		return
 	}
@@ -91,8 +110,16 @@ func main() {
 	start := time.Now()
 	var res []climber.Result
 	var stats climber.Stats
-	if *explain {
-		sr, err := db.Index().Search(q, core.SearchOptions{K: *k, Variant: v, Explain: true})
+	switch {
+	case *explain:
+		// Apply the same option closures the normal query path folds, so
+		// -explain can never report a different plan or budget than the
+		// query the user actually measures.
+		sopts := core.SearchOptions{K: *k, Variant: v, Explain: true}
+		for _, fn := range budgetOpts() {
+			fn(&sopts)
+		}
+		sr, err := db.Index().Search(q, sopts)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -104,6 +131,10 @@ func main() {
 			PartitionsScanned: sr.Stats.PartitionsScanned,
 			RecordsScanned:    sr.Stats.RecordsScanned,
 			BytesLoaded:       sr.Stats.BytesLoaded,
+			StepsPlanned:      sr.Stats.StepsPlanned,
+			StepsExecuted:     sr.Stats.StepsExecuted,
+			Partial:           sr.Stats.Partial,
+			BudgetExhausted:   sr.Stats.BudgetExhausted,
 		}
 		ex := sr.Explain
 		fmt.Printf("explain:\n")
@@ -113,9 +144,27 @@ func main() {
 			ex.BestOD, ex.CandidateGroups, ex.SelectedGroup)
 		fmt.Printf("  trie path = %v (node size %d), partitions = %v\n",
 			ex.MatchedPath, ex.TargetNodeSize, ex.Partitions)
-	} else {
+	case *progressive:
 		var err error
-		res, stats, err = db.SearchWithStats(q, *k, climber.WithVariant(v))
+		res, stats, err = db.SearchProgressive(q, *k, func(u climber.SearchUpdate) bool {
+			kth := 0.0
+			if len(u.Results) > 0 {
+				kth = u.Results[len(u.Results)-1].Dist
+			}
+			marker := ""
+			if u.Final {
+				marker = " (final)"
+			}
+			fmt.Printf("  step %d/%d: %d results, k-th dist %.6f, %v elapsed%s\n",
+				u.Step, u.StepsPlanned, len(u.Results), kth, time.Since(start).Round(time.Microsecond), marker)
+			return true
+		}, append(budgetOpts(), climber.WithVariant(v))...)
+		if err != nil {
+			log.Fatal(err)
+		}
+	default:
+		var err error
+		res, stats, err = db.SearchWithStats(q, *k, append(budgetOpts(), climber.WithVariant(v))...)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -125,6 +174,10 @@ func main() {
 	fmt.Printf("query id=%d k=%d variant=%s: %v\n", *id, *k, *variant, elapsed.Round(time.Microsecond))
 	fmt.Printf("  groups=%d partitions=%d records=%d bytes=%d\n",
 		stats.GroupsConsidered, stats.PartitionsScanned, stats.RecordsScanned, stats.BytesLoaded)
+	if stats.Partial {
+		fmt.Printf("  PARTIAL answer: budget %q exhausted after %d/%d plan steps\n",
+			stats.BudgetExhausted, stats.StepsExecuted, stats.StepsPlanned)
+	}
 	n := *show
 	if n > len(res) {
 		n = len(res)
@@ -163,7 +216,7 @@ func printCacheStats(db *climber.DB, budget int64) {
 // cache enabled the whole workload is pre-run once so every variant is
 // timed against a warm cache — otherwise the first variant would pay all
 // the cold misses and the timing comparison would be biased.
-func evaluateWorkload(db *climber.DB, ds *series.Dataset, n, k int, seed uint64, warmCache bool) {
+func evaluateWorkload(db *climber.DB, ds *series.Dataset, n, k int, seed uint64, warmCache bool, budgetOpts []climber.SearchOption) {
 	_, qs := dataset.Queries(ds, n, seed)
 	fmt.Printf("workload: %d queries, K=%d\n", len(qs), k)
 	if warmCache {
@@ -189,14 +242,14 @@ func evaluateWorkload(db *climber.DB, ds *series.Dataset, n, k int, seed uint64,
 		{"adaptive-4x", climber.Adaptive4X},
 		{"od-smallest", climber.ODSmallest},
 	}
-	fmt.Printf("%-12s %-8s %-12s %-12s %-10s\n", "variant", "recall", "avg-time", "records", "partitions")
+	fmt.Printf("%-12s %-8s %-12s %-12s %-10s %-8s\n", "variant", "recall", "avg-time", "records", "partitions", "partial")
 	for _, vc := range variants {
 		var recall float64
-		var records, parts int
+		var records, parts, partials int
 		var total time.Duration
 		for i, q := range qs {
 			start := time.Now()
-			res, stats, err := db.SearchWithStats(q, k, climber.WithVariant(vc.v))
+			res, stats, err := db.SearchWithStats(q, k, append(append([]climber.SearchOption(nil), budgetOpts...), climber.WithVariant(vc.v))...)
 			if err != nil {
 				log.Fatal(err)
 			}
@@ -208,10 +261,13 @@ func evaluateWorkload(db *climber.DB, ds *series.Dataset, n, k int, seed uint64,
 			recall += series.Recall(approx, exact[i])
 			records += stats.RecordsScanned
 			parts += stats.PartitionsScanned
+			if stats.Partial {
+				partials++
+			}
 		}
 		nq := float64(len(qs))
-		fmt.Printf("%-12s %-8.3f %-12v %-12.0f %-10.1f\n",
+		fmt.Printf("%-12s %-8.3f %-12v %-12.0f %-10.1f %d/%d\n",
 			vc.name, recall/nq, (total / time.Duration(len(qs))).Round(time.Microsecond),
-			float64(records)/nq, float64(parts)/nq)
+			float64(records)/nq, float64(parts)/nq, partials, len(qs))
 	}
 }

@@ -18,6 +18,11 @@ import "climber"
 // DefaultK is the answer-set size used when a request omits k.
 const DefaultK = 10
 
+// MaxTimeBudgetMS caps time_budget_ms at one hour. Anything longer is a
+// client error, and the bound keeps the servers' derived-deadline
+// arithmetic (multiples of the budget) far away from duration overflow.
+const MaxTimeBudgetMS = 3_600_000
+
 // SearchRequest is the body of POST /search and POST /search/prefix. For
 // /search the query must have the indexed series length; for /search/prefix
 // it may be shorter (see DecodePrefixRequest).
@@ -29,9 +34,21 @@ type SearchRequest struct {
 	// Variant selects the query algorithm: "knn", "adaptive-2x",
 	// "adaptive-4x" (default) or "od-smallest".
 	Variant string `json:"variant,omitempty"`
-	// MaxPartitions, when positive, overrides the adaptive variants'
-	// partition cap.
+	// MaxPartitions, when positive, bounds the query to that many
+	// partition loads: the adaptive variants shrink their plan to fit, and
+	// every variant stops loading at the cap, marking the answer partial
+	// when the plan wanted more.
 	MaxPartitions int `json:"max_partitions,omitempty"`
+	// TimeBudgetMS, when positive, is the anytime-query budget in
+	// milliseconds: the engine stops at the first plan-step boundary past
+	// it and answers with the best partial result (marked by the partial
+	// and steps_executed response fields). The server additionally bounds
+	// the whole request at a small multiple of the budget, so a budgeted
+	// query can never hang past its promise. Step-boundary enforcement
+	// scans the plan's partitions sequentially, so a generous budget costs
+	// some latency versus no budget; prefer max_partitions (which keeps
+	// the concurrent scan) for pure I/O caps.
+	TimeBudgetMS int `json:"time_budget_ms,omitempty"`
 }
 
 // BatchRequest is the body of POST /search/batch. The per-request options
@@ -43,9 +60,13 @@ type BatchRequest struct {
 	K int `json:"k,omitempty"`
 	// Variant selects the query algorithm for every query of the batch.
 	Variant string `json:"variant,omitempty"`
-	// MaxPartitions, when positive, overrides the adaptive variants'
-	// partition cap for every query of the batch.
+	// MaxPartitions, when positive, bounds every query of the batch to
+	// that many partition loads (see SearchRequest.MaxPartitions).
 	MaxPartitions int `json:"max_partitions,omitempty"`
+	// TimeBudgetMS, when positive, is the anytime budget for the batch as
+	// a whole: the deadline is fixed once, so queries still running when
+	// it passes answer partially (see SearchRequest.TimeBudgetMS).
+	TimeBudgetMS int `json:"time_budget_ms,omitempty"`
 }
 
 // AppendRequest is the body of POST /append.
@@ -78,12 +99,25 @@ type SearchResponse struct {
 	// Stats is the effort behind the query (partitions scanned, records
 	// compared, cache traffic).
 	Stats climber.Stats `json:"stats"`
+	// Partial marks an answer whose budget (time_budget_ms or
+	// max_partitions) stopped the query before its full plan: the results
+	// are the best answer for the effort spent, not the complete one.
+	Partial bool `json:"partial,omitempty"`
+	// StepsExecuted counts the plan steps that ran; together with
+	// Stats.StepsPlanned it tells how much of the plan a partial answer
+	// covered.
+	StepsExecuted int `json:"steps_executed,omitempty"`
 }
 
 // BatchResponse is the body of a successful POST /search/batch; Results
 // aligns positionally with the request's Queries.
 type BatchResponse struct {
 	Results [][]Result `json:"results"`
+	// Partial marks a batch in which at least one query's budget stopped
+	// it before its full plan.
+	Partial bool `json:"partial,omitempty"`
+	// StepsExecuted sums the executed plan steps across the batch.
+	StepsExecuted int `json:"steps_executed,omitempty"`
 }
 
 // InfoResponse is the body of GET /info: the database's structural shape.

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"math"
+	"time"
 
 	"climber"
 )
@@ -63,8 +64,8 @@ func checkFinite(q []float64) error {
 
 // checkOptions validates and normalises the shared request options in
 // place: k defaults to DefaultK and is bounded by maxK, the variant must
-// parse, and max_partitions must not be negative.
-func checkOptions(k *int, variant string, maxPartitions, maxK int) error {
+// parse, and max_partitions / time_budget_ms must not be negative.
+func checkOptions(k *int, variant string, maxPartitions, timeBudgetMS, maxK int) error {
 	if *k == 0 {
 		*k = DefaultK
 	}
@@ -80,6 +81,12 @@ func checkOptions(k *int, variant string, maxPartitions, maxK int) error {
 	if maxPartitions < 0 {
 		return fmt.Errorf("max_partitions must not be negative, got %d", maxPartitions)
 	}
+	if timeBudgetMS < 0 {
+		return fmt.Errorf("time_budget_ms must not be negative, got %d", timeBudgetMS)
+	}
+	if timeBudgetMS > MaxTimeBudgetMS {
+		return fmt.Errorf("time_budget_ms %d exceeds the limit %d (1 hour)", timeBudgetMS, MaxTimeBudgetMS)
+	}
 	return nil
 }
 
@@ -91,7 +98,7 @@ func DecodeSearchRequest(data []byte, seriesLen, maxK int) (*SearchRequest, erro
 	if err := DecodeJSON(data, &req); err != nil {
 		return nil, err
 	}
-	if err := checkOptions(&req.K, req.Variant, req.MaxPartitions, maxK); err != nil {
+	if err := checkOptions(&req.K, req.Variant, req.MaxPartitions, req.TimeBudgetMS, maxK); err != nil {
 		return nil, err
 	}
 	if err := CheckQuery(req.Query, seriesLen); err != nil {
@@ -109,7 +116,7 @@ func DecodePrefixRequest(data []byte, minLen, seriesLen, maxK int) (*SearchReque
 	if err := DecodeJSON(data, &req); err != nil {
 		return nil, err
 	}
-	if err := checkOptions(&req.K, req.Variant, req.MaxPartitions, maxK); err != nil {
+	if err := checkOptions(&req.K, req.Variant, req.MaxPartitions, req.TimeBudgetMS, maxK); err != nil {
 		return nil, err
 	}
 	if len(req.Query) < minLen || len(req.Query) > seriesLen {
@@ -129,7 +136,7 @@ func DecodeBatchRequest(data []byte, seriesLen, maxK, maxBatch int) (*BatchReque
 	if err := DecodeJSON(data, &req); err != nil {
 		return nil, err
 	}
-	if err := checkOptions(&req.K, req.Variant, req.MaxPartitions, maxK); err != nil {
+	if err := checkOptions(&req.K, req.Variant, req.MaxPartitions, req.TimeBudgetMS, maxK); err != nil {
 		return nil, err
 	}
 	if len(req.Queries) == 0 {
@@ -169,12 +176,17 @@ func DecodeAppendRequest(data []byte, seriesLen, maxAppend int) (*AppendRequest,
 }
 
 // SearchOptions converts validated request options to climber search
-// options. The variant must have been validated during decode.
-func SearchOptions(variant string, maxPartitions int) []climber.SearchOption {
+// options. The variant must have been validated during decode. A positive
+// timeBudgetMS arms the anytime deadline budget (the deadline starts
+// counting when the search call folds its options).
+func SearchOptions(variant string, maxPartitions, timeBudgetMS int) []climber.SearchOption {
 	v, _ := ParseVariant(variant) // validated during decode
 	opts := []climber.SearchOption{climber.WithVariant(v)}
 	if maxPartitions > 0 {
 		opts = append(opts, climber.WithMaxPartitions(maxPartitions))
+	}
+	if timeBudgetMS > 0 {
+		opts = append(opts, climber.WithTimeBudget(time.Duration(timeBudgetMS)*time.Millisecond))
 	}
 	return opts
 }

@@ -5,8 +5,6 @@ import (
 	"errors"
 	"math"
 	"testing"
-
-	"climber/internal/series"
 )
 
 func TestSearchContextPreCancelled(t *testing.T) {
@@ -77,16 +75,15 @@ func TestCancelMidScanStopsPlan(t *testing.T) {
 
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
-	plan := scanPlan{pid: nil} // whole partition
-	top := series.NewTopK(10)
+	plan := &ScanPlan{Steps: []PlanStep{{Partition: pid}}} // whole partition
 	var stats QueryStats
 	compared := 0
-	err := ix.executePlanDist(ctx, plan, nil, top, true, &stats,
-		func(values []float64, bound float64) float64 {
-			compared++
-			cancel()
-			return math.Inf(1) // abandoned; keep the accumulator empty
-		})
+	ex := newExecutor(ix, plan, SearchOptions{K: 10}, func(values []float64, bound float64) float64 {
+		compared++
+		cancel()
+		return math.Inf(1) // abandoned; keep the accumulator empty
+	}, &stats)
+	err := ex.scanSteps(ctx, plan.Steps, nil, true)
 	if !errors.Is(err, context.Canceled) {
 		t.Fatalf("cancelled plan returned %v, want context.Canceled", err)
 	}

@@ -45,10 +45,11 @@ func (ix *Index) Delta() DeltaSource {
 // into a top-k of their own, so acked-but-uncompacted writes are immediately
 // visible with exactly the pruning the on-disk plan used: records routed to
 // unplanned partitions or clusters are skipped, mirroring how the disk scan
-// would miss them after compaction. widened marks partitions whose full
-// cluster set was scanned by the within-partition expansion; their delta
-// records are considered regardless of cluster. The result is nil when no
-// delta is installed or it is empty.
+// would miss them after compaction. executed maps each scanned partition to
+// the clusters actually compared (nil = every cluster, i.e. the partition
+// was widened), so a budget-truncated query merges delta hits for exactly
+// the coverage it achieved. The result is nil when no delta is installed or
+// it is empty.
 //
 // The delta candidates deliberately do NOT share the disk scan's top-k
 // accumulator: a record can transiently exist both in the delta and in a
@@ -59,7 +60,7 @@ func (ix *Index) Delta() DeltaSource {
 //
 // Delta comparisons are charged to RecordsScanned (and DeltaScanned) but to
 // no partition load — the records are resident by definition.
-func (ix *Index) scanDelta(ctx context.Context, plan scanPlan, widened bool, k int, stats *QueryStats,
+func (ix *Index) scanDelta(ctx context.Context, executed planMap, k int, stats *QueryStats,
 	dist func(values []float64, bound float64) float64) (*series.TopK, error) {
 	d := ix.Delta()
 	if d == nil || d.Len() == 0 {
@@ -81,10 +82,7 @@ func (ix *Index) scanDelta(ctx context.Context, plan scanPlan, widened bool, k i
 		}
 		return nil
 	}
-	for pid, clusters := range plan {
-		if widened {
-			clusters = nil
-		}
+	for pid, clusters := range executed {
 		if err := d.ScanPartition(pid, clusters, scan); err != nil {
 			return nil, err
 		}

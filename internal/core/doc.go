@@ -16,11 +16,14 @@
 //
 //   - Build (build.go): sample → pivots → groups → tries → route every
 //     record → pack partition files; the phase timings land in BuildStats.
-//   - Search / SearchPrefix / SearchBatch (search.go, prefix.go,
-//     batch.go): navigate the skeleton to a scan plan, scan partitions in
-//     parallel with context cancellation, rank by true Euclidean
-//     distance, widen within loaded partitions when the plan covers fewer
-//     than K records.
+//   - Search / SearchPrefix / SearchBatch / SearchProgressive (search.go,
+//     prefix.go, batch.go, progressive.go): the planner (plan.go)
+//     navigates the skeleton into a ranked ScanPlan of per-partition
+//     steps; the executor (exec.go) runs the steps — concurrently when
+//     run to completion, sequentially under a Budget or progressive
+//     snapshot sink, stopping at step boundaries when the budget is
+//     exhausted — then widens within loaded partitions when the plan
+//     covers fewer than K records and ranks by true Euclidean distance.
 //   - Append / WriteRouted (append.go): route new records through the
 //     existing skeleton and merge them into partition files by atomic
 //     replace; record IDs come from a single atomic counter (ReserveIDs)

@@ -3,8 +3,6 @@ package core
 import (
 	"context"
 	"fmt"
-	"math"
-	"sort"
 
 	"climber/internal/paa"
 	"climber/internal/series"
@@ -27,6 +25,15 @@ func (ix *Index) SearchPrefix(q []float64, opts SearchOptions) (*SearchResult, e
 // SearchPrefixContext is SearchPrefix under a context, with the same
 // cancellation semantics as SearchContext.
 func (ix *Index) SearchPrefixContext(ctx context.Context, q []float64, opts SearchOptions) (*SearchResult, error) {
+	return ix.searchPrefix(ctx, q, opts, nil)
+}
+
+// searchPrefix validates and transforms a prefix query, then runs the same
+// planner/executor engine as full-length search with the distance function
+// restricted to the first len(q) readings of each record. Prefix answers
+// see uncompacted writes too: delta records store the full indexed length,
+// so the prefix distance applies unchanged.
+func (ix *Index) searchPrefix(ctx context.Context, q []float64, opts SearchOptions, sink func(Snapshot) bool) (*SearchResult, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -35,7 +42,7 @@ func (ix *Index) SearchPrefixContext(ctx context.Context, q []float64, opts Sear
 		return nil, fmt.Errorf("core: K must be positive, got %d", opts.K)
 	}
 	if len(q) == skel.SeriesLen {
-		return ix.SearchContext(ctx, q, opts)
+		return ix.search(ctx, q, opts, sink)
 	}
 	if len(q) > skel.SeriesLen {
 		return nil, fmt.Errorf("core: prefix query length %d exceeds indexed length %d", len(q), skel.SeriesLen)
@@ -50,87 +57,8 @@ func (ix *Index) SearchPrefixContext(ctx context.Context, q []float64, opts Sear
 		return nil, err
 	}
 	paaQ := tr.Transform(q)
-	rs, ri := skel.Pivots.Dual(paaQ)
-	cands, bestOD := skel.Assigner.Candidates(rs, ri)
-	base := ix.selectTarget(cands, rs, bestOD)
-	stats := QueryStats{
-		GroupsConsidered: len(cands),
-		TargetNodeSize:   base.node.Count,
-		TargetPathLen:    base.pathLen,
-	}
-
-	var plan scanPlan
-	switch opts.Variant {
-	case VariantODSmallest:
-		plan = ix.planODSmallest(ri, bestOD)
-	case VariantAdaptive2X, VariantAdaptive4X:
-		plan = ix.planAdaptive(base, rs, ri, bestOD, opts)
-	default:
-		plan = ix.planKNN(base)
-	}
-
-	// Rank candidates by ED over the stored records' first len(q) readings.
-	top := series.NewTopK(opts.K)
 	prefixLen := len(q)
-	err = ix.executePlanPrefix(ctx, plan, nil, q, prefixLen, top, true, &stats)
-	if err != nil {
-		return nil, err
-	}
-	widened := false
-	if opts.Variant != VariantODSmallest && top.Len() < opts.K {
-		widened = true
-		wplan := make(scanPlan, len(plan))
-		for pid := range plan {
-			wplan[pid] = nil
-		}
-		if err := ix.executePlanPrefix(ctx, wplan, plan, q, prefixLen, top, false, &stats); err != nil {
-			return nil, err
-		}
-	}
-
-	// Prefix answers see uncompacted writes too: delta records store the
-	// full indexed length, so the prefix distance applies unchanged.
-	deltaTop, err := ix.scanDelta(ctx, plan, widened, opts.K, &stats,
-		func(values []float64, bound float64) float64 {
-			return series.SqDistEarlyAbandon(q, values[:prefixLen], bound)
-		})
-	if err != nil {
-		return nil, err
-	}
-
-	results := top.Results()
-	if deltaTop != nil {
-		results = mergeResults(results, deltaTop.Results(), opts.K)
-	}
-	for i := range results {
-		results[i].Dist = math.Sqrt(results[i].Dist)
-	}
-	out := &SearchResult{Results: results, Stats: stats}
-	if opts.Explain {
-		pids := make([]int, 0, len(plan))
-		for pid := range plan {
-			pids = append(pids, pid)
-		}
-		sort.Ints(pids)
-		out.Explain = &Explanation{
-			RankSensitive:   rs.Clone(),
-			RankInsensitive: ri.Clone(),
-			BestOD:          bestOD,
-			CandidateGroups: append([]int(nil), cands...),
-			SelectedGroup:   base.group.ID,
-			MatchedPath:     rs[:base.pathLen].Clone(),
-			TargetNodeSize:  base.node.Count,
-			Partitions:      pids,
-		}
-	}
-	return out, nil
-}
-
-// executePlanPrefix is executePlan with distances restricted to the first
-// prefixLen readings of each record.
-func (ix *Index) executePlanPrefix(ctx context.Context, plan, done scanPlan, q []float64, prefixLen int, top *series.TopK, countLoads bool, stats *QueryStats) error {
-	return ix.executePlanDist(ctx, plan, done, top, countLoads, stats,
-		func(values []float64, bound float64) float64 {
-			return series.SqDistEarlyAbandon(q, values[:prefixLen], bound)
-		})
+	return ix.runQuery(ctx, paaQ, opts, sink, func(values []float64, bound float64) float64 {
+		return series.SqDistEarlyAbandon(q, values[:prefixLen], bound)
+	})
 }

@@ -1,0 +1,51 @@
+package core
+
+import (
+	"context"
+
+	"climber/internal/series"
+)
+
+// Snapshot is one progressive answer emitted during SearchProgressive: the
+// best top-k assembled after a plan step. Snapshots are monotonically
+// non-worsening — each one's result set is at least as large and its k-th
+// distance at least as small as the previous one's, because the underlying
+// accumulator only ever improves (the ProS observation: progressive kNN
+// answers converge toward the final result as more data is touched).
+type Snapshot struct {
+	// Results are the current approximate nearest neighbours, true
+	// (non-squared) Euclidean distances, ascending.
+	Results []series.Result
+	// Step counts the plan steps executed so far; StepsPlanned is the
+	// plan's total, so Step/StepsPlanned is the coverage fraction.
+	Step, StepsPlanned int
+	// Final marks the last snapshot: its Results are exactly the query's
+	// result set, including any delta-merged in-memory records.
+	Final bool
+	// Stats is the effort accumulated so far.
+	Stats QueryStats
+}
+
+// SearchProgressive answers a kNN query like SearchContext, additionally
+// emitting a Snapshot to sink after every executed plan step (and a final
+// one when the answer is complete). sink returning false stops the query
+// early: the returned result is the best answer so far, marked partial
+// with BudgetCallback. Combined with SearchOptions.Budget this is the
+// anytime serving mode: first answers arrive after one partition, refine
+// step by step, and stop exactly when the consumer or the budget says so.
+//
+// Progressive execution runs plan steps sequentially in rank order (so
+// each snapshot reflects the most promising unscanned partition), trading
+// the run-to-completion path's partition parallelism for step-boundary
+// control. sink is called synchronously on the query's goroutine and must
+// not block for long.
+func (ix *Index) SearchProgressive(ctx context.Context, q []float64, opts SearchOptions, sink func(Snapshot) bool) (*SearchResult, error) {
+	return ix.search(ctx, q, opts, sink)
+}
+
+// SearchPrefixProgressive is SearchProgressive for queries shorter than
+// the indexed length (see SearchPrefix), with identical snapshot and
+// budget semantics.
+func (ix *Index) SearchPrefixProgressive(ctx context.Context, q []float64, opts SearchOptions, sink func(Snapshot) bool) (*SearchResult, error) {
+	return ix.searchPrefix(ctx, q, opts, sink)
+}

@@ -144,7 +144,7 @@ func TestSearchDegenerateFallbackOnlyIndex(t *testing.T) {
 func TestWouldExceedPartitionCapDedupes(t *testing.T) {
 	g := &Group{ID: 1, DefaultPartition: 0}
 	node := &trie.Node{Partitions: []int{7, 7, 7, 8}} // 2 distinct new partitions
-	plan := scanPlan{3: nil}
+	plan := planMap{3: nil}
 	c := target{group: g, node: node}
 
 	// 1 planned + 2 distinct new = 3 <= 3: must fit.

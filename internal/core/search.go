@@ -3,19 +3,17 @@ package core
 import (
 	"context"
 	"fmt"
-	"math"
 	"sort"
-	"sync"
-	"sync/atomic"
 
 	"climber/internal/pivot"
 	"climber/internal/series"
-	"climber/internal/storage"
 	"climber/internal/trie"
 )
 
 // Variant selects the query-processing strategy (paper Section VI and the
-// experimental variations of Section VII-A).
+// experimental variations of Section VII-A). Each variant is a plan policy:
+// it decides which (group, partition) steps the planner emits, while the
+// executor (exec.go) runs whichever plan it is handed.
 type Variant int
 
 const (
@@ -69,9 +67,14 @@ type SearchOptions struct {
 	K int
 	// Variant selects the algorithm; the zero value is CLIMBER-kNN.
 	Variant Variant
-	// MaxPartitions, when positive, overrides the variant's partition cap
-	// (the paper's MaxNumPartitions configuration parameter).
+	// MaxPartitions, when positive, overrides the adaptive variants'
+	// partition cap (the paper's MaxNumPartitions configuration parameter).
+	// It shapes the *plan*; Budget.MaxPartitions bounds the *execution*.
 	MaxPartitions int
+	// Budget, when non-zero, turns the query into an anytime query: the
+	// executor stops at the first step boundary where a budget dimension
+	// is exhausted and returns the best partial answer (see Budget).
+	Budget Budget
 	// Explain attaches the index-navigation trace to the result.
 	Explain bool
 }
@@ -93,7 +96,7 @@ type Explanation struct {
 	MatchedPath pivot.Signature
 	// TargetNodeSize is the estimated membership of the matched node.
 	TargetNodeSize int
-	// Partitions are the physical partitions the plan scanned.
+	// Partitions are the physical partitions the plan selected, ascending.
 	Partitions []int
 }
 
@@ -107,6 +110,21 @@ type QueryStats struct {
 	TargetNodeSize int
 	// TargetPathLen is the matched root-to-node path length.
 	TargetPathLen int
+	// StepsPlanned is the number of executable steps the planner emitted
+	// (one per distinct partition); StepsExecuted counts how many actually
+	// ran. They differ when a budget stopped the plan early; an answer can
+	// also be Partial with every step executed (the budget expired during
+	// widening, or a progressive sink stopped after the last step), so
+	// Partial — not the counters — is the truncation signal.
+	StepsPlanned, StepsExecuted int
+	// Partial marks an answer whose execution stopped before the full plan
+	// — a budget dimension ran out or a progressive consumer stopped the
+	// query. The results are still the best answer for the effort spent.
+	Partial bool
+	// BudgetExhausted names the dimension that stopped a Partial query
+	// (BudgetMaxPartitions, BudgetDeadline, BudgetMinRecords,
+	// BudgetCallback); empty when the plan ran to completion.
+	BudgetExhausted string
 	// PartitionsScanned counts distinct partitions loaded.
 	PartitionsScanned int
 	// RecordsScanned counts raw series compared with ED, including delta
@@ -143,10 +161,6 @@ type target struct {
 	pathLen int
 }
 
-// scanPlan maps a partition ID to the record clusters to scan inside it;
-// a nil cluster set means "scan the whole partition".
-type scanPlan map[int]map[storage.ClusterID]struct{}
-
 // Search answers an approximate kNN query (paper Definition 4) using the
 // configured variant.
 func (ix *Index) Search(q []float64, opts SearchOptions) (*SearchResult, error) {
@@ -158,6 +172,12 @@ func (ix *Index) Search(q []float64, opts SearchOptions) (*SearchResult, error) 
 // scans (and periodically within large clusters), so a cancelled query stops
 // loading and comparing records mid-plan and returns ctx.Err().
 func (ix *Index) SearchContext(ctx context.Context, q []float64, opts SearchOptions) (*SearchResult, error) {
+	return ix.search(ctx, q, opts, nil)
+}
+
+// search is the full-length entry point: validate, transform, then run the
+// planner/executor engine, optionally progressively.
+func (ix *Index) search(ctx context.Context, q []float64, opts SearchOptions, sink func(Snapshot) bool) (*SearchResult, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -167,80 +187,45 @@ func (ix *Index) SearchContext(ctx context.Context, q []float64, opts SearchOpti
 	if len(q) != ix.Skel.SeriesLen {
 		return nil, fmt.Errorf("core: query length %d, index expects %d", len(q), ix.Skel.SeriesLen)
 	}
-	skel := ix.Skel
-
 	// Lines 2-4 of Algorithm 3: transform the query exactly as records were
 	// transformed during Step 4.
-	paaQ := skel.Transformer.Transform(q)
+	paaQ := ix.Skel.Transformer.Transform(q)
+	return ix.runQuery(ctx, paaQ, opts, sink, func(values []float64, bound float64) float64 {
+		return series.SqDistEarlyAbandon(q, values, bound)
+	})
+}
+
+// runQuery is the engine shared by full-length and prefix queries: navigate
+// the skeleton (planner), execute the ranked plan stage by stage under the
+// budget (executor), and assemble the result.
+func (ix *Index) runQuery(ctx context.Context, paaQ []float64, opts SearchOptions, sink func(Snapshot) bool, dist distFunc) (*SearchResult, error) {
+	skel := ix.Skel
 	rs, ri := skel.Pivots.Dual(paaQ)
 
 	// Lines 5-9: best group(s) by OD, ties broken by WD.
 	cands, bestOD := skel.Assigner.Candidates(rs, ri)
 
-	// Lines 10-19: per-group trie descent and tie-breaking.
+	// Lines 10-19: per-group trie descent and tie-breaking, then the
+	// variant's plan policy.
 	base := ix.selectTarget(cands, rs, bestOD)
+	plan := ix.plan(base, rs, ri, bestOD, opts)
+
 	stats := QueryStats{
 		GroupsConsidered: len(cands),
 		TargetNodeSize:   base.node.Count,
 		TargetPathLen:    base.pathLen,
+		StepsPlanned:     len(plan.Steps),
 	}
-
-	var plan scanPlan
-	switch opts.Variant {
-	case VariantODSmallest:
-		plan = ix.planODSmallest(ri, bestOD)
-	case VariantAdaptive2X, VariantAdaptive4X:
-		plan = ix.planAdaptive(base, rs, ri, bestOD, opts)
-	default:
-		plan = ix.planKNN(base)
-	}
-
-	top := series.NewTopK(opts.K)
-	if err := ix.executePlan(ctx, plan, nil, q, top, true, &stats); err != nil {
+	ex := newExecutor(ix, plan, opts, dist, &stats)
+	if err := ex.run(ctx, sink); err != nil {
 		return nil, err
 	}
 
-	// Within-partition expansion: when the scanned trie nodes hold fewer
-	// than K records, widen to every cluster of the already-loaded
-	// partitions (Section VII-A: CLIMBER-kNN "expands the search within the
-	// same partition"; the adaptive variants inherit the same final step so
-	// their candidate set is always a superset of CLIMBER-kNN's, as in
-	// Figure 9). The partitions are in memory already, so the widening
-	// charges no additional loads.
-	widened := false
-	if opts.Variant != VariantODSmallest && top.Len() < opts.K {
-		widened = true
-		wplan := make(scanPlan, len(plan))
-		for pid := range plan {
-			wplan[pid] = nil
-		}
-		if err := ix.executePlan(ctx, wplan, plan, q, top, false, &stats); err != nil {
-			return nil, err
-		}
-	}
-
-	// Merge acked-but-uncompacted writes from the in-memory delta index so
-	// they are visible to searches before any compaction lands them.
-	deltaTop, err := ix.scanDelta(ctx, plan, widened, opts.K, &stats,
-		func(values []float64, bound float64) float64 {
-			return series.SqDistEarlyAbandon(q, values, bound)
-		})
-	if err != nil {
-		return nil, err
-	}
-
-	results := top.Results()
-	if deltaTop != nil {
-		results = mergeResults(results, deltaTop.Results(), opts.K)
-	}
-	for i := range results {
-		results[i].Dist = math.Sqrt(results[i].Dist)
-	}
-	out := &SearchResult{Results: results, Stats: stats}
+	out := &SearchResult{Results: ex.results, Stats: stats}
 	if opts.Explain {
-		pids := make([]int, 0, len(plan))
-		for pid := range plan {
-			pids = append(pids, pid)
+		pids := make([]int, 0, len(plan.Steps))
+		for _, st := range plan.Steps {
+			pids = append(pids, st.Partition)
 		}
 		sort.Ints(pids)
 		out.Explain = &Explanation{
@@ -276,351 +261,4 @@ func (ix *Index) selectTarget(cands []int, rs pivot.Signature, bestOD int) targe
 		}
 	}
 	return best
-}
-
-// clustersUnder returns the global record-cluster IDs of the subtree rooted
-// at a node, including the group's overflow cluster when the node is the
-// group root (overflow records belong to the group but to no complete
-// root-to-leaf path).
-func clustersUnder(g *Group, n *trie.Node) []storage.ClusterID {
-	leafIDs := n.LeafIDsUnder()
-	out := make([]storage.ClusterID, 0, len(leafIDs)+1)
-	for _, id := range leafIDs {
-		out = append(out, g.ClusterOf(g.node(id)))
-	}
-	if n == g.Trie {
-		out = append(out, g.OverflowCluster())
-	}
-	return out
-}
-
-// partitionsOf returns the partitions covering a node, falling back to the
-// group's partition set for a childless root.
-func partitionsOf(g *Group, n *trie.Node) []int {
-	if len(n.Partitions) > 0 {
-		return n.Partitions
-	}
-	return []int{g.DefaultPartition}
-}
-
-// addTarget folds one (group, node) target into a scan plan.
-func (p scanPlan) addTarget(g *Group, n *trie.Node) {
-	parts := partitionsOf(g, n)
-	clusters := clustersUnder(g, n)
-	for _, pid := range parts {
-		set, ok := p[pid]
-		if !ok {
-			set = make(map[storage.ClusterID]struct{})
-			p[pid] = set
-		}
-		if set == nil {
-			continue // whole partition already planned
-		}
-		for _, c := range clusters {
-			set[c] = struct{}{}
-		}
-	}
-}
-
-// addWholePartition plans a full scan of one partition.
-func (p scanPlan) addWholePartition(pid int) { p[pid] = nil }
-
-// planKNN builds the scan plan of plain CLIMBER-kNN: the base target only.
-func (ix *Index) planKNN(base target) scanPlan {
-	plan := make(scanPlan)
-	plan.addTarget(base.group, base.node)
-	return plan
-}
-
-// planODSmallest scans every partition of every group at the smallest OD.
-func (ix *Index) planODSmallest(ri pivot.Signature, bestOD int) scanPlan {
-	plan := make(scanPlan)
-	gids, _ := ix.Skel.Assigner.BestByOverlap(ri)
-	if bestOD == ix.Skel.Cfg.PrefixLen {
-		gids = []int{0}
-	}
-	for _, gid := range gids {
-		for _, pid := range ix.Skel.GroupPartitions(gid) {
-			plan.addWholePartition(pid)
-		}
-	}
-	return plan
-}
-
-// planAdaptive implements CLIMBER-kNN-Adaptive (Section VI): when the base
-// trie node holds fewer than K records, the search expands to further
-// best-matching trie nodes — the deepest match of every group within the
-// smallest OD, then their parents (the 2nd-longest matches) — until the
-// selected nodes' sizes sum past K, bounded by the variant's partition cap.
-func (ix *Index) planAdaptive(base target, rs, ri pivot.Signature, bestOD int, opts SearchOptions) scanPlan {
-	plan := make(scanPlan)
-	plan.addTarget(base.group, base.node)
-	if base.node.Count >= opts.K {
-		return plan // behaves exactly like CLIMBER-kNN (Figure 9 observation 2)
-	}
-
-	maxParts := opts.Variant.partitionFactor() * len(partitionsOf(base.group, base.node))
-	if opts.MaxPartitions > 0 {
-		maxParts = opts.MaxPartitions
-	}
-
-	// Memorised candidates: deepest node per group within the smallest OD,
-	// plus each node's ancestors as progressively coarser fallbacks.
-	var cands []target
-	for _, gid := range ix.Skel.Assigner.GroupsWithinOD(ri, bestOD) {
-		g := ix.Skel.Groups[gid]
-		node, pathLen := g.Trie.Descend(rs)
-		if g == base.group && node == base.node {
-			node = parentOf(g.Trie, node) // base already planned; offer its parent
-			pathLen--
-		}
-		for node != nil && pathLen >= 0 {
-			cands = append(cands, target{group: g, node: node, od: bestOD, pathLen: pathLen})
-			node = parentOf(g.Trie, node)
-			pathLen--
-		}
-	}
-	// Rank: deeper matches first, then larger nodes, then group ID.
-	sort.Slice(cands, func(i, j int) bool {
-		if cands[i].pathLen != cands[j].pathLen {
-			return cands[i].pathLen > cands[j].pathLen
-		}
-		if cands[i].node.Count != cands[j].node.Count {
-			return cands[i].node.Count > cands[j].node.Count
-		}
-		return cands[i].group.ID < cands[j].group.ID
-	})
-
-	covered := base.node.Count
-	for _, c := range cands {
-		if covered >= opts.K {
-			break
-		}
-		if wouldExceedPartitionCap(plan, c, maxParts) {
-			continue
-		}
-		before := planSize(plan)
-		plan.addTarget(c.group, c.node)
-		if planSize(plan) > before { // the target added new clusters
-			covered += c.node.Count
-		}
-	}
-	return plan
-}
-
-// parentOf finds the parent of a node within a trie (tries are small; a
-// DFS walk is cheap and avoids storing parent pointers in every node).
-func parentOf(root, child *trie.Node) *trie.Node {
-	if root == child {
-		return nil
-	}
-	var found *trie.Node
-	var walk func(*trie.Node) bool
-	walk = func(n *trie.Node) bool {
-		for _, c := range n.Children {
-			if c == child {
-				found = n
-				return true
-			}
-			if walk(c) {
-				return true
-			}
-		}
-		return false
-	}
-	walk(root)
-	return found
-}
-
-// wouldExceedPartitionCap reports whether adding the target would grow the
-// plan's distinct-partition count beyond maxParts. The target's partition
-// list can repeat IDs (an internal node covering several leaves packed into
-// the same bin), so new partitions are counted as a set — counting
-// duplicates would refuse targets that actually fit the cap.
-func wouldExceedPartitionCap(plan scanPlan, c target, maxParts int) bool {
-	extra := make(map[int]struct{})
-	for _, pid := range partitionsOf(c.group, c.node) {
-		if _, ok := plan[pid]; !ok {
-			extra[pid] = struct{}{}
-		}
-	}
-	return len(plan)+len(extra) > maxParts
-}
-
-// planSize counts the clusters planned (whole-partition entries count as 1).
-func planSize(plan scanPlan) int {
-	n := 0
-	for _, set := range plan {
-		if set == nil {
-			n++
-			continue
-		}
-		n += len(set)
-	}
-	return n
-}
-
-// executePlan scans the planned clusters, folding candidates into top with
-// early-abandoning squared Euclidean distance. Clusters already covered by
-// the done plan are skipped (CLIMBER-kNN's within-partition widening must
-// not compare a record twice). countLoads charges partition loads to the
-// statistics; the widening pass passes false because its partitions are
-// already resident.
-//
-// Multi-partition plans (the adaptive variants and OD-Smallest) scan their
-// partitions concurrently — the distributed execution of the paper, where
-// the selected partitions live on different workers. The top-k accumulator
-// is shared under a mutex with a lock-free bound cache so early abandoning
-// stays effective across workers.
-func (ix *Index) executePlan(ctx context.Context, plan, done scanPlan, q []float64, top *series.TopK, countLoads bool, stats *QueryStats) error {
-	return ix.executePlanDist(ctx, plan, done, top, countLoads, stats,
-		func(values []float64, bound float64) float64 {
-			return series.SqDistEarlyAbandon(q, values, bound)
-		})
-}
-
-// cancelCheckStride is how many records a scanning goroutine compares
-// between context checks inside one cluster. Cluster boundaries always
-// check; the stride bounds the extra latency a cancelled query pays inside
-// a single large cluster to a few hundred distance computations.
-const cancelCheckStride = 256
-
-// executePlanDist is the traversal shared by full-length and prefix
-// queries: dist computes a squared distance for a candidate, early
-// abandoning against bound (+Inf while the accumulator is not full).
-//
-// The traversal is cancellable: each partition-scan goroutine checks ctx
-// before opening its partition, between cluster scans, and every
-// cancelCheckStride records within a cluster, returning ctx.Err() as soon
-// as it observes cancellation. Statistics stay consistent on a cancelled
-// query — every record compared and partition loaded before the
-// cancellation is still charged.
-func (ix *Index) executePlanDist(ctx context.Context, plan, done scanPlan, top *series.TopK, countLoads bool, stats *QueryStats,
-	dist func(values []float64, bound float64) float64) error {
-	pids := make([]int, 0, len(plan))
-	for pid := range plan {
-		pids = append(pids, pid)
-	}
-	sort.Ints(pids)
-
-	var mu sync.Mutex
-	var boundBits atomic.Uint64
-	if b, ok := top.Bound(); ok {
-		boundBits.Store(math.Float64bits(b))
-	} else {
-		boundBits.Store(math.Float64bits(math.Inf(1)))
-	}
-	var recordsScanned atomic.Int64
-
-	scan := func(id int, values []float64) error {
-		if n := recordsScanned.Add(1); n%cancelCheckStride == 0 {
-			if err := ctx.Err(); err != nil {
-				return err
-			}
-		}
-		bound := math.Float64frombits(boundBits.Load())
-		d := dist(values, bound)
-		if d >= bound {
-			return nil
-		}
-		mu.Lock()
-		top.Push(id, d)
-		if b, ok := top.Bound(); ok {
-			boundBits.Store(math.Float64bits(b))
-		}
-		mu.Unlock()
-		return nil
-	}
-
-	scanPartition := func(pid int) error {
-		if err := ctx.Err(); err != nil {
-			return err
-		}
-		p, err := ix.Cl.OpenPartition(ix.Parts, pid)
-		if err != nil {
-			return err
-		}
-		defer p.Close()
-		mu.Lock()
-		if p.Cached() {
-			if p.CacheHit() {
-				stats.CacheHits++
-			} else {
-				stats.CacheMisses++
-			}
-		}
-		if countLoads {
-			stats.PartitionsScanned++
-			stats.BytesLoaded += int64(p.Count() * storage.RecordBytes(p.SeriesLen()))
-		}
-		mu.Unlock()
-		var doneSet map[storage.ClusterID]struct{}
-		if done != nil {
-			doneSet = done[pid]
-		}
-		want := plan[pid]
-		if want == nil { // whole partition
-			for _, ci := range p.Clusters() {
-				if doneSet != nil {
-					if _, ok := doneSet[ci.ID]; ok {
-						continue
-					}
-				}
-				if err := ctx.Err(); err != nil {
-					return err
-				}
-				if err := p.ScanCluster(ci.ID, scan); err != nil {
-					return err
-				}
-			}
-			return nil
-		}
-		ids := make([]storage.ClusterID, 0, len(want))
-		for c := range want {
-			if doneSet != nil {
-				if _, ok := doneSet[c]; ok {
-					continue
-				}
-			}
-			ids = append(ids, c)
-		}
-		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-		for _, id := range ids {
-			if err := ctx.Err(); err != nil {
-				return err
-			}
-			if err := p.ScanCluster(id, scan); err != nil {
-				return err
-			}
-		}
-		return nil
-	}
-
-	var err error
-	if len(pids) <= 1 {
-		for _, pid := range pids {
-			if e := scanPartition(pid); e != nil {
-				err = e
-			}
-		}
-	} else {
-		errs := make([]error, len(pids))
-		var wg sync.WaitGroup
-		for i, pid := range pids {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				errs[i] = scanPartition(pid)
-			}()
-		}
-		wg.Wait()
-		for _, e := range errs {
-			if e != nil {
-				err = e
-				break
-			}
-		}
-	}
-	stats.RecordsScanned += int(recordsScanned.Load())
-	return err
 }

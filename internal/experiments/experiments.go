@@ -105,6 +105,7 @@ func Registry() map[string]Runner {
 		"landscape":    Landscape,
 		"mixed":        MixedWorkload,
 		"sharded":      ShardedWorkload,
+		"budget":       BudgetExperiment,
 	}
 }
 

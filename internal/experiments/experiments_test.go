@@ -22,7 +22,8 @@ func TestRegistryComplete(t *testing.T) {
 	// ablations the package calls out.
 	want := []string{"fig7a", "fig7b", "fig7cd", "fig8ab", "fig8cd",
 		"fig9", "fig10", "fig11a", "fig11b", "fig12", "table1",
-		"abl-decay", "abl-dual", "abl-sampling", "landscape", "mixed", "sharded"}
+		"abl-decay", "abl-dual", "abl-sampling", "landscape", "mixed", "sharded",
+		"budget"}
 	reg := Registry()
 	for _, id := range want {
 		if reg[id] == nil {
@@ -183,6 +184,19 @@ func TestShardedSmoke(t *testing.T) {
 		"answer agreement", "rendezvous-routed"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("sharded output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestBudgetSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runner smoke tests are slow")
+	}
+	out := runnerSmoke(t, "budget")
+	for _, want := range []string{"unbounded", "max-partitions=1", "time=",
+		"Progressive convergence"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("budget output missing %q:\n%s", want, out)
 		}
 	}
 }

@@ -1,0 +1,92 @@
+package series
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+)
+
+// randSeries draws a random series of length n from the given generator.
+func randSeries(rng *rand.Rand, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = rng.NormFloat64() * 10
+	}
+	return out
+}
+
+// Property: whenever the accumulation never crosses the threshold,
+// SqDistEarlyAbandon must equal SqDist bit for bit — same accumulation
+// order, so exact float64 equality, not epsilon equality. The early-abandon
+// kernel is the hot inner loop of every scan; this is the contract that
+// makes it a safe drop-in for the exact kernel.
+func TestSqDistEarlyAbandonEqualsSqDist(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 11))
+	for trial := 0; trial < 2000; trial++ {
+		n := 1 + rng.IntN(256)
+		x, y := randSeries(rng, n), randSeries(rng, n)
+		exact := SqDist(x, y)
+
+		// Any limit >= exact must never trigger the abandon path: the
+		// partial sum is non-decreasing and bounded by the final value.
+		for _, limit := range []float64{exact, exact * 1.5, exact + 1, math.Inf(1)} {
+			if got := SqDistEarlyAbandon(x, y, limit); got != exact {
+				t.Fatalf("trial %d: limit %v not crossed but result %v != exact %v", trial, limit, got, exact)
+			}
+		}
+
+		// A limit below the true distance must abandon with some value
+		// strictly above the limit (the only contract callers rely on).
+		if exact > 0 {
+			limit := exact * rng.Float64() * 0.99
+			if got := SqDistEarlyAbandon(x, y, limit); got <= limit {
+				t.Fatalf("trial %d: abandoned result %v not above limit %v", trial, got, limit)
+			}
+		}
+	}
+}
+
+// Zero-distance pairs never abandon regardless of the limit.
+func TestSqDistEarlyAbandonIdenticalSeries(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 5))
+	x := randSeries(rng, 64)
+	if got := SqDistEarlyAbandon(x, x, 0); got != 0 {
+		t.Fatalf("identical series: got %v, want 0", got)
+	}
+}
+
+// benchSink defeats dead-code elimination in the benchmarks below.
+var benchSink float64
+
+// benchPair builds one deterministic pair of paper-length series.
+func benchPair(n int) ([]float64, []float64) {
+	rng := rand.New(rand.NewPCG(42, 1))
+	return randSeries(rng, n), randSeries(rng, n)
+}
+
+func BenchmarkSqDist(b *testing.B) {
+	x, y := benchPair(256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchSink = SqDist(x, y)
+	}
+}
+
+// BenchmarkSqDistEarlyAbandon measures the kernel under the two regimes a
+// scan sees: a loose bound (no abandon, the kernel's overhead over SqDist)
+// and a tight bound (abandons after a handful of readings, the payoff).
+func BenchmarkSqDistEarlyAbandon(b *testing.B) {
+	x, y := benchPair(256)
+	exact := SqDist(x, y)
+	b.Run("loose-bound", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			benchSink = SqDistEarlyAbandon(x, y, exact+1)
+		}
+	})
+	b.Run("tight-bound", func(b *testing.B) {
+		limit := exact / 100 // crossed within the first few readings
+		for i := 0; i < b.N; i++ {
+			benchSink = SqDistEarlyAbandon(x, y, limit)
+		}
+	})
+}

@@ -26,6 +26,7 @@ type metrics struct {
 	rejected     atomic.Int64   // 429s from admission control
 	canceled     atomic.Int64   // queries aborted by client disconnect
 	errors       atomic.Int64   // internal query failures
+	budgetExh    atomic.Int64   // queries answered partially, budget exhausted
 	inflight     atomic.Int64   // queries currently holding an admission slot
 	queued       atomic.Int64   // requests currently waiting for a slot
 	latency      *api.Histogram // read path (search + batch + prefix) only
@@ -35,38 +36,40 @@ type metrics struct {
 
 // ServerStats is the JSON shape of the server section of GET /stats.
 type ServerStats struct {
-	Searches       int64   `json:"searches"`
-	Batches        int64   `json:"batches"`
-	BatchQueries   int64   `json:"batch_queries"`
-	PrefixSearches int64   `json:"prefix_searches"`
-	Appends        int64   `json:"appends"`
-	AppendSeries   int64   `json:"append_series"`
-	Flushes        int64   `json:"flushes"`
-	BadRequests    int64   `json:"bad_requests"`
-	Rejected       int64   `json:"rejected"`
-	Canceled       int64   `json:"canceled"`
-	Errors         int64   `json:"errors"`
-	InFlight       int64   `json:"in_flight"`
-	Queued         int64   `json:"queued"`
-	UptimeSeconds  float64 `json:"uptime_seconds"`
+	Searches        int64   `json:"searches"`
+	Batches         int64   `json:"batches"`
+	BatchQueries    int64   `json:"batch_queries"`
+	PrefixSearches  int64   `json:"prefix_searches"`
+	Appends         int64   `json:"appends"`
+	AppendSeries    int64   `json:"append_series"`
+	Flushes         int64   `json:"flushes"`
+	BadRequests     int64   `json:"bad_requests"`
+	Rejected        int64   `json:"rejected"`
+	Canceled        int64   `json:"canceled"`
+	Errors          int64   `json:"errors"`
+	BudgetExhausted int64   `json:"budget_exhausted"`
+	InFlight        int64   `json:"in_flight"`
+	Queued          int64   `json:"queued"`
+	UptimeSeconds   float64 `json:"uptime_seconds"`
 }
 
 func (m *metrics) snapshot(uptime time.Duration) ServerStats {
 	return ServerStats{
-		Searches:       m.searches.Load(),
-		Batches:        m.batches.Load(),
-		BatchQueries:   m.batchQueries.Load(),
-		PrefixSearches: m.prefixes.Load(),
-		Appends:        m.appends.Load(),
-		AppendSeries:   m.appendSeries.Load(),
-		Flushes:        m.flushes.Load(),
-		BadRequests:    m.badRequests.Load(),
-		Rejected:       m.rejected.Load(),
-		Canceled:       m.canceled.Load(),
-		Errors:         m.errors.Load(),
-		InFlight:       m.inflight.Load(),
-		Queued:         m.queued.Load(),
-		UptimeSeconds:  uptime.Seconds(),
+		Searches:        m.searches.Load(),
+		Batches:         m.batches.Load(),
+		BatchQueries:    m.batchQueries.Load(),
+		PrefixSearches:  m.prefixes.Load(),
+		Appends:         m.appends.Load(),
+		AppendSeries:    m.appendSeries.Load(),
+		Flushes:         m.flushes.Load(),
+		BadRequests:     m.badRequests.Load(),
+		Rejected:        m.rejected.Load(),
+		Canceled:        m.canceled.Load(),
+		Errors:          m.errors.Load(),
+		BudgetExhausted: m.budgetExh.Load(),
+		InFlight:        m.inflight.Load(),
+		Queued:          m.queued.Load(),
+		UptimeSeconds:   uptime.Seconds(),
 	}
 }
 
@@ -88,6 +91,7 @@ func (m *metrics) renderProm(w *strings.Builder, cache climber.CacheStats, ing c
 	counter("climber_rejected_total", "Requests rejected with 429 by admission control.", m.rejected.Load())
 	counter("climber_canceled_total", "Queries aborted by client disconnect.", m.canceled.Load())
 	counter("climber_query_errors_total", "Queries that failed internally.", m.errors.Load())
+	counter("climber_budget_exhausted_total", "Queries answered partially because their time/partition budget ran out.", m.budgetExh.Load())
 	gauge("climber_inflight_queries", "Queries currently holding an admission slot.", m.inflight.Load())
 	gauge("climber_queued_requests", "Requests currently waiting for an admission slot.", m.queued.Load())
 

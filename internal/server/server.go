@@ -26,6 +26,15 @@
 // the partition scans it triggered instead of burning disk and CPU to
 // compute an answer nobody will read. An append whose response was never
 // read is still durable — once its WAL fsync starts, the write lands.
+//
+// Anytime queries: a search request carrying time_budget_ms and/or
+// max_partitions runs under the core engine's budget contract — the query
+// stops at a plan-step boundary when the budget is spent and answers 200
+// with its best partial result, marked by the partial and steps_executed
+// response fields (and counted by climber_budget_exhausted_total). A time
+// budget additionally arms a hard per-request deadline at a small multiple
+// of the budget, so a budgeted request can never hold its admission slot
+// unboundedly.
 package server
 
 import (
@@ -216,16 +225,37 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	if s.hookAdmitted != nil {
 		s.hookAdmitted(r.Context())
 	}
+	ctx, cancel := s.budgetContext(r.Context(), req.TimeBudgetMS)
+	defer cancel()
 
 	start := time.Now()
-	res, stats, err := s.db.SearchWithStatsContext(r.Context(), req.Query, req.K,
-		api.SearchOptions(req.Variant, req.MaxPartitions)...)
+	res, stats, err := s.db.SearchWithStatsContext(ctx, req.Query, req.K,
+		api.SearchOptions(req.Variant, req.MaxPartitions, req.TimeBudgetMS)...)
 	s.m.latency.Observe(time.Since(start))
 	s.m.searches.Add(1)
 	if !s.finishQuery(w, err) {
 		return
 	}
-	api.WriteJSON(w, http.StatusOK, SearchResponse{Results: toWire(res), Stats: stats})
+	if stats.Partial {
+		s.m.budgetExh.Add(1)
+	}
+	api.WriteJSON(w, http.StatusOK, SearchResponse{
+		Results: toWire(res), Stats: stats,
+		Partial: stats.Partial, StepsExecuted: stats.StepsExecuted,
+	})
+}
+
+// budgetContext derives the per-request deadline a time budget implies: the
+// soft budget stops the engine at a step boundary with a partial answer,
+// and this hard backstop — a small multiple, leaving room for one step's
+// overshoot plus encode — guarantees even a wedged query cannot hold its
+// admission slot much past its promise. budgetMS <= 0 leaves ctx untouched.
+func (s *Server) budgetContext(ctx context.Context, budgetMS int) (context.Context, context.CancelFunc) {
+	if budgetMS <= 0 {
+		return ctx, func() {}
+	}
+	hard := 4*time.Duration(budgetMS)*time.Millisecond + time.Second
+	return context.WithTimeout(ctx, hard)
 }
 
 // handlePrefix answers a query shorter than the indexed series length —
@@ -251,16 +281,24 @@ func (s *Server) handlePrefix(w http.ResponseWriter, r *http.Request) {
 	if s.hookAdmitted != nil {
 		s.hookAdmitted(r.Context())
 	}
+	ctx, cancel := s.budgetContext(r.Context(), req.TimeBudgetMS)
+	defer cancel()
 
 	start := time.Now()
-	res, stats, err := s.db.SearchPrefixWithStatsContext(r.Context(), req.Query, req.K,
-		api.SearchOptions(req.Variant, req.MaxPartitions)...)
+	res, stats, err := s.db.SearchPrefixWithStatsContext(ctx, req.Query, req.K,
+		api.SearchOptions(req.Variant, req.MaxPartitions, req.TimeBudgetMS)...)
 	s.m.latency.Observe(time.Since(start))
 	s.m.prefixes.Add(1)
 	if !s.finishQuery(w, err) {
 		return
 	}
-	api.WriteJSON(w, http.StatusOK, SearchResponse{Results: toWire(res), Stats: stats})
+	if stats.Partial {
+		s.m.budgetExh.Add(1)
+	}
+	api.WriteJSON(w, http.StatusOK, SearchResponse{
+		Results: toWire(res), Stats: stats,
+		Partial: stats.Partial, StepsExecuted: stats.StepsExecuted,
+	})
 }
 
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
@@ -289,10 +327,12 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	// queries than MaxInFlight allows across the whole server.
 	extra, releaseExtra := s.lim.AcquireExtra(min(len(req.Queries), s.cfg.MaxInFlight) - 1)
 	defer releaseExtra()
+	ctx, cancel := s.budgetContext(r.Context(), req.TimeBudgetMS)
+	defer cancel()
 
 	start := time.Now()
-	batch, err := s.db.SearchBatchContextWorkers(r.Context(), req.Queries, req.K, 1+extra,
-		api.SearchOptions(req.Variant, req.MaxPartitions)...)
+	batch, stats, err := s.db.SearchBatchWithStatsContextWorkers(ctx, req.Queries, req.K, 1+extra,
+		api.SearchOptions(req.Variant, req.MaxPartitions, req.TimeBudgetMS)...)
 	s.m.latency.Observe(time.Since(start))
 	s.m.batches.Add(1)
 	if !s.finishQuery(w, err) {
@@ -303,7 +343,19 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	for i, res := range batch {
 		out[i] = toWire(res)
 	}
-	api.WriteJSON(w, http.StatusOK, BatchResponse{Results: out})
+	resp := BatchResponse{Results: out}
+	truncated := 0
+	for _, st := range stats {
+		resp.StepsExecuted += st.StepsExecuted
+		if st.Partial {
+			resp.Partial = true
+			truncated++
+		}
+	}
+	// The counter is per query (matching /search), not per batch request:
+	// a 50-query batch with 40 truncated answers counts 40.
+	s.m.budgetExh.Add(int64(truncated))
+	api.WriteJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleAppend(w http.ResponseWriter, r *http.Request) {

@@ -56,7 +56,10 @@ func (t *Topology) mergeTopK(answers []answer, k int) (merged []api.Result, dups
 }
 
 // sumStats folds per-shard query statistics into the whole query's effort:
-// every field is a volume counter, so the scatter-gather total is the sum.
+// the volume counters (records, bytes, steps) sum across shards, Partial
+// is true when any shard's answer was budget-truncated (matching the
+// top-level response marker), and BudgetExhausted carries the first
+// shard-reported reason.
 func sumStats(stats []climber.Stats) climber.Stats {
 	var out climber.Stats
 	for _, s := range stats {
@@ -67,6 +70,14 @@ func sumStats(stats []climber.Stats) climber.Stats {
 		out.DeltaScanned += s.DeltaScanned
 		out.PartitionCacheHits += s.PartitionCacheHits
 		out.PartitionCacheMisses += s.PartitionCacheMisses
+		out.StepsPlanned += s.StepsPlanned
+		out.StepsExecuted += s.StepsExecuted
+		if s.Partial {
+			out.Partial = true
+			if out.BudgetExhausted == "" {
+				out.BudgetExhausted = s.BudgetExhausted
+			}
+		}
 	}
 	return out
 }

@@ -133,6 +133,7 @@ type rmetrics struct {
 	canceled    atomic.Int64   // requests aborted by client disconnect
 	errors      atomic.Int64   // requests failed (shard loss, quorum, internal)
 	partials    atomic.Int64   // successful answers merged from a strict subset
+	budgetExh   atomic.Int64   // answers partial because a shard's budget ran out
 	dups        atomic.Int64   // duplicate global IDs dropped by the merge
 	inflight    atomic.Int64   // requests currently holding an admission slot
 	queued      atomic.Int64   // requests currently waiting for a slot
@@ -528,10 +529,14 @@ func (r *Router) aggregateInfo(ctx context.Context) (*InfoResponse, error) {
 }
 
 // gatherSearch decodes scatter replies for /search-shaped endpoints and
-// merges them into the global top-k.
+// merges them into the global top-k. A shard that answered partially (its
+// local budget stopped the query) marks the merged answer partial too —
+// the global top-k can only be as complete as its inputs.
 func (r *Router) gatherSearch(oks []reply, k int) (*SearchResponse, error) {
 	answers := make([]answer, 0, len(oks))
 	stats := make([]climber.Stats, 0, len(oks))
+	budgetPartial := false
+	steps := 0
 	for _, rep := range oks {
 		var sr api.SearchResponse
 		if err := api.DecodeJSON(rep.body, &sr); err != nil {
@@ -539,13 +544,22 @@ func (r *Router) gatherSearch(oks []reply, k int) (*SearchResponse, error) {
 		}
 		answers = append(answers, answer{shard: rep.shard, results: sr.Results})
 		stats = append(stats, sr.Stats)
+		steps += sr.StepsExecuted
+		if sr.Partial {
+			budgetPartial = true
+		}
 	}
 	merged, dups := r.topo.mergeTopK(answers, k)
 	r.m.dups.Add(int64(dups))
+	if budgetPartial {
+		r.m.budgetExh.Add(1)
+	}
 	return &SearchResponse{
 		Results:        merged,
 		Stats:          sumStats(stats),
 		ShardsAnswered: len(oks),
+		Partial:        budgetPartial,
+		StepsExecuted:  steps,
 	}, nil
 }
 
@@ -606,7 +620,9 @@ func (r *Router) handleSearchLike(w http.ResponseWriter, req *http.Request, path
 		return
 	}
 	resp.ShardsAsked = asked
-	resp.Partial = resp.ShardsAnswered < len(r.topo.Shards)
+	if resp.ShardsAnswered < len(r.topo.Shards) {
+		resp.Partial = true
+	}
 	if resp.Partial {
 		r.m.partials.Add(1)
 	}
@@ -642,6 +658,8 @@ func (r *Router) handleBatch(w http.ResponseWriter, req *http.Request) {
 	}
 	// Decode every shard's batch and merge query-by-query.
 	perShard := make([]*api.BatchResponse, len(oks))
+	budgetPartial := false
+	steps := 0
 	for i, rep := range oks {
 		var br api.BatchResponse
 		if err := api.DecodeJSON(rep.body, &br); err != nil || len(br.Results) != len(breq.Queries) {
@@ -649,12 +667,20 @@ func (r *Router) handleBatch(w http.ResponseWriter, req *http.Request) {
 			return
 		}
 		perShard[i] = &br
+		steps += br.StepsExecuted
+		if br.Partial {
+			budgetPartial = true
+		}
+	}
+	if budgetPartial {
+		r.m.budgetExh.Add(1)
 	}
 	out := &BatchResponse{
 		Results:        make([][]api.Result, len(breq.Queries)),
 		ShardsAsked:    asked,
 		ShardsAnswered: len(oks),
-		Partial:        len(oks) < len(r.topo.Shards),
+		Partial:        budgetPartial || len(oks) < len(r.topo.Shards),
+		StepsExecuted:  steps,
 	}
 	for q := range breq.Queries {
 		answers := make([]answer, 0, len(oks))
@@ -890,6 +916,7 @@ func (m *rmetrics) snapshot(uptime time.Duration) RouterStats {
 		Canceled:          m.canceled.Load(),
 		Errors:            m.errors.Load(),
 		PartialAnswers:    m.partials.Load(),
+		BudgetExhausted:   m.budgetExh.Load(),
 		DuplicatesDropped: m.dups.Load(),
 		ShardErrors:       shardErrs,
 		InFlight:          m.inflight.Load(),
@@ -920,7 +947,8 @@ func (r *Router) handleMetrics(w http.ResponseWriter, req *http.Request) {
 	counter("climber_router_rejected_total", "Requests rejected with 429 by admission control.", m.rejected.Load())
 	counter("climber_router_canceled_total", "Requests aborted by client disconnect.", m.canceled.Load())
 	counter("climber_router_errors_total", "Requests failed by shard loss or quorum.", m.errors.Load())
-	counter("climber_router_partial_answers_total", "Successful answers merged from a strict shard subset.", m.partials.Load())
+	counter("climber_router_partial_answers_total", "Partial answers: shard-subset merges or budget-truncated shard answers.", m.partials.Load())
+	counter("climber_router_budget_exhausted_total", "Answers partial because at least one shard's query budget ran out.", m.budgetExh.Load())
 	counter("climber_router_duplicates_dropped_total", "Duplicate global IDs dropped by the top-k merge.", m.dups.Load())
 	gauge("climber_router_inflight_requests", "Requests currently holding an admission slot.", m.inflight.Load())
 	gauge("climber_router_queued_requests", "Requests currently waiting for an admission slot.", m.queued.Load())

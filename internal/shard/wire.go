@@ -18,10 +18,14 @@ type SearchResponse struct {
 	// quorum policy ShardsAnswered may be smaller when a shard is down.
 	ShardsAsked    int `json:"shards_asked"`
 	ShardsAnswered int `json:"shards_answered"`
-	// Partial marks an answer merged from fewer shards than the topology
-	// holds — complete for the shards that answered, possibly missing
-	// neighbours held by the ones that did not.
+	// Partial marks an answer that is not the complete one: merged from
+	// fewer shards than the topology holds (quorum policy under shard
+	// loss), or at least one shard's budget (time_budget_ms /
+	// max_partitions) stopped its local query before the full plan.
 	Partial bool `json:"partial,omitempty"`
+	// StepsExecuted sums the plan steps the shards executed — with a
+	// budget, how much of the distributed plan the answer covers.
+	StepsExecuted int `json:"steps_executed,omitempty"`
 }
 
 // BatchResponse is the router's body for POST /search/batch; Results
@@ -31,7 +35,11 @@ type BatchResponse struct {
 	Results        [][]api.Result `json:"results"`
 	ShardsAsked    int            `json:"shards_asked"`
 	ShardsAnswered int            `json:"shards_answered"`
-	Partial        bool           `json:"partial,omitempty"`
+	// Partial marks a batch merged from a shard subset or containing at
+	// least one budget-truncated per-shard answer; StepsExecuted sums the
+	// executed plan steps across shards and queries.
+	Partial       bool `json:"partial,omitempty"`
+	StepsExecuted int  `json:"steps_executed,omitempty"`
 }
 
 // InfoResponse is the router's body for GET /info: the aggregate shape of
@@ -72,6 +80,7 @@ type RouterStats struct {
 	Canceled          int64   `json:"canceled"`
 	Errors            int64   `json:"errors"`
 	PartialAnswers    int64   `json:"partial_answers"`
+	BudgetExhausted   int64   `json:"budget_exhausted"`
 	DuplicatesDropped int64   `json:"duplicates_dropped"`
 	ShardErrors       int64   `json:"shard_errors"`
 	InFlight          int64   `json:"in_flight"`
