@@ -107,6 +107,11 @@ type Stats struct {
 	// GroupsConsidered is the number of candidate groups after signature
 	// matching.
 	GroupsConsidered int
+	// TargetNodeSize is the estimated record count of the best-matching
+	// trie node; TargetPathLen is the matched root-to-node path length.
+	// On a sharded query both report the deepest/widest shard (max), since
+	// a per-shard trie descent has no meaningful sum.
+	TargetNodeSize, TargetPathLen int
 	// PartitionsScanned is the number of physical partitions loaded.
 	PartitionsScanned int
 	// RecordsScanned is the number of raw series compared with the query.
@@ -487,10 +492,16 @@ func searchOptions(k int, opts []SearchOption) core.SearchOptions {
 	return so
 }
 
-// statsOf converts core query statistics to the public Stats.
+// statsOf converts core query statistics to the public Stats. Every
+// exported field of core.QueryStats must be carried over — the statsmerge
+// analyzer holds this function to that rule.
+//
+//climber:statsmerge
 func statsOf(qs core.QueryStats) Stats {
 	return Stats{
 		GroupsConsidered:     qs.GroupsConsidered,
+		TargetNodeSize:       qs.TargetNodeSize,
+		TargetPathLen:        qs.TargetPathLen,
 		PartitionsScanned:    qs.PartitionsScanned,
 		RecordsScanned:       qs.RecordsScanned,
 		DeltaScanned:         qs.DeltaScanned,

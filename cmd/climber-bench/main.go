@@ -79,7 +79,13 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		defer f.Close()
+		defer func() {
+			// A failed close can mean buffered results never reached disk;
+			// surface it instead of pretending the run was recorded.
+			if err := f.Close(); err != nil {
+				log.Printf("closing %s: %v", *outPath, err)
+			}
+		}()
 		out = io.MultiWriter(os.Stdout, f)
 	}
 

@@ -1,0 +1,12 @@
+package ctxleak_test
+
+import (
+	"testing"
+
+	"climber/internal/analysis/analysistest"
+	"climber/internal/analysis/ctxleak"
+)
+
+func TestCtxleak(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), ctxleak.Analyzer, "ctxleaktest")
+}

@@ -1,0 +1,25 @@
+package docstest // want "package docstest has no package-level doc comment"
+
+func Exported() {} // want "exported func Exported has no doc comment"
+
+// Documented carries a doc comment — clean.
+func Documented() {}
+
+type T struct{} // want "exported type T has no doc comment"
+
+// M is documented; BadM is not.
+func (T) M() {}
+
+func (T) BadM() {} // want "exported func T.BadM has no doc comment"
+
+func (t *T) badUnexported() { _ = t }
+
+var V int // V's trailing comment counts as its documentation — clean.
+
+// Group docs cover every member — clean.
+var (
+	A int
+	B int
+)
+
+const C = 1 // C likewise — a trailing comment documents a const.

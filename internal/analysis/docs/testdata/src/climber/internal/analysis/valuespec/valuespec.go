@@ -1,0 +1,9 @@
+// Package valuespec holds an undocumented exported var/const for the
+// direct ValueSpec test: a `// want` comment on the offending line would
+// itself count as documentation, so this fixture runs outside the golden
+// comment contract (see TestDoccommentValueSpec).
+package valuespec
+
+var NoDoc int
+
+const NoDocConst = 1

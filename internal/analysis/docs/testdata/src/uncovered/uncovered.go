@@ -1,0 +1,5 @@
+package uncovered
+
+func Exported() {}
+
+type T struct{}

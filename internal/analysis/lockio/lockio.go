@@ -1,0 +1,237 @@
+// Package lockio checks the lock discipline PR 3 documented for the
+// WAL/delta split: a sync.Mutex or sync.RWMutex guards in-memory state
+// only, and file I/O (or any other blocking syscall) must never run while
+// one is held. A search blocked on a delta read lock must never be waiting
+// behind an fsync.
+//
+// The analysis is intraprocedural and region-based: within a function it
+// tracks which mutexes are held after each statement (a `defer Unlock`
+// keeps the region open to the function's end, an explicit `Unlock` closes
+// it) and flags, inside a held region, direct calls to
+//
+//   - any method on os.File except Name and Fd,
+//   - the file-touching os package functions (Open, Create, ReadFile,
+//     Rename, Stat, …),
+//   - time.Sleep, and
+//   - os/exec command execution (Run, Output, CombinedOutput, Wait).
+//
+// Code inside a nested function literal is not charged to the enclosing
+// region — a goroutine launched under a lock runs after the launcher
+// releases it. Calls the analyzer cannot see through (module-internal
+// helpers that do I/O) are out of scope by design; the escape hatch for a
+// deliberate exception is //lint:ignore lockio <reason>.
+package lockio
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"climber/internal/analysis/vet"
+)
+
+// Analyzer is the lockio check.
+var Analyzer = &vet.Analyzer{
+	Name: "lockio",
+	Doc:  "no file I/O or blocking syscall while holding a sync.Mutex/RWMutex: mutexes guard memory, the WAL fsyncs outside them",
+	Run:  run,
+}
+
+// blockingOsFuncs are package-level os functions that hit the filesystem.
+var blockingOsFuncs = map[string]bool{
+	"Open": true, "OpenFile": true, "Create": true, "CreateTemp": true,
+	"ReadFile": true, "WriteFile": true, "ReadDir": true,
+	"Remove": true, "RemoveAll": true, "Rename": true, "Truncate": true,
+	"Mkdir": true, "MkdirAll": true, "MkdirTemp": true,
+	"Stat": true, "Lstat": true, "Link": true, "Symlink": true,
+	"Chmod": true, "Chtimes": true,
+}
+
+// fileMethodsAllowed are the os.File methods that do not block.
+var fileMethodsAllowed = map[string]bool{"Name": true, "Fd": true}
+
+// execBlockingMethods are os/exec.Cmd methods that run a subprocess.
+var execBlockingMethods = map[string]bool{
+	"Run": true, "Output": true, "CombinedOutput": true, "Wait": true,
+}
+
+func run(pass *vet.Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					walkStmts(pass, n.Body.List, map[string]token.Pos{})
+				}
+				return false
+			case *ast.FuncLit:
+				walkStmts(pass, n.Body.List, map[string]token.Pos{})
+				return false
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// walkStmts processes a statement list, threading the held-lock set
+// through it. Nested blocks inherit a copy: a Lock taken inside a branch
+// does not extend past it (an under-approximation that avoids false
+// positives on conditional locking), while an Unlock inside a branch —
+// the `if err { mu.Unlock(); return }` pattern — leaves the outer region
+// held, which is correct for the fall-through path.
+func walkStmts(pass *vet.Pass, stmts []ast.Stmt, held map[string]token.Pos) {
+	for _, stmt := range stmts {
+		switch s := stmt.(type) {
+		case *ast.BlockStmt:
+			walkStmts(pass, s.List, copyHeld(held))
+			continue
+		case *ast.IfStmt, *ast.ForStmt, *ast.RangeStmt, *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt, *ast.LabeledStmt:
+			// Flag I/O in the statement's condition/branches under a copy
+			// of the current region.
+			inner := copyHeld(held)
+			ast.Inspect(stmt, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.BlockStmt:
+					walkStmts(pass, n.List, copyHeld(inner))
+					return false
+				case *ast.FuncLit:
+					walkStmts(pass, n.Body.List, map[string]token.Pos{})
+					return false
+				case *ast.CallExpr:
+					checkCall(pass, n, inner)
+				}
+				return true
+			})
+			continue
+		case *ast.GoStmt:
+			// A goroutine launched under the lock runs concurrently with
+			// the region, not inside it.
+			continue
+		case *ast.DeferStmt:
+			// defer mu.Unlock() keeps the lock held to function end — no
+			// state change. Other defers are inspected for I/O: they run
+			// while the lock is held whenever the region reaches a return.
+			if _, _, ok := lockOp(pass, s.Call); ok {
+				continue
+			}
+			inspectForIO(pass, s.Call, held)
+			continue
+		}
+
+		// Lock-state transitions and I/O checks for plain statements.
+		applied := false
+		if expr, ok := stmt.(*ast.ExprStmt); ok {
+			if call, ok := expr.X.(*ast.CallExpr); ok {
+				if root, op, ok := lockOp(pass, call); ok {
+					switch op {
+					case "Lock", "RLock", "TryLock", "TryRLock":
+						held[root] = call.Pos()
+					case "Unlock", "RUnlock":
+						delete(held, root)
+					}
+					applied = true
+				}
+			}
+		}
+		if !applied {
+			inspectForIO(pass, stmt, held)
+		}
+	}
+}
+
+// inspectForIO flags blocking calls in the node while any lock is held,
+// skipping nested function literals (they do not run under the region).
+func inspectForIO(pass *vet.Pass, node ast.Node, held map[string]token.Pos) {
+	if len(held) == 0 {
+		return
+	}
+	ast.Inspect(node, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			checkCall(pass, call, held)
+		}
+		return true
+	})
+}
+
+func checkCall(pass *vet.Pass, call *ast.CallExpr, held map[string]token.Pos) {
+	if len(held) == 0 {
+		return
+	}
+	fn := vet.CalleeFunc(pass.Info, call)
+	if fn == nil {
+		return
+	}
+	what := blockingCall(fn)
+	if what == "" {
+		return
+	}
+	for root := range held {
+		pass.Reportf(call.Pos(), "%s while holding %s: mutexes guard memory only — release the lock before blocking I/O (PR 3 WAL/delta lock discipline)", what, root)
+		return // one report per call, naming one held lock
+	}
+}
+
+// blockingCall classifies fn, returning a human-readable description of
+// the blocking operation or "" if it is not one the analyzer tracks.
+func blockingCall(fn *types.Func) string {
+	pkg := fn.Pkg()
+	if pkg == nil {
+		return ""
+	}
+	sig := fn.Type().(*types.Signature)
+	if recv := sig.Recv(); recv != nil {
+		if vet.IsNamed(recv.Type(), "os", "File") && !fileMethodsAllowed[fn.Name()] {
+			return "os.File." + fn.Name()
+		}
+		if vet.IsNamed(recv.Type(), "os/exec", "Cmd") && execBlockingMethods[fn.Name()] {
+			return "exec.Cmd." + fn.Name()
+		}
+		return ""
+	}
+	switch pkg.Path() {
+	case "os":
+		if blockingOsFuncs[fn.Name()] {
+			return "os." + fn.Name()
+		}
+	case "time":
+		if fn.Name() == "Sleep" {
+			return "time.Sleep"
+		}
+	}
+	return ""
+}
+
+// lockOp recognises calls of the form <expr>.Lock() (and friends) on a
+// sync.Mutex/RWMutex and returns the printed receiver expression as the
+// lock's identity within the function.
+func lockOp(pass *vet.Pass, call *ast.CallExpr) (root, op string, ok bool) {
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "Unlock", "RLock", "RUnlock", "TryLock", "TryRLock":
+	default:
+		return "", "", false
+	}
+	tv, found := pass.Info.Types[sel.X]
+	if !found {
+		return "", "", false
+	}
+	if !vet.IsNamed(tv.Type, "sync", "Mutex") && !vet.IsNamed(tv.Type, "sync", "RWMutex") {
+		return "", "", false
+	}
+	return types.ExprString(sel.X), sel.Sel.Name, true
+}
+
+func copyHeld(held map[string]token.Pos) map[string]token.Pos {
+	out := make(map[string]token.Pos, len(held))
+	for k, v := range held {
+		out[k] = v
+	}
+	return out
+}

@@ -1,0 +1,12 @@
+package lockio_test
+
+import (
+	"testing"
+
+	"climber/internal/analysis/analysistest"
+	"climber/internal/analysis/lockio"
+)
+
+func TestLockio(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), lockio.Analyzer, "lockiotest")
+}

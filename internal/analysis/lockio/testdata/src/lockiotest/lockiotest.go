@@ -1,0 +1,80 @@
+// Package lockiotest is the lockio golden fixture: file I/O and other
+// blocking calls under sync.Mutex/RWMutex regions, plus every allowance
+// (release-before-I/O, goroutines, the lint:ignore escape hatch).
+package lockiotest
+
+import (
+	"os"
+	"sync"
+	"time"
+)
+
+type store struct {
+	mu   sync.Mutex
+	rw   sync.RWMutex
+	path string
+}
+
+// flushBad writes the file inside the mutex region.
+func (s *store) flushBad(data []byte) error {
+	s.mu.Lock()
+	err := os.WriteFile(s.path, data, 0o644) // want "os.WriteFile while holding s.mu"
+	s.mu.Unlock()
+	return err
+}
+
+// flushGood copies the state out and releases before touching the disk.
+func (s *store) flushGood(data []byte) error {
+	s.mu.Lock()
+	p := s.path
+	s.mu.Unlock()
+	return os.WriteFile(p, data, 0o644)
+}
+
+// deferHeld: a defer Unlock keeps the region open to function end.
+func (s *store) deferHeld() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	time.Sleep(time.Millisecond) // want "time.Sleep while holding s.mu"
+}
+
+// readHeld: read locks block fsyncs behind them just the same.
+func (s *store) readHeld(f *os.File, buf []byte) (int, error) {
+	s.rw.RLock()
+	defer s.rw.RUnlock()
+	return f.Read(buf) // want "os.File.Read while holding s.rw"
+}
+
+// branchIO: I/O inside a conditional branch still runs under the region.
+func (s *store) branchIO(cond bool) {
+	s.mu.Lock()
+	if cond {
+		_, _ = os.Stat(s.path) // want "os.Stat while holding s.mu"
+	}
+	s.mu.Unlock()
+}
+
+// goroutineNotCharged: a goroutine launched under the lock runs after the
+// launcher releases it — not part of the region.
+func (s *store) goroutineNotCharged() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	go func() {
+		_ = os.Remove(s.path)
+	}()
+}
+
+// memoryOnly never blocks under the lock — clean.
+func (s *store) memoryOnly() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.path
+}
+
+// allowlisted is the escape hatch for a deliberate exception.
+func (s *store) allowlisted() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	//lint:ignore lockio fixture: deliberate I/O under lock with a stated reason
+	_, _ = os.Stat(s.path)
+}

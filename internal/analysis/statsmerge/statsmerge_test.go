@@ -1,0 +1,22 @@
+package statsmerge_test
+
+import (
+	"testing"
+
+	"climber/internal/analysis/analysistest"
+	"climber/internal/analysis/statsmerge"
+)
+
+func TestStatsmerge(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), statsmerge.Analyzer, "statsmergetest")
+}
+
+// TestRequiredSites registers a fixture package as a mandatory fold-site
+// host and checks the analyzer flags it for carrying none — the rule that
+// keeps the real registry (climber, climber/internal/shard) from losing
+// its markers in a refactor.
+func TestRequiredSites(t *testing.T) {
+	statsmerge.RequiredSites["statsmergereq"] = 1
+	defer delete(statsmerge.RequiredSites, "statsmergereq")
+	analysistest.Run(t, analysistest.TestData(), statsmerge.Analyzer, "statsmergereq")
+}

@@ -1,0 +1,20 @@
+// Package statscore stands in for climber/internal/core: it owns the
+// engine-side stats struct the fold sites in statsmergetest consume,
+// modelling the real core/shard package split.
+package statscore
+
+// QueryStats is the engine-side per-query effort report.
+type QueryStats struct {
+	// Records is the number of series compared with the query.
+	Records int
+	// Bytes approximates the I/O volume.
+	Bytes int64
+	// Partial marks a budget-truncated answer — the field PR 5 forgot.
+	Partial bool
+
+	// hidden is unexported: fold sites are not required to touch it.
+	hidden int
+}
+
+// Touch keeps the unexported field deliberate rather than dead.
+func (qs *QueryStats) Touch() { qs.hidden++ }

@@ -1,0 +1,14 @@
+// Package statsmergereq models a registered fold-site host whose marker
+// was deleted in a refactor: the merge logic is still here, unmarked.
+package statsmergereq // want "package statsmergereq must register at least 1"
+
+// Stats is a stats struct whose fold below lost its marker.
+type Stats struct{ Records int }
+
+func sumStats(stats []Stats) Stats {
+	var out Stats
+	for _, s := range stats {
+		out.Records += s.Records
+	}
+	return out
+}

@@ -1,0 +1,44 @@
+// Package statsmergetest is the statsmerge golden fixture. statsOf
+// reproduces the PR 5 regression: core.QueryStats grew fields and the
+// conversion/fold sites silently dropped them from merged answers.
+package statsmergetest
+
+import "statscore"
+
+// Stats is the public-side mirror of statscore.QueryStats.
+type Stats struct {
+	Records int
+	Bytes   int64
+	Partial bool
+}
+
+// statsOf reproduces the PR 5 bug: Partial is never read, so merged
+// answers report complete even when a shard was budget-truncated.
+//
+//climber:statsmerge
+func statsOf(qs statscore.QueryStats) Stats { // want "fold site statsOf does not reference exported field\\(s\\) Partial of statscore.QueryStats"
+	return Stats{Records: qs.Records, Bytes: qs.Bytes}
+}
+
+// sumStats folds every exported field — the fixed shape.
+//
+//climber:statsmerge
+func sumStats(stats []Stats) Stats {
+	var out Stats
+	for _, s := range stats {
+		out.Records += s.Records
+		out.Bytes += s.Bytes
+		out.Partial = out.Partial || s.Partial
+	}
+	return out
+}
+
+// noParams has nothing to fold: the marker is a mistake worth flagging.
+//
+//climber:statsmerge
+func noParams() {} // want "has no parameters to fold"
+
+// badParam folds a non-struct: equally a marker mistake.
+//
+//climber:statsmerge
+func badParam(n int) int { return n } // want "first parameter is not a named struct"

@@ -1,0 +1,282 @@
+// Package syncack checks fsync-before-ack, the durability rule PR 3
+// established for the ingest path: a function that acknowledges an append
+// must not return success before the bytes are fsynced, and a writable
+// file's deferred Close must not swallow its error.
+//
+// Two rules:
+//
+//  1. A function marked //climber:ack in its doc comment (the WAL's
+//     Append/Reset/writeHeader — the durability boundary an ack flows
+//     through) must dominate every successful return with a Sync: on the
+//     statement path leading to each `return …, nil`, there must be a
+//     prior call to a .Sync() method or to another //climber:ack function.
+//     Returning an error needs no sync — nothing was acked.
+//  2. A file opened writable in a function (os.Create, or os.OpenFile
+//     with O_WRONLY/O_RDWR/O_APPEND) must not be closed by a bare
+//     `defer f.Close()`: on a writable file Close reports the write-back
+//     error, and a defer that discards it turns a failed write durable-
+//     looking. Capture the error or close explicitly on the success path.
+//
+// The path analysis is deliberately conservative: a Sync inside a
+// conditional branch does not count for the code after the branch, because
+// only some executions pass through it. The escape hatch for a path the
+// analyzer cannot prove is //lint:ignore syncack <reason>.
+package syncack
+
+import (
+	"go/ast"
+	"go/types"
+
+	"climber/internal/analysis/vet"
+)
+
+// Analyzer is the syncack check.
+var Analyzer = &vet.Analyzer{
+	Name: "syncack",
+	Doc:  "an ack path (//climber:ack function) must call Sync before every successful return, and writable files must not `defer f.Close()` bare",
+	Run:  run,
+}
+
+func run(pass *vet.Pass) error {
+	acked := markedFuncs(pass)
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			if vet.HasMarker(fn, "ack") {
+				checkAckFunc(pass, fn, acked)
+			}
+			checkDeferClose(pass, fn)
+		}
+	}
+	return nil
+}
+
+// markedFuncs collects the package's //climber:ack functions so calls to
+// them count as establishing durability.
+func markedFuncs(pass *vet.Pass) map[*types.Func]bool {
+	out := make(map[*types.Func]bool)
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || !vet.HasMarker(fn, "ack") {
+				continue
+			}
+			if obj, ok := pass.Info.Defs[fn.Name].(*types.Func); ok {
+				out[obj] = true
+			}
+		}
+	}
+	return out
+}
+
+// checkAckFunc walks the function's statements in order, tracking whether
+// a sync point dominates the current position, and reports every
+// successful return reached without one.
+func checkAckFunc(pass *vet.Pass, fn *ast.FuncDecl, acked map[*types.Func]bool) {
+	walkStmts(pass, fn.Body.List, false, acked, fn.Name.Name)
+}
+
+// walkStmts processes a statement list with the given incoming synced
+// state and returns the state after the list. Branches receive a copy of
+// the state; whatever they establish does not leak past the branch (a
+// conservative under-approximation of dominance).
+func walkStmts(pass *vet.Pass, stmts []ast.Stmt, synced bool, acked map[*types.Func]bool, fname string) bool {
+	for _, stmt := range stmts {
+		switch s := stmt.(type) {
+		case *ast.ReturnStmt:
+			if !synced && isSuccessReturn(s) {
+				pass.Reportf(s.Pos(), "%s acks (returns success) without a dominating Sync: fsync before acknowledging the write", fname)
+			}
+		case *ast.BlockStmt:
+			synced = walkStmts(pass, s.List, synced, acked, fname)
+			continue
+		case *ast.IfStmt:
+			// The init clause and condition run unconditionally, so a Sync
+			// there — the `if err := w.f.Sync(); err != nil` idiom — does
+			// dominate both the branches and everything after the if.
+			if nodeSyncs(pass, s.Init, acked) || nodeSyncs(pass, s.Cond, acked) {
+				synced = true
+			}
+			walkBranch(pass, s.Body, synced, acked, fname)
+			if s.Else != nil {
+				walkBranch(pass, s.Else, synced, acked, fname)
+			}
+		case *ast.ForStmt:
+			walkBranch(pass, s.Body, synced, acked, fname)
+		case *ast.RangeStmt:
+			walkBranch(pass, s.Body, synced, acked, fname)
+		case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+			if sw, ok := s.(*ast.SwitchStmt); ok && (nodeSyncs(pass, sw.Init, acked) || nodeSyncs(pass, sw.Tag, acked)) {
+				synced = true
+			}
+			ast.Inspect(s, func(n ast.Node) bool {
+				if body, ok := n.(*ast.BlockStmt); ok {
+					walkBranch(pass, body, synced, acked, fname)
+					return false
+				}
+				return true
+			})
+		}
+		if stmtSyncs(pass, stmt, acked) {
+			synced = true
+		}
+	}
+	return synced
+}
+
+func walkBranch(pass *vet.Pass, stmt ast.Stmt, synced bool, acked map[*types.Func]bool, fname string) {
+	if body, ok := stmt.(*ast.BlockStmt); ok {
+		walkStmts(pass, body.List, synced, acked, fname)
+		return
+	}
+	walkStmts(pass, []ast.Stmt{stmt}, synced, acked, fname)
+}
+
+// stmtSyncs reports whether the statement (outside nested function
+// literals and branch bodies — those were handled by the walker) contains
+// a durability point: an x.Sync() call or a call to an ack-marked
+// function.
+func stmtSyncs(pass *vet.Pass, stmt ast.Stmt, acked map[*types.Func]bool) bool {
+	switch stmt.(type) {
+	case *ast.IfStmt, *ast.ForStmt, *ast.RangeStmt, *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt, *ast.BlockStmt:
+		return false // branch bodies do not dominate what follows them
+	}
+	return nodeSyncs(pass, stmt, acked)
+}
+
+// nodeSyncs is stmtSyncs without the branch-statement guard: it scans any
+// node (an if's init clause, a condition expression) for a sync point.
+func nodeSyncs(pass *vet.Pass, node ast.Node, acked map[*types.Func]bool) bool {
+	if node == nil {
+		return false
+	}
+	syncs := false
+	ast.Inspect(node, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == "Sync" {
+			syncs = true
+			return true
+		}
+		if fn := vet.CalleeFunc(pass.Info, call); fn != nil && acked[fn] {
+			syncs = true
+		}
+		return true
+	})
+	return syncs
+}
+
+// isSuccessReturn reports whether the return acks success: its last result
+// is a literal nil (the error slot), or it is a naked return (conservative
+// — named results may hold nil).
+func isSuccessReturn(ret *ast.ReturnStmt) bool {
+	if len(ret.Results) == 0 {
+		return true
+	}
+	last := ast.Unparen(ret.Results[len(ret.Results)-1])
+	id, ok := last.(*ast.Ident)
+	return ok && id.Name == "nil"
+}
+
+// checkDeferClose flags bare `defer f.Close()` on files the function
+// opened writable.
+func checkDeferClose(pass *vet.Pass, fn *ast.FuncDecl) {
+	writable := writableFiles(pass, fn)
+	if len(writable) == 0 {
+		return
+	}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		def, ok := n.(*ast.DeferStmt)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(def.Call.Fun).(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Close" {
+			return true
+		}
+		id, ok := ast.Unparen(sel.X).(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if obj, ok := pass.Info.Uses[id].(*types.Var); ok && writable[obj] {
+			pass.Reportf(def.Pos(), "defer %s.Close() discards the close error of a file opened writable: a failed write-back would look durable; capture the error (or close explicitly on the success path)", id.Name)
+		}
+		return true
+	})
+}
+
+// writableFiles finds variables assigned from os.Create or a writable
+// os.OpenFile in the function body.
+func writableFiles(pass *vet.Pass, fn *ast.FuncDecl) map[*types.Var]bool {
+	out := make(map[*types.Var]bool)
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		assign, ok := n.(*ast.AssignStmt)
+		if !ok || len(assign.Rhs) != 1 || len(assign.Lhs) == 0 {
+			return true
+		}
+		call, ok := ast.Unparen(assign.Rhs[0]).(*ast.CallExpr)
+		if !ok || !opensWritable(pass, call) {
+			return true
+		}
+		if id, ok := ast.Unparen(assign.Lhs[0]).(*ast.Ident); ok {
+			if obj := pass.Info.ObjectOf(id); obj != nil {
+				if v, ok := obj.(*types.Var); ok {
+					out[v] = true
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// opensWritable reports whether the call is os.Create, os.CreateTemp, or
+// os.OpenFile whose flag expression mentions a write flag (O_WRONLY,
+// O_RDWR, O_APPEND). A flag expression the analyzer cannot read (a
+// variable, a call) is assumed writable — the conservative direction for a
+// durability check.
+func opensWritable(pass *vet.Pass, call *ast.CallExpr) bool {
+	fn := vet.CalleeFunc(pass.Info, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "os" {
+		return false
+	}
+	switch fn.Name() {
+	case "Create", "CreateTemp":
+		return true
+	case "OpenFile":
+		if len(call.Args) < 2 {
+			return false
+		}
+		writable, opaque := false, false
+		ast.Inspect(call.Args[1], func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.Ident:
+				if obj := pass.Info.ObjectOf(n); obj != nil {
+					if c, ok := obj.(*types.Const); ok && c.Pkg() != nil && c.Pkg().Path() == "os" {
+						switch c.Name() {
+						case "O_WRONLY", "O_RDWR", "O_APPEND":
+							writable = true
+						}
+						return true
+					}
+					if _, isVar := obj.(*types.Var); isVar {
+						opaque = true
+					}
+				}
+			case *ast.CallExpr:
+				opaque = true
+			}
+			return true
+		})
+		return writable || opaque
+	}
+	return false
+}

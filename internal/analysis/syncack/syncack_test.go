@@ -1,0 +1,12 @@
+package syncack_test
+
+import (
+	"testing"
+
+	"climber/internal/analysis/analysistest"
+	"climber/internal/analysis/syncack"
+)
+
+func TestSyncack(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), syncack.Analyzer, "syncacktest")
+}

@@ -1,0 +1,128 @@
+// Package syncacktest is the syncack golden fixture. appendBad is the
+// PR 3 regression: a WAL-shaped Append that acknowledged entries before
+// fsyncing them, so a process kill after the ack lost acked writes.
+package syncacktest
+
+import "os"
+
+type wal struct{ f *os.File }
+
+// appendBad reproduces the PR 3 ack-before-fsync bug: the write succeeded,
+// nothing fsynced, success returned.
+//
+//climber:ack
+func (w *wal) appendBad(buf []byte) error {
+	if _, err := w.f.Write(buf); err != nil {
+		return err
+	}
+	return nil // want "appendBad acks \\(returns success\\) without a dominating Sync"
+}
+
+// appendGood fsyncs before acking — the fixed shape.
+//
+//climber:ack
+func (w *wal) appendGood(buf []byte) error {
+	if _, err := w.f.Write(buf); err != nil {
+		return err
+	}
+	if err := w.f.Sync(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// appendBranchSync: a Sync only some executions pass through does not
+// dominate the ack.
+//
+//climber:ack
+func (w *wal) appendBranchSync(buf []byte, flush bool) error {
+	if flush {
+		if err := w.f.Sync(); err != nil {
+			return err
+		}
+	}
+	return nil // want "appendBranchSync acks \\(returns success\\) without a dominating Sync"
+}
+
+// syncAll is itself an ack point, so calling it counts as durability.
+//
+//climber:ack
+func (w *wal) syncAll() error {
+	if err := w.f.Sync(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// reset delegates durability to another //climber:ack function — clean.
+//
+//climber:ack
+func (w *wal) reset() error {
+	if err := w.f.Truncate(0); err != nil {
+		return err
+	}
+	if err := w.syncAll(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// errReturnNeedsNoSync: returning an error acks nothing.
+//
+//climber:ack
+func (w *wal) errReturnNeedsNoSync(buf []byte) error {
+	if _, err := w.f.Write(buf); err != nil {
+		return err
+	}
+	if err := w.f.Sync(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// unmarked is not a durability boundary; the rule does not apply.
+func (w *wal) unmarked(buf []byte) error {
+	if _, err := w.f.Write(buf); err != nil {
+		return err
+	}
+	return nil
+}
+
+// appendLog: a bare defer Close on a writable file swallows the
+// write-back error.
+func appendLog(path string, data []byte) error {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	defer f.Close() // want "defer f.Close\\(\\) discards the close error of a file opened writable"
+	_, err = f.Write(data)
+	return err
+}
+
+// writeReportGood captures the close error — clean.
+func writeReportGood(path string, data []byte) (err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := f.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}()
+	_, err = f.Write(data)
+	return err
+}
+
+// readOnlyClose: a read-only file's Close has no write-back to lose.
+func readOnlyClose(path string) error {
+	f, err := os.OpenFile(path, os.O_RDONLY, 0)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	var buf [8]byte
+	_, err = f.Read(buf[:])
+	return err
+}

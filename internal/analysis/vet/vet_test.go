@@ -1,0 +1,37 @@
+package vet_test
+
+import (
+	"testing"
+
+	"climber/internal/analysis/vet"
+)
+
+// TestLoadOffline loads and type-checks a real module package through the
+// export-data importer — the offline pipeline every analyzer and the
+// climber-vet command sit on.
+func TestLoadOffline(t *testing.T) {
+	pkgs, err := vet.Load(".", []string{"climber/internal/analysis/vet"})
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("loaded %d packages, want 1", len(pkgs))
+	}
+	p := pkgs[0]
+	if p.Pkg.Name() != "vet" {
+		t.Fatalf("package name = %q, want vet", p.Pkg.Name())
+	}
+	if len(p.Files) == 0 || len(p.Info.Defs) == 0 {
+		t.Fatal("loaded package has no parsed files or type info")
+	}
+	if len(p.Deps) == 0 {
+		t.Fatal("loaded package reports no dependencies")
+	}
+}
+
+// TestLoadBadPattern surfaces go list errors instead of analysing nothing.
+func TestLoadBadPattern(t *testing.T) {
+	if _, err := vet.Load(".", []string{"climber/internal/analysis/doesnotexist"}); err == nil {
+		t.Fatal("expected an error for a nonexistent package pattern")
+	}
+}

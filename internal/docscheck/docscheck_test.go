@@ -1,185 +1,60 @@
-// Package docscheck holds the repository's documentation gates, run by the
-// CI docs job: every exported identifier of the serving-stack packages must
-// carry a doc comment (the offline equivalent of revive's exported rule),
-// and every relative link in the repository's markdown must resolve.
+// Package docscheck keeps the repository's documentation gates inside
+// `go test ./...` by delegating to the climber-vet implementations in
+// internal/analysis/docs: the doccomment analyzer (every exported
+// identifier of the documented packages carries a doc comment) and the
+// markdown link gate. The bespoke runner that used to live here was folded
+// into the climber-vet multichecker; these tests keep the gates failing a
+// plain test run even when CI's lint job is skipped.
 package docscheck
 
 import (
-	"fmt"
-	"go/ast"
-	"go/parser"
-	"go/token"
-	"os"
-	"path/filepath"
-	"regexp"
 	"strings"
 	"testing"
+
+	"climber/internal/analysis/docs"
+	"climber/internal/analysis/vet"
 )
 
-// documentedPackages are the directories (relative to the repository root)
-// held to the exported-doc-comment rule. internal/shard is the package the
-// rule was introduced for; the others were brought up to it in the same
-// change.
-var documentedPackages = []string{
-	"internal/shard",
-	"internal/api",
-	"internal/ingest",
-	"internal/pcache",
-	"internal/server",
-	"internal/core",
-}
-
-func repoRoot(t *testing.T) string {
-	t.Helper()
-	root, err := filepath.Abs(filepath.Join("..", ".."))
-	if err != nil {
-		t.Fatal(err)
-	}
-	return root
-}
+// moduleDir is the repository root relative to this package.
+const moduleDir = "../.."
 
 // TestExportedDocComments fails on any exported top-level identifier —
-// type, function, method, or var/const group member — that has no doc
-// comment in the packages listed above.
+// type, function, method, or var/const group member — without a doc
+// comment in the packages docs.DocumentedPackages lists.
 func TestExportedDocComments(t *testing.T) {
-	root := repoRoot(t)
-	for _, rel := range documentedPackages {
-		dir := filepath.Join(root, rel)
-		fset := token.NewFileSet()
-		pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
-			return !strings.HasSuffix(fi.Name(), "_test.go")
-		}, parser.ParseComments)
-		if err != nil {
-			t.Fatalf("%s: %v", rel, err)
-		}
-		for _, pkg := range pkgs {
-			hasPkgDoc := false
-			for path, file := range pkg.Files {
-				if file.Doc != nil {
-					hasPkgDoc = true
-				}
-				checkFile(t, fset, rel, path, file)
-			}
-			if !hasPkgDoc {
-				t.Errorf("%s: package %s has no package-level doc comment", rel, pkg.Name)
-			}
-		}
+	pkgs, err := vet.Load(moduleDir, patterns(docs.DocumentedPackages))
+	if err != nil {
+		t.Fatalf("loading documented packages: %v", err)
+	}
+	diags, err := vet.RunAnalyzers(pkgs, []*vet.Analyzer{docs.Analyzer})
+	if err != nil {
+		t.Fatalf("running doccomment: %v", err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s", d)
 	}
 }
 
-func checkFile(t *testing.T, fset *token.FileSet, rel, path string, file *ast.File) {
-	report := func(pos token.Pos, what string) {
-		p := fset.Position(pos)
-		t.Errorf("%s: %s:%d: exported %s has no doc comment", rel, filepath.Base(p.Filename), p.Line, what)
+// patterns maps the documented-package registry onto go list patterns:
+// an exact import path stays itself, a "/..." entry is already one.
+func patterns(reg []string) []string {
+	out := make([]string, 0, len(reg))
+	for _, p := range reg {
+		out = append(out, strings.TrimSpace(p))
 	}
-	for _, decl := range file.Decls {
-		switch d := decl.(type) {
-		case *ast.FuncDecl:
-			if !d.Name.IsExported() || d.Doc != nil {
-				continue
-			}
-			name := d.Name.Name
-			if d.Recv != nil {
-				name = recvName(d.Recv) + "." + name
-				if !ast.IsExported(strings.TrimPrefix(recvName(d.Recv), "*")) {
-					continue // method on an unexported type
-				}
-			}
-			report(d.Pos(), fmt.Sprintf("func %s", name))
-		case *ast.GenDecl:
-			for _, spec := range d.Specs {
-				switch s := spec.(type) {
-				case *ast.TypeSpec:
-					if s.Name.IsExported() && d.Doc == nil && s.Doc == nil {
-						report(s.Pos(), fmt.Sprintf("type %s", s.Name.Name))
-					}
-				case *ast.ValueSpec:
-					// A group doc (// Query algorithm variants ...) covers
-					// its members; otherwise each exported name needs one.
-					if d.Doc != nil || s.Doc != nil || s.Comment != nil {
-						continue
-					}
-					for _, n := range s.Names {
-						if n.IsExported() {
-							report(n.Pos(), fmt.Sprintf("%s %s", d.Tok, n.Name))
-						}
-					}
-				}
-			}
-		}
-	}
+	return out
 }
-
-func recvName(recv *ast.FieldList) string {
-	if len(recv.List) == 0 {
-		return ""
-	}
-	switch e := recv.List[0].Type.(type) {
-	case *ast.Ident:
-		return e.Name
-	case *ast.StarExpr:
-		if id, ok := e.X.(*ast.Ident); ok {
-			return "*" + id.Name
-		}
-	}
-	return ""
-}
-
-// mdLink matches markdown inline links and images: [text](target).
-var mdLink = regexp.MustCompile(`!?\[[^\]]*\]\(([^)\s]+)[^)]*\)`)
 
 // TestMarkdownLinks checks every relative link in the repository's
 // markdown files points at a file or directory that exists. External
 // (http/https/mailto) links and pure anchors are skipped — the gate is
 // offline by design.
 func TestMarkdownLinks(t *testing.T) {
-	root := repoRoot(t)
-	var mdFiles []string
-	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
-		if err != nil {
-			return err
-		}
-		if d.IsDir() {
-			name := d.Name()
-			if name == ".git" || name == ".claude" || name == "node_modules" {
-				return filepath.SkipDir
-			}
-			return nil
-		}
-		if strings.HasSuffix(d.Name(), ".md") {
-			mdFiles = append(mdFiles, path)
-		}
-		return nil
-	})
+	findings, err := docs.CheckMarkdownLinks(moduleDir)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(mdFiles) == 0 {
-		t.Fatal("no markdown files found — wrong repository root?")
-	}
-	for _, md := range mdFiles {
-		raw, err := os.ReadFile(md)
-		if err != nil {
-			t.Fatal(err)
-		}
-		for _, m := range mdLink.FindAllStringSubmatch(string(raw), -1) {
-			target := m[1]
-			switch {
-			case strings.HasPrefix(target, "http://"),
-				strings.HasPrefix(target, "https://"),
-				strings.HasPrefix(target, "mailto:"),
-				strings.HasPrefix(target, "#"):
-				continue
-			}
-			target = strings.Split(target, "#")[0] // strip anchors
-			if target == "" {
-				continue
-			}
-			resolved := filepath.Join(filepath.Dir(md), target)
-			if _, err := os.Stat(resolved); err != nil {
-				relMd, _ := filepath.Rel(root, md)
-				t.Errorf("%s: broken relative link %q", relMd, m[1])
-			}
-		}
+	for _, f := range findings {
+		t.Errorf("%s", f)
 	}
 }

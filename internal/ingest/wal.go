@@ -201,6 +201,10 @@ func replay(f *os.File, size int64) ([]Entry, int64, error) {
 	return entries, walHeaderSize + int64(off), nil
 }
 
+// writeHeader stamps a fresh log with the magic/version/seriesLen header
+// and fsyncs it before the WAL is handed out.
+//
+//climber:ack
 func (w *WAL) writeHeader(seriesLen int) error {
 	var hdr [walHeaderSize]byte
 	copy(hdr[0:4], walMagic)
@@ -228,6 +232,8 @@ func (w *WAL) writeHeader(seriesLen int) error {
 // if that truncation fails the next Append overwrites them in place —
 // an acked record can never end up behind garbage that replay would stop
 // at.
+//
+//climber:ack
 func (w *WAL) Append(entries []Entry) error {
 	var buf []byte
 	for _, e := range entries {
@@ -248,6 +254,8 @@ func (w *WAL) Append(entries []Entry) error {
 // Reset truncates the log back to its header after a compaction has landed
 // every logged entry in partition files. The truncation is fsynced, so a
 // crash immediately after Reset replays nothing.
+//
+//climber:ack
 func (w *WAL) Reset() error {
 	if err := w.f.Truncate(walHeaderSize); err != nil {
 		return fmt.Errorf("ingest: reset WAL: %w", err)

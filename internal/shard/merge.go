@@ -56,14 +56,26 @@ func (t *Topology) mergeTopK(answers []answer, k int) (merged []api.Result, dups
 }
 
 // sumStats folds per-shard query statistics into the whole query's effort:
-// the volume counters (records, bytes, steps) sum across shards, Partial
-// is true when any shard's answer was budget-truncated (matching the
-// top-level response marker), and BudgetExhausted carries the first
-// shard-reported reason.
+// the volume counters (records, bytes, steps) sum across shards, the trie
+// descent gauges (TargetNodeSize, TargetPathLen) take the per-shard
+// maximum, Partial is true when any shard's answer was budget-truncated
+// (matching the top-level response marker), and BudgetExhausted carries
+// the first shard-reported reason. Every exported field of climber.Stats
+// must be folded here — the statsmerge analyzer holds this function to
+// that rule, because PR 5 shipped with StepsPlanned/StepsExecuted silently
+// dropped by this very fold.
+//
+//climber:statsmerge
 func sumStats(stats []climber.Stats) climber.Stats {
 	var out climber.Stats
 	for _, s := range stats {
 		out.GroupsConsidered += s.GroupsConsidered
+		if s.TargetNodeSize > out.TargetNodeSize {
+			out.TargetNodeSize = s.TargetNodeSize
+		}
+		if s.TargetPathLen > out.TargetPathLen {
+			out.TargetPathLen = s.TargetPathLen
+		}
 		out.PartitionsScanned += s.PartitionsScanned
 		out.RecordsScanned += s.RecordsScanned
 		out.BytesLoaded += s.BytesLoaded

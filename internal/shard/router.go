@@ -117,6 +117,12 @@ type Router struct {
 	healthStop chan struct{}
 	healthDone chan struct{}
 	closeOnce  sync.Once
+
+	// probeCtx is the health prober's root context; Close cancels it so
+	// in-flight /healthz probes abort instead of running out their
+	// timeout while Close waits on healthDone.
+	probeCtx    context.Context
+	probeCancel context.CancelFunc
 }
 
 // rmetrics aggregates the router's operational counters; the admission
@@ -154,6 +160,10 @@ func NewRouter(t *Topology, cfg Config) *Router {
 		healthStop: make(chan struct{}),
 		healthDone: make(chan struct{}),
 	}
+	// The prober outlives any request, so its root cannot come from a
+	// caller.
+	//lint:ignore ctxflow the health prober is a background root owned by the Router; Close cancels it
+	r.probeCtx, r.probeCancel = context.WithCancel(context.Background())
 	r.client = r.cfg.Client
 	r.lim = api.NewLimiter(r.cfg.MaxInFlight, r.cfg.QueueTimeout, api.LimiterCounters{
 		Queued:   &r.m.queued,
@@ -175,6 +185,7 @@ func NewRouter(t *Topology, cfg Config) *Router {
 // not touch the shards themselves.
 func (r *Router) Close() {
 	r.closeOnce.Do(func() {
+		r.probeCancel()
 		close(r.healthStop)
 		<-r.healthDone
 		r.client.CloseIdleConnections()
@@ -225,7 +236,7 @@ func (r *Router) probeAll() {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			_, err := r.getShard(context.Background(), i, "/healthz", timeout)
+			_, err := r.getShard(r.probeCtx, i, "/healthz", timeout)
 			r.up[i].Store(err == nil)
 		}(i)
 	}
