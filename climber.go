@@ -252,6 +252,14 @@ func WithNodes(n int) Option { return func(o *options) { o.nodes = n } }
 // WithWorkers sets the per-node worker parallelism (default 2).
 func WithWorkers(n int) Option { return func(o *options) { o.workers = n } }
 
+// WithBuildWorkers sets the goroutine parallelism of the CPU-bound skeleton-
+// construction phases (PAA transforms, signature aggregation, group
+// assignment); 0 (the default) uses every available core, 1 forces the
+// sequential build. The built index is bit-identical at any worker count —
+// this knob trades build wall-clock only, never layout. The scan-heavy
+// conversion and shuffle phases follow WithNodes x WithWorkers instead.
+func WithBuildWorkers(n int) Option { return func(o *options) { o.cfg.Workers = n } }
+
 // WithPartitionCacheBytes installs a shared partition cache budgeted at n
 // bytes under the query path: a byte-budgeted LRU of decoded partitions
 // with singleflight loading, shared by Search, SearchPrefix, SearchBatch

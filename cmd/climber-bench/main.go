@@ -27,6 +27,14 @@
 //
 //	climber-bench -experiment budget -scale small
 //	climber-bench -experiment budget -max-partitions 2
+//
+// "buildscale" measures the parallel index build (construction wall-time per
+// phase as -workers-style parallelism sweeps 1..8 — the output is
+// bit-identical at every point) and the scalar-vs-blocked scan kernels;
+// -bench-json additionally writes the measurements as JSON (the checked-in
+// BENCH_buildscale.json baseline):
+//
+//	climber-bench -experiment buildscale -scale small -bench-json BENCH_buildscale.json
 package main
 
 import (
@@ -52,11 +60,13 @@ func main() {
 		cache      = flag.Int64("cache-bytes", 0, "partition cache budget in bytes for every experiment cluster (0 = off, the paper-faithful cost accounting)")
 		maxParts   = flag.Int("max-partitions", 0, "budget experiment: evaluate this single partition budget instead of the default sweep")
 		timeBudget = flag.Duration("time-budget", 0, "budget experiment: evaluate this single per-query time budget instead of the default sweep")
+		benchJSON  = flag.String("bench-json", "", "buildscale experiment: also write the measurements as JSON to this file")
 	)
 	flag.Parse()
 	experiments.PartitionCacheBytes = *cache
 	experiments.BudgetMaxPartitions = *maxParts
 	experiments.BudgetTimeLimit = *timeBudget
+	experiments.BenchJSONPath = *benchJSON
 
 	scale, ok := experiments.Scales()[*scaleName]
 	if !ok {

@@ -20,6 +20,7 @@
 package cluster
 
 import (
+	"errors"
 	"fmt"
 	"math/rand/v2"
 	"os"
@@ -236,10 +237,17 @@ func (c *Cluster) SampleBlocks(bs *BlockSet, rate float64, rng *rand.Rand) []str
 	return out
 }
 
+// errScanAborted marks a worker that stopped because a peer already failed.
+// It is internal to ScanBlocks and never escapes it.
+var errScanAborted = errors.New("cluster: scan aborted after peer failure")
+
 // ScanBlocks streams every record of the listed blocks through fn using the
 // cluster's worker pool. fn is invoked concurrently from multiple workers
 // and must be safe for that; the values slice is only valid during the
-// call.
+// call. The scan fails fast: the first error raises a stop flag, and every
+// other worker abandons its current block at the next record instead of
+// scanning the remaining dataset for an answer that will be thrown away.
+// The error returned is the first one raised.
 func (c *Cluster) ScanBlocks(paths []string, fn func(id int, values []float64) error) error {
 	work := make(chan string, len(paths))
 	for _, p := range paths {
@@ -247,20 +255,46 @@ func (c *Cluster) ScanBlocks(paths []string, fn func(id int, values []float64) e
 	}
 	close(work)
 
+	var (
+		stop     atomic.Bool
+		mu       sync.Mutex
+		firstErr error
+	)
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+		stop.Store(true)
+	}
+	// scan wraps fn with the stop check so a peer's failure interrupts even
+	// a worker deep inside a large block, not just between blocks.
+	scan := func(id int, values []float64) error {
+		if stop.Load() {
+			return errScanAborted
+		}
+		return fn(id, values)
+	}
+
 	var wg sync.WaitGroup
-	errCh := make(chan error, c.Workers())
 	for w := 0; w < c.Workers(); w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for path := range work {
-				info, err := storage.StatBlock(path)
-				if err != nil {
-					errCh <- err
+				if stop.Load() {
 					return
 				}
-				if err := storage.ScanBlock(path, fn); err != nil {
-					errCh <- err
+				info, err := storage.StatBlock(path)
+				if err != nil {
+					fail(err)
+					return
+				}
+				if err := storage.ScanBlock(path, scan); err != nil {
+					if err != errScanAborted {
+						fail(err)
+					}
 					return
 				}
 				c.Stats.BlocksRead.Add(1)
@@ -269,11 +303,5 @@ func (c *Cluster) ScanBlocks(paths []string, fn func(id int, values []float64) e
 		}()
 	}
 	wg.Wait()
-	close(errCh)
-	for err := range errCh {
-		if err != nil {
-			return err
-		}
-	}
-	return nil
+	return firstErr
 }

@@ -1,9 +1,14 @@
 package cluster
 
 import (
+	"errors"
 	"math/rand/v2"
+	"os"
+	"path/filepath"
 	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"climber/internal/dataset"
 	"climber/internal/series"
@@ -175,6 +180,95 @@ func TestShuffle(t *testing.T) {
 	}
 	if got := c.Stats.PartitionsLoaded.Load(); got != 3 {
 		t.Fatalf("PartitionsLoaded = %d, want 3", got)
+	}
+}
+
+// breakFlushTarget arranges for partition flushes into dir to fail: the node
+// directory is made read-only. Root bypasses permission bits, so when a probe
+// write still succeeds the helper falls back to squatting a directory on the
+// partition path itself, which makes the writer's os.Create fail regardless
+// of privilege.
+func breakFlushTarget(t *testing.T, dir, partPath string) {
+	t.Helper()
+	if err := os.Chmod(dir, 0o555); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { os.Chmod(dir, 0o755) })
+	probe := filepath.Join(dir, ".probe")
+	if f, err := os.Create(probe); err == nil {
+		f.Close()
+		os.Remove(probe)
+		if err := os.Mkdir(partPath, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { os.Remove(partPath) })
+	}
+}
+
+// A shuffle whose flush fails half-way must not leave the partitions that
+// flushed successfully behind — callers retry the whole shuffle, and stale
+// part-files would either collide with the retry or leak disk forever.
+func TestShuffleCleansUpOnFlushFailure(t *testing.T) {
+	c := testCluster(t) // 2 nodes: partitions 0, 2 -> node0; partition 1 -> node1
+	ds := dataset.RandomWalk(16, 90, 2)
+	bs, err := c.IngestBlocks(ds, 25, "rw")
+	if err != nil {
+		t.Fatal(err)
+	}
+	breakFlushTarget(t, c.NodeDir(1), filepath.Join(c.NodeDir(1), "shuf-part00001.clmp"))
+
+	_, err = c.Shuffle(bs, 3, "shuf", func(id int, values []float64) (Route, error) {
+		return Route{Partition: id % 3, Cluster: storage.ClusterID(id % 2)}, nil
+	})
+	if err == nil {
+		t.Fatal("shuffle into an unwritable node dir succeeded")
+	}
+	for node := 0; node < c.NumNodes(); node++ {
+		matches, globErr := filepath.Glob(filepath.Join(c.NodeDir(node), "shuf-part*.clmp"))
+		if globErr != nil {
+			t.Fatal(globErr)
+		}
+		if len(matches) != 0 {
+			t.Fatalf("failed shuffle leaked partition files on node %d: %v", node, matches)
+		}
+	}
+}
+
+// The first scan error must stop the other workers promptly: without the
+// stop flag every remaining block is scanned to completion, so the count of
+// records visited after the failure would approach the dataset size.
+func TestScanBlocksStopsOnFirstError(t *testing.T) {
+	c := testCluster(t) // 4 workers
+	ds := dataset.RandomWalk(8, 200, 4)
+	bs, err := c.IngestBlocks(ds, 10, "rw") // 20 blocks
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	errBoom := errors.New("boom")
+	var after atomic.Int64
+	var failed atomic.Bool
+	err = c.ScanBlocks(bs.Paths, func(id int, values []float64) error {
+		if failed.Load() {
+			after.Add(1)
+			return nil
+		}
+		if id == 0 { // first record of the first block: fail immediately
+			failed.Store(true)
+			return errBoom
+		}
+		// Slow the healthy workers down so the stop flag demonstrably wins
+		// the race against them finishing their blocks.
+		time.Sleep(100 * time.Microsecond)
+		return nil
+	})
+	if !errors.Is(err, errBoom) {
+		t.Fatalf("ScanBlocks error = %v, want %v", err, errBoom)
+	}
+	// In-flight records on the other workers are allowed through; scanning
+	// a large share of the remaining ~199 records means nobody stopped.
+	if n := after.Load(); n > 50 {
+		t.Fatalf("%d records scanned after the failure; workers did not stop", n)
 	}
 }
 

@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"fmt"
+	"os"
 	"path/filepath"
 	"sync"
 
@@ -63,16 +64,45 @@ func (c *Cluster) Shuffle(bs *BlockSet, numPartitions int, name string,
 		return nil, err
 	}
 
+	// Flush the partition writers concurrently, bounded by the cluster's
+	// worker pool. Each writer sorts its clusters and records before
+	// writing, so the bytes of every partition file are identical to a
+	// sequential flush — only the wall-clock changes.
 	ps := &PartitionSet{SeriesLen: bs.SeriesLen, Paths: make([]string, numPartitions), Counts: make([]int, numPartitions)}
+	errs := make([]error, numPartitions)
+	sem := make(chan struct{}, c.Workers())
+	var wg sync.WaitGroup
 	for i, w := range writers {
 		node := i % c.cfg.NumNodes
 		path := filepath.Join(c.nodeDirs[node], fmt.Sprintf("%s-part%05d.clmp", name, i))
-		if err := w.Flush(path); err != nil {
-			return nil, err
-		}
 		ps.Paths[i] = path
 		ps.Counts[i] = w.Count()
-		c.Stats.BytesWritten.Add(int64(w.Count() * storage.RecordBytes(bs.SeriesLen)))
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int, w *storage.PartitionWriter, path string) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			if err := w.Flush(path); err != nil {
+				errs[i] = err
+				return
+			}
+			c.Stats.BytesWritten.Add(int64(w.Count() * storage.RecordBytes(bs.SeriesLen)))
+		}(i, w, path)
+	}
+	wg.Wait()
+	for _, e := range errs {
+		if e == nil {
+			continue
+		}
+		// A failed shuffle must not leave partial output behind: remove
+		// every partition file this shuffle wrote, the successfully
+		// flushed ones included (paths that never materialised are fine
+		// to miss). The first error by partition order is returned, which
+		// keeps the failure deterministic regardless of flush scheduling.
+		for _, p := range ps.Paths {
+			_ = os.Remove(p)
+		}
+		return nil, e
 	}
 	return ps, nil
 }

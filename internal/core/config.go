@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"runtime"
 
 	"climber/internal/metric"
 )
@@ -36,6 +37,16 @@ type Config struct {
 	// Seed drives every random choice (pivot selection, tie-breaks) for
 	// reproducible builds.
 	Seed uint64
+	// Workers is the goroutine parallelism of the CPU-bound skeleton-
+	// construction loops (PAA transforms, signature aggregation, group
+	// assignment); 0 uses every available core, 1 forces the sequential
+	// build. The result is bit-identical at any worker count — every random
+	// tie-break derives from per-record/per-signature seeded generators, so
+	// scheduling can never leak into the layout — and Workers is therefore
+	// deliberately not serialised into the skeleton file. The conversion and
+	// re-distribution phases follow the cluster's worker pool instead
+	// (cluster.Config WorkersPerNode x NumNodes).
+	Workers int
 	// BlockSize is the raw-dataset block size in records used when
 	// ingesting data into the simulated cluster.
 	BlockSize int
@@ -90,5 +101,16 @@ func (c Config) Validate() error {
 	if c.BlockSize <= 0 {
 		return fmt.Errorf("core: BlockSize must be positive, got %d", c.BlockSize)
 	}
+	if c.Workers < 0 {
+		return fmt.Errorf("core: Workers must be non-negative, got %d", c.Workers)
+	}
 	return nil
+}
+
+// workers resolves the effective skeleton-build parallelism.
+func (c Config) workers() int {
+	if c.Workers > 0 {
+		return c.Workers
+	}
+	return runtime.GOMAXPROCS(0)
 }

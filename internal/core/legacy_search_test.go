@@ -56,8 +56,12 @@ func legacySearchContext(ctx context.Context, ix *Index, q []float64, opts Searc
 	}
 
 	top := series.NewTopK(opts.K)
+	// The only deliberate change in this frozen copy: the engine's scan loop
+	// moved onto the blocked early-abandon kernel, and the bit-for-bit
+	// regression pin only holds when both paths accumulate distances in the
+	// same lane order, so the oracle uses the same kernel.
 	dist := func(values []float64, bound float64) float64 {
-		return series.SqDistEarlyAbandon(q, values, bound)
+		return series.SqDistEarlyAbandonBlocked(q, values, bound)
 	}
 	if err := legacyExecutePlanDist(ctx, ix, plan, nil, top, true, &stats, dist); err != nil {
 		return nil, err
@@ -144,8 +148,10 @@ func legacySearchPrefixContext(ctx context.Context, ix *Index, q []float64, opts
 
 	top := series.NewTopK(opts.K)
 	prefixLen := len(q)
+	// Same lockstep kernel switch as legacySearchContext: the regression pin
+	// requires both paths to share one accumulation order.
 	dist := func(values []float64, bound float64) float64 {
-		return series.SqDistEarlyAbandon(q, values[:prefixLen], bound)
+		return series.SqDistEarlyAbandonBlocked(q, values[:prefixLen], bound)
 	}
 	if err := legacyExecutePlanDist(ctx, ix, plan, nil, top, true, &stats, dist); err != nil {
 		return nil, err

@@ -1,0 +1,115 @@
+package core
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"climber/internal/cluster"
+	"climber/internal/dataset"
+)
+
+// hashFile returns the SHA-256 of a file's contents.
+func hashFile(t *testing.T, path string) string {
+	t.Helper()
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := sha256.Sum256(raw)
+	return hex.EncodeToString(sum[:])
+}
+
+// buildArtifacts runs one full Build at the given worker count and returns a
+// name -> SHA-256 map of every artefact: the in-memory skeleton encoding,
+// the saved index manifest, and each partition file. The build always lands
+// in the same baseDir (wiped first) because the manifest embeds absolute
+// partition paths — building in per-run temp dirs would differ trivially.
+func buildArtifacts(t *testing.T, baseDir string, capacity, workers int) map[string]string {
+	t.Helper()
+	if err := os.RemoveAll(baseDir); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.MkdirAll(baseDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+
+	cl, err := cluster.New(cluster.Config{NumNodes: 2, WorkersPerNode: 2, BaseDir: baseDir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.NumPivots = 50
+	cfg.PrefixLen = 8
+	cfg.BlockSize = 100
+	cfg.Workers = workers
+	if capacity > 0 {
+		cfg.Capacity = capacity
+	}
+	ds := dataset.RandomWalk(64, 600, 11)
+	bs, err := cl.IngestBlocks(ds, cfg.BlockSize, "det")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, err := Build(cl, bs, cfg, "det")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	out := make(map[string]string)
+	var buf bytes.Buffer
+	if err := ix.Skel.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	sum := sha256.Sum256(buf.Bytes())
+	out["skeleton"] = hex.EncodeToString(sum[:])
+
+	idxPath := filepath.Join(baseDir, "index.clms")
+	if err := SaveIndex(ix, idxPath); err != nil {
+		t.Fatal(err)
+	}
+	out["index.clms"] = hashFile(t, idxPath)
+	for _, p := range ix.Parts.Paths {
+		out["partition/"+filepath.Base(p)] = hashFile(t, p)
+	}
+	return out
+}
+
+// TestParallelBuildBitIdentical pins the central guarantee of the parallel
+// build: at ANY worker count the skeleton bytes, the index manifest, and
+// every partition file are byte-identical to the sequential (Workers=1)
+// build. Every random tie-break derives from per-record/per-signature seeded
+// generators and every merge happens in sorted-key order, so goroutine
+// scheduling must never leak into the artefacts. Two granularities are
+// covered: the coarse default capacity (few partitions, shallow tries) and a
+// fine capacity that forces many trie splits and partitions. CI runs this
+// under -race, which also makes it the data-race probe for the build path.
+func TestParallelBuildBitIdentical(t *testing.T) {
+	granularities := []struct {
+		name     string
+		capacity int // 0 keeps the DefaultConfig capacity
+	}{
+		{"default-capacity", 0},
+		{"fine-capacity", 50},
+	}
+	for _, g := range granularities {
+		t.Run(g.name, func(t *testing.T) {
+			dir := filepath.Join(t.TempDir(), "build")
+			want := buildArtifacts(t, dir, g.capacity, 1)
+			for _, workers := range []int{4, 8} {
+				got := buildArtifacts(t, dir, g.capacity, workers)
+				if len(got) != len(want) {
+					t.Fatalf("workers=%d produced %d artefacts, sequential build produced %d", workers, len(got), len(want))
+				}
+				for name, h := range want {
+					if got[name] != h {
+						t.Errorf("workers=%d: artefact %s differs from sequential build", workers, name)
+					}
+				}
+			}
+		})
+	}
+}

@@ -59,6 +59,6 @@ func (ix *Index) searchPrefix(ctx context.Context, q []float64, opts SearchOptio
 	paaQ := tr.Transform(q)
 	prefixLen := len(q)
 	return ix.runQuery(ctx, paaQ, opts, sink, func(values []float64, bound float64) float64 {
-		return series.SqDistEarlyAbandon(q, values[:prefixLen], bound)
+		return series.SqDistEarlyAbandonBlocked(q, values[:prefixLen], bound)
 	})
 }

@@ -188,10 +188,13 @@ func (ix *Index) search(ctx context.Context, q []float64, opts SearchOptions, si
 		return nil, fmt.Errorf("core: query length %d, index expects %d", len(q), ix.Skel.SeriesLen)
 	}
 	// Lines 2-4 of Algorithm 3: transform the query exactly as records were
-	// transformed during Step 4.
+	// transformed during Step 4. The scan loop (exec.go) runs on the blocked
+	// early-abandon kernel: multi-lane accumulation with the top-k limit
+	// checked once per block, the vectorisation-friendly shape of the
+	// MESSI/ParIS scan kernels.
 	paaQ := ix.Skel.Transformer.Transform(q)
 	return ix.runQuery(ctx, paaQ, opts, sink, func(values []float64, bound float64) float64 {
-		return series.SqDistEarlyAbandon(q, values, bound)
+		return series.SqDistEarlyAbandonBlocked(q, values, bound)
 	})
 }
 

@@ -5,6 +5,7 @@ import (
 	"hash/fnv"
 	"math/rand/v2"
 	"sort"
+	"sync"
 
 	"climber/internal/centroid"
 	"climber/internal/cluster"
@@ -115,30 +116,62 @@ func BuildSkeleton(sample *series.Dataset, seriesLen int, cfg Config) (*Skeleton
 		return nil, err
 	}
 	rng := rand.New(rand.NewPCG(cfg.Seed, 0x5851f42d4c957f2d))
+	workers := cfg.workers()
 
 	// --- Step 1: PAA signatures and pivot selection -----------------------
+	// The per-sample transforms are independent; fan them across the build
+	// workers, each writing its own slot.
 	paaSigs := make([][]float64, sample.Len())
-	for i := 0; i < sample.Len(); i++ {
-		paaSigs[i] = tr.Transform(sample.Get(i))
-	}
+	parallelChunks(sample.Len(), workers, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			paaSigs[i] = tr.Transform(sample.Get(i))
+		}
+	})
 	pivots, err := pivot.SelectRandom(paaSigs, cfg.NumPivots, cfg.PrefixLen, rng)
 	if err != nil {
 		return nil, err
 	}
 
 	// Rank-sensitive signatures of the sample, aggregated by exact match.
+	// Signature generation (a kNN scan over all r pivots per sample) is the
+	// dominant skeleton cost, so each worker aggregates its chunk into a
+	// private map; the partial maps are then merged in chunk order with each
+	// map's keys sorted, so the merged aggregate — and the representative
+	// sig pointer kept for each key — never depends on scheduling. (Equal
+	// keys always carry equal signatures, and frequency addition commutes,
+	// so the merge is bit-identical to the sequential aggregation.)
 	type aggEntry struct {
 		sig  pivot.Signature
 		freq int
 	}
+	numChunks := chunkCount(sample.Len(), workers)
+	partials := make([]map[string]*aggEntry, numChunks)
+	parallelChunksIndexed(sample.Len(), workers, func(chunk, lo, hi int) {
+		agg := make(map[string]*aggEntry)
+		for _, ps := range paaSigs[lo:hi] {
+			sig := pivots.RankSensitive(ps)
+			key := sig.Key()
+			if e, ok := agg[key]; ok {
+				e.freq++
+			} else {
+				agg[key] = &aggEntry{sig: sig, freq: 1}
+			}
+		}
+		partials[chunk] = agg
+	})
 	rsAgg := make(map[string]*aggEntry)
-	for _, ps := range paaSigs {
-		sig := pivots.RankSensitive(ps)
-		key := sig.Key()
-		if e, ok := rsAgg[key]; ok {
-			e.freq++
-		} else {
-			rsAgg[key] = &aggEntry{sig: sig, freq: 1}
+	for _, agg := range partials {
+		keys := make([]string, 0, len(agg))
+		for k := range agg {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			if e, ok := rsAgg[k]; ok {
+				e.freq += agg[k].freq
+			} else {
+				rsAgg[k] = agg[k]
+			}
 		}
 	}
 
@@ -176,8 +209,12 @@ func BuildSkeleton(sample *series.Dataset, seriesLen int, cfg Config) (*Skeleton
 	// Assign each distinct rank-sensitive signature (with its frequency) to
 	// a group, scaling counts by 1/α to estimate full-dataset sizes.
 	// Iterate in sorted key order and derive the tie-break generator from
-	// each signature so the build is deterministic: map iteration order must
-	// never influence the index layout.
+	// each signature so the build is deterministic: map iteration order and
+	// worker scheduling must never influence the index layout. Assignment
+	// (Algorithm 1 against every centroid) is order-independent thanks to
+	// the per-key seeded generator, so the loop fans across the build
+	// workers; the per-group entry lists are then materialised sequentially
+	// in sorted-key order, exactly as the sequential build appends them.
 	numGroups := assigner.NumGroups()
 	groupEntries := make([][]trie.Entry, numGroups)
 	scale := 1.0 / cfg.SampleRate
@@ -186,15 +223,21 @@ func BuildSkeleton(sample *series.Dataset, seriesLen int, cfg Config) (*Skeleton
 		rsKeys = append(rsKeys, k)
 	}
 	sort.Strings(rsKeys)
-	for _, k := range rsKeys {
+	assigned := make([]int, len(rsKeys))
+	parallelChunks(len(rsKeys), workers, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			e := rsAgg[rsKeys[i]]
+			sigRNG := rand.New(rand.NewPCG(cfg.Seed, hashKey(rsKeys[i])))
+			assigned[i] = assigner.Assign(e.sig, e.sig.RankInsensitive(), sigRNG)
+		}
+	})
+	for i, k := range rsKeys {
 		e := rsAgg[k]
-		sigRNG := rand.New(rand.NewPCG(cfg.Seed, hashKey(k)))
-		gid := assigner.Assign(e.sig, e.sig.RankInsensitive(), sigRNG)
 		est := int(float64(e.freq)*scale + 0.5)
 		if est < 1 {
 			est = 1
 		}
-		groupEntries[gid] = append(groupEntries[gid], trie.Entry{Sig: e.sig, Count: est})
+		groupEntries[assigned[i]] = append(groupEntries[assigned[i]], trie.Entry{Sig: e.sig, Count: est})
 	}
 
 	skel := &Skeleton{
@@ -269,6 +312,59 @@ func hashKey(k string) uint64 {
 	h := fnv.New64a()
 	h.Write([]byte(k))
 	return h.Sum64()
+}
+
+// chunkCount returns how many contiguous chunks parallelChunks splits n
+// items into for the given worker count.
+func chunkCount(n, workers int) int {
+	if n <= 0 {
+		return 0
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		return 1
+	}
+	chunk := (n + workers - 1) / workers
+	return (n + chunk - 1) / chunk
+}
+
+// parallelChunks splits [0, n) into one contiguous chunk per worker and runs
+// fn on each concurrently. With one worker (or one item) it degenerates to a
+// direct call — the sequential build, with no goroutine overhead. fn must
+// only touch state disjoint per chunk.
+func parallelChunks(n, workers int, fn func(lo, hi int)) {
+	parallelChunksIndexed(n, workers, func(_, lo, hi int) { fn(lo, hi) })
+}
+
+// parallelChunksIndexed is parallelChunks with the chunk ordinal passed to
+// fn, for workers that materialise one result slot per chunk.
+func parallelChunksIndexed(n, workers int, fn func(chunk, lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		fn(0, 0, n)
+		return
+	}
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for i, lo := 0, 0; lo < n; i, lo = i+1, lo+chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(i, lo, hi int) {
+			defer wg.Done()
+			fn(i, lo, hi)
+		}(i, lo, hi)
+	}
+	wg.Wait()
 }
 
 // RouteRecord computes the partition and record cluster of one data series

@@ -1,0 +1,187 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand/v2"
+	"os"
+	"time"
+
+	"climber/internal/cluster"
+	"climber/internal/core"
+	"climber/internal/dataset"
+	"climber/internal/series"
+)
+
+// BenchJSONPath, when non-empty, makes BuildScale additionally write its
+// measurements as a JSON document (cmd/climber-bench -bench-json). The
+// checked-in BENCH_buildscale.json baseline is produced this way, so CI and
+// future sessions can diff build-scaling and kernel numbers structurally
+// instead of scraping tables.
+var BenchJSONPath string
+
+// buildScaleWorkers is the worker sweep: sequential first, then the powers
+// of two the acceptance curve is read at.
+var buildScaleWorkers = []int{1, 2, 4, 8}
+
+// buildScaleRun is one build measurement at a fixed worker count.
+type buildScaleRun struct {
+	Workers          int     `json:"workers"`
+	TotalMS          float64 `json:"total_ms"`
+	SkeletonMS       float64 `json:"skeleton_ms"`
+	ConversionMS     float64 `json:"conversion_ms"`
+	RedistributionMS float64 `json:"redistribution_ms"`
+	// Speedup is sequential total over this total (>1 means faster).
+	Speedup float64 `json:"speedup"`
+}
+
+// kernelRun is one distance-kernel measurement.
+type kernelRun struct {
+	Name    string  `json:"name"`
+	NsPerOp float64 `json:"ns_per_op"`
+}
+
+// buildScaleReport is the JSON document BenchJSONPath receives.
+type buildScaleReport struct {
+	Experiment string          `json:"experiment"`
+	Scale      string          `json:"scale"`
+	Records    int             `json:"records"`
+	SeriesLen  int             `json:"series_len"`
+	Builds     []buildScaleRun `json:"builds"`
+	Kernels    []kernelRun     `json:"kernels"`
+}
+
+// timeKernel measures one distance kernel by running it iters times over a
+// fixed pair of paper-length series and returns ns/op. The accumulated sink
+// keeps the call from being optimised away.
+func timeKernel(iters int, fn func() float64) float64 {
+	var sink float64
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		sink += fn()
+	}
+	elapsed := time.Since(start)
+	if sink < 0 { // never true; anchors sink as observable
+		panic("negative distance sum")
+	}
+	return float64(elapsed.Nanoseconds()) / float64(iters)
+}
+
+// measureKernels times the scalar scan kernels against their blocked
+// replacements under the scan's dominant regime (full-length accumulation:
+// exact distance, and early-abandon with a loose bound that never trips).
+func measureKernels() []kernelRun {
+	rng := rand.New(rand.NewPCG(42, 1))
+	const n, iters = 256, 200_000
+	x, y := make([]float64, n), make([]float64, n)
+	for i := range x {
+		x[i], y[i] = rng.NormFloat64()*10, rng.NormFloat64()*10
+	}
+	loose := series.SqDist(x, y) + 1
+	return []kernelRun{
+		{"SqDist", timeKernel(iters, func() float64 { return series.SqDist(x, y) })},
+		{"SqDistBlocked", timeKernel(iters, func() float64 { return series.SqDistBlocked(x, y) })},
+		{"SqDistEarlyAbandon/loose", timeKernel(iters, func() float64 { return series.SqDistEarlyAbandon(x, y, loose) })},
+		{"SqDistEarlyAbandonBlocked/loose", timeKernel(iters, func() float64 { return series.SqDistEarlyAbandonBlocked(x, y, loose) })},
+	}
+}
+
+// buildAtWorkers builds the index once at the given parallelism on a fresh
+// single-node cluster whose pool width matches, so the skeleton phases
+// (cfg.Workers) and the scan/shuffle phases (the cluster pool) scale
+// together.
+func buildAtWorkers(s Scale, workDir string, n, workers int) (core.BuildStats, error) {
+	ds, err := dataset.ByName("randomwalk", n, 4321)
+	if err != nil {
+		return core.BuildStats{}, err
+	}
+	dir, err := os.MkdirTemp(workDir, fmt.Sprintf("buildscale-w%d-", workers))
+	if err != nil {
+		return core.BuildStats{}, err
+	}
+	cl, err := cluster.New(cluster.Config{NumNodes: 1, WorkersPerNode: workers, BaseDir: dir})
+	if err != nil {
+		return core.BuildStats{}, err
+	}
+	cfg := climberConfig(s, n)
+	cfg.Workers = workers
+	bs, err := cl.IngestBlocks(ds, cfg.BlockSize, "bscale")
+	if err != nil {
+		return core.BuildStats{}, err
+	}
+	ix, err := core.Build(cl, bs, cfg, fmt.Sprintf("bscale-w%d", workers))
+	if err != nil {
+		return core.BuildStats{}, err
+	}
+	return ix.Stats, nil
+}
+
+// BuildScale measures the parallel index build: wall-clock of every
+// construction phase as the worker count sweeps 1..8 (the builds are
+// bit-identical, so the sweep trades time only), plus ns/op of the scalar
+// scan kernels against their blocked replacements. On single-core hosts the
+// build sweep degenerates to ~1.0x speedups — the kernel table still shows
+// the blocked win, which comes from instruction-level parallelism, not
+// threads.
+func BuildScale(s Scale, workDir string, out io.Writer) error {
+	report := buildScaleReport{
+		Experiment: "buildscale",
+		Scale:      s.Name,
+		Records:    s.BaseSize,
+		SeriesLen:  256,
+	}
+
+	tBuild := &Table{
+		Caption: fmt.Sprintf("buildscale — construction wall-time (ms) vs workers, size=%d (bit-identical output)", s.BaseSize),
+		Header:  []string{"workers", "total", "skeleton", "conversion", "redistribution", "speedup"},
+	}
+	var seqTotal time.Duration
+	for _, w := range buildScaleWorkers {
+		stats, err := buildAtWorkers(s, workDir, s.BaseSize, w)
+		if err != nil {
+			return fmt.Errorf("buildscale workers=%d: %w", w, err)
+		}
+		if w == 1 {
+			seqTotal = stats.Total
+		}
+		speedup := float64(seqTotal) / float64(stats.Total)
+		tBuild.Add(w, ms(stats.Total), ms(stats.Skeleton), ms(stats.Conversion), ms(stats.Redistribution),
+			fmt.Sprintf("%.2fx", speedup))
+		report.Builds = append(report.Builds, buildScaleRun{
+			Workers:          w,
+			TotalMS:          float64(stats.Total.Microseconds()) / 1000.0,
+			SkeletonMS:       float64(stats.Skeleton.Microseconds()) / 1000.0,
+			ConversionMS:     float64(stats.Conversion.Microseconds()) / 1000.0,
+			RedistributionMS: float64(stats.Redistribution.Microseconds()) / 1000.0,
+			Speedup:          speedup,
+		})
+	}
+	if err := tBuild.Write(out); err != nil {
+		return err
+	}
+
+	report.Kernels = measureKernels()
+	tKernel := &Table{
+		Caption: "buildscale — scan kernel ns/op (scalar vs blocked), series length 256",
+		Header:  []string{"kernel", "ns/op"},
+	}
+	for _, k := range report.Kernels {
+		tKernel.Add(k.Name, fmt.Sprintf("%.1f", k.NsPerOp))
+	}
+	if err := tKernel.Write(out); err != nil {
+		return err
+	}
+
+	if BenchJSONPath != "" {
+		raw, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(BenchJSONPath, append(raw, '\n'), 0o644); err != nil {
+			return fmt.Errorf("buildscale: write bench JSON: %w", err)
+		}
+		fmt.Fprintf(out, "(bench JSON written to %s)\n", BenchJSONPath)
+	}
+	return nil
+}

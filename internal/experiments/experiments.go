@@ -106,6 +106,7 @@ func Registry() map[string]Runner {
 		"mixed":        MixedWorkload,
 		"sharded":      ShardedWorkload,
 		"budget":       BudgetExperiment,
+		"buildscale":   BuildScale,
 	}
 }
 

@@ -1,6 +1,9 @@
 package experiments
 
 import (
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -23,7 +26,7 @@ func TestRegistryComplete(t *testing.T) {
 	want := []string{"fig7a", "fig7b", "fig7cd", "fig8ab", "fig8cd",
 		"fig9", "fig10", "fig11a", "fig11b", "fig12", "table1",
 		"abl-decay", "abl-dual", "abl-sampling", "landscape", "mixed", "sharded",
-		"budget"}
+		"budget", "buildscale"}
 	reg := Registry()
 	for _, id := range want {
 		if reg[id] == nil {
@@ -198,6 +201,35 @@ func TestBudgetSmoke(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Errorf("budget output missing %q:\n%s", want, out)
 		}
+	}
+}
+
+func TestBuildScaleSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runner smoke tests are slow")
+	}
+	jsonPath := filepath.Join(t.TempDir(), "bench.json")
+	BenchJSONPath = jsonPath
+	defer func() { BenchJSONPath = "" }()
+	out := runnerSmoke(t, "buildscale")
+	for _, want := range []string{"workers", "speedup", "SqDistBlocked", "SqDistEarlyAbandonBlocked/loose"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("buildscale output missing %q:\n%s", want, out)
+		}
+	}
+	raw, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatalf("bench JSON not written: %v", err)
+	}
+	var report struct {
+		Builds  []struct{ Workers int }
+		Kernels []struct{ Name string }
+	}
+	if err := json.Unmarshal(raw, &report); err != nil {
+		t.Fatalf("bench JSON malformed: %v", err)
+	}
+	if len(report.Builds) != 4 || len(report.Kernels) != 4 {
+		t.Fatalf("bench JSON has %d builds, %d kernels; want 4 and 4", len(report.Builds), len(report.Kernels))
 	}
 }
 

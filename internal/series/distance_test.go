@@ -55,6 +55,80 @@ func TestSqDistEarlyAbandonIdenticalSeries(t *testing.T) {
 	}
 }
 
+// mustPanic fails the test unless fn panics.
+func mustPanic(t *testing.T, label string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("%s: expected panic on mismatched lengths", label)
+		}
+	}()
+	fn()
+}
+
+// Every distance kernel must reject mismatched lengths the same way SqDist
+// does: a shorter y used to crash SqDistEarlyAbandon with a raw
+// index-out-of-range, and a longer y silently ignored the tail — both are
+// caller bugs that deserve the clear panic message.
+func TestDistanceKernelsPanicOnLengthMismatch(t *testing.T) {
+	rng := rand.New(rand.NewPCG(9, 2))
+	x := randSeries(rng, 32)
+	shorter, longer := randSeries(rng, 31), randSeries(rng, 33)
+	kernels := map[string]func(y []float64){
+		"SqDist":                    func(y []float64) { SqDist(x, y) },
+		"SqDistEarlyAbandon":        func(y []float64) { SqDistEarlyAbandon(x, y, math.Inf(1)) },
+		"SqDistBlocked":             func(y []float64) { SqDistBlocked(x, y) },
+		"SqDistEarlyAbandonBlocked": func(y []float64) { SqDistEarlyAbandonBlocked(x, y, math.Inf(1)) },
+	}
+	for name, kernel := range kernels {
+		mustPanic(t, name+"/shorter-y", func() { kernel(shorter) })
+		mustPanic(t, name+"/longer-y", func() { kernel(longer) })
+	}
+}
+
+// Property: the blocked kernel computes the same sum as the scalar kernel up
+// to floating-point re-association — the lanes change the addition order, so
+// equality is relative-epsilon, not bit-for-bit.
+func TestSqDistBlockedMatchesSqDist(t *testing.T) {
+	rng := rand.New(rand.NewPCG(13, 17))
+	for trial := 0; trial < 2000; trial++ {
+		n := 1 + rng.IntN(300) // covers sub-lane, sub-block, and multi-block lengths
+		x, y := randSeries(rng, n), randSeries(rng, n)
+		exact, blocked := SqDist(x, y), SqDistBlocked(x, y)
+		if diff := math.Abs(blocked - exact); diff > 1e-9*math.Max(exact, 1) {
+			t.Fatalf("trial %d (n=%d): blocked %v vs scalar %v (diff %v)", trial, n, blocked, exact, diff)
+		}
+	}
+}
+
+// Property: whenever the limit is never crossed, SqDistEarlyAbandonBlocked
+// must equal SqDistBlocked bit for bit — identical lanes, identical addition
+// order. This mirrors the SqDistEarlyAbandon==SqDist contract and is what
+// makes the blocked early-abandon kernel a safe drop-in on the scan path.
+func TestSqDistEarlyAbandonBlockedEqualsSqDistBlocked(t *testing.T) {
+	rng := rand.New(rand.NewPCG(23, 29))
+	for trial := 0; trial < 2000; trial++ {
+		n := 1 + rng.IntN(300)
+		x, y := randSeries(rng, n), randSeries(rng, n)
+		exact := SqDistBlocked(x, y)
+
+		for _, limit := range []float64{exact, exact * 1.5, exact + 1, math.Inf(1)} {
+			if got := SqDistEarlyAbandonBlocked(x, y, limit); got != exact {
+				t.Fatalf("trial %d (n=%d): limit %v not crossed but result %v != blocked exact %v", trial, n, limit, got, exact)
+			}
+		}
+
+		// A limit below the blocked sum must yield some value strictly above
+		// the limit — either an abandoned partial sum or the full sum.
+		if exact > 0 {
+			limit := exact * rng.Float64() * 0.99
+			if got := SqDistEarlyAbandonBlocked(x, y, limit); got <= limit {
+				t.Fatalf("trial %d: abandoned result %v not above limit %v", trial, got, limit)
+			}
+		}
+	}
+}
+
 // benchSink defeats dead-code elimination in the benchmarks below.
 var benchSink float64
 
@@ -87,6 +161,39 @@ func BenchmarkSqDistEarlyAbandon(b *testing.B) {
 		limit := exact / 100 // crossed within the first few readings
 		for i := 0; i < b.N; i++ {
 			benchSink = SqDistEarlyAbandon(x, y, limit)
+		}
+	})
+}
+
+// BenchmarkSqDistBlocked is the head-to-head against BenchmarkSqDist: the
+// lane decomposition should win on any hardware with more than one FP
+// pipeline, which is what the scan path cares about.
+func BenchmarkSqDistBlocked(b *testing.B) {
+	x, y := benchPair(256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchSink = SqDistBlocked(x, y)
+	}
+}
+
+// BenchmarkSqDistEarlyAbandonBlocked measures the blocked early-abandon
+// kernel in the same two regimes as the scalar benchmark. Loose bound (the
+// dominant regime of a scan: most candidates survive deep into the series)
+// is where blocking pays; tight bound compares at least one full abandon
+// block against the scalar kernel's first few readings — the price of
+// amortising the limit check.
+func BenchmarkSqDistEarlyAbandonBlocked(b *testing.B) {
+	x, y := benchPair(256)
+	exact := SqDist(x, y)
+	b.Run("loose-bound", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			benchSink = SqDistEarlyAbandonBlocked(x, y, exact+1)
+		}
+	})
+	b.Run("tight-bound", func(b *testing.B) {
+		limit := exact / 100
+		for i := 0; i < b.N; i++ {
+			benchSink = SqDistEarlyAbandonBlocked(x, y, limit)
 		}
 	})
 }
