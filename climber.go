@@ -87,6 +87,11 @@ import (
 	"climber/internal/series"
 )
 
+// Version identifies this build of the library on the wire: the
+// climber_build_info Prometheus gauge exports it, and operators use it
+// to correlate deployed binaries with metric changes.
+const Version = "0.8.0"
+
 // ErrClosed is returned by every query and mutation method of a DB after
 // Close. Use errors.Is to test for it.
 var ErrClosed = errors.New("climber: database is closed")
@@ -184,6 +189,14 @@ type CacheStats struct {
 	// than the number of partition opens.
 	PartitionsLoaded int64
 }
+
+// Explanation is the engine's record of how one query navigated the
+// index: the dual signature, group selection, matched trie path, and
+// the ranked plan with per-step scores and executed flags.
+type Explanation = core.Explanation
+
+// PlanStepInfo is one ranked plan step inside an Explanation.
+type PlanStepInfo = core.PlanStepInfo
 
 // Variant selects the query algorithm.
 type Variant = core.Variant
@@ -358,6 +371,15 @@ func WithTimeBudget(d time.Duration) SearchOption {
 // plan's partition parallelism for step-boundary control.
 func WithMinRecords(n int) SearchOption {
 	return func(s *core.SearchOptions) { s.Budget.MinRecords = n }
+}
+
+// WithExplain attaches the planner's navigation record to the query;
+// retrieve it with SearchExplainContext (the plain Search methods
+// compute and discard it). Tracing is orthogonal: span timings come
+// from an obs.Trace carried in the context, explanations from this
+// flag; an explain response on the wire carries both.
+func WithExplain() SearchOption {
+	return func(s *core.SearchOptions) { s.Explain = true }
 }
 
 // DB is a built CLIMBER database. A DB is safe for concurrent use; the
@@ -567,6 +589,22 @@ func (db *DB) SearchWithStatsContext(ctx context.Context, q []float64, k int, op
 	return resultsOf(sr.Results), statsOf(sr.Stats), nil
 }
 
+// SearchExplainContext is SearchWithStatsContext plus the planner's
+// navigation record (WithExplain is implied). The returned Explanation
+// is never nil on success.
+func (db *DB) SearchExplainContext(ctx context.Context, q []float64, k int, opts ...SearchOption) ([]Result, Stats, *Explanation, error) {
+	if db.closed.Load() {
+		return nil, Stats{}, nil, ErrClosed
+	}
+	so := searchOptions(k, opts)
+	so.Explain = true
+	sr, err := db.ix.SearchContext(ctx, q, so)
+	if err != nil {
+		return nil, Stats{}, nil, err
+	}
+	return resultsOf(sr.Results), statsOf(sr.Stats), sr.Explain, nil
+}
+
 // CacheStats reports the cumulative partition-cache counters of this DB.
 func (db *DB) CacheStats() CacheStats {
 	s := &db.cl.Stats
@@ -686,6 +724,22 @@ func (db *DB) SearchPrefixWithStatsContext(ctx context.Context, q []float64, k i
 		return nil, Stats{}, err
 	}
 	return resultsOf(sr.Results), statsOf(sr.Stats), nil
+}
+
+// SearchPrefixExplainContext is SearchPrefixWithStatsContext plus the
+// planner's navigation record (WithExplain is implied). The returned
+// Explanation is never nil on success.
+func (db *DB) SearchPrefixExplainContext(ctx context.Context, q []float64, k int, opts ...SearchOption) ([]Result, Stats, *Explanation, error) {
+	if db.closed.Load() {
+		return nil, Stats{}, nil, ErrClosed
+	}
+	so := searchOptions(k, opts)
+	so.Explain = true
+	sr, err := db.ix.SearchPrefixContext(ctx, q, so)
+	if err != nil {
+		return nil, Stats{}, nil, err
+	}
+	return resultsOf(sr.Results), statsOf(sr.Stats), sr.Explain, nil
 }
 
 // SearchUpdate is one progressive answer snapshot delivered during

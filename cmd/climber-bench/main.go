@@ -35,6 +35,13 @@
 // BENCH_buildscale.json baseline):
 //
 //	climber-bench -experiment buildscale -scale small -bench-json BENCH_buildscale.json
+//
+// "tracing" measures the query-path cost of the internal/obs tracing layer
+// with tracing off, sampled (1 in 16), and always on; -bench-json writes
+// the measurements as JSON (the checked-in BENCH_tracing.json baseline —
+// the "off" row guards the tracing-off overhead acceptance):
+//
+//	climber-bench -experiment tracing -scale small -bench-json BENCH_tracing.json
 package main
 
 import (
@@ -60,7 +67,7 @@ func main() {
 		cache      = flag.Int64("cache-bytes", 0, "partition cache budget in bytes for every experiment cluster (0 = off, the paper-faithful cost accounting)")
 		maxParts   = flag.Int("max-partitions", 0, "budget experiment: evaluate this single partition budget instead of the default sweep")
 		timeBudget = flag.Duration("time-budget", 0, "budget experiment: evaluate this single per-query time budget instead of the default sweep")
-		benchJSON  = flag.String("bench-json", "", "buildscale experiment: also write the measurements as JSON to this file")
+		benchJSON  = flag.String("bench-json", "", "buildscale/tracing experiments: also write the measurements as JSON to this file")
 	)
 	flag.Parse()
 	experiments.PartitionCacheBytes = *cache

@@ -4,7 +4,13 @@
 //
 // Usage:
 //
-//	climber-inspect -dir ./db [-groups] [-partitions]
+//	climber-inspect -dir ./db [-stats] [-groups] [-partitions]
+//
+// -stats prints the skeleton's shape statistics: trie node counts, the
+// leaf-depth histogram, and the distribution of actual partition sizes —
+// the numbers that explain a database's query behaviour (deep tries mean
+// long signature prefixes; a skewed partition distribution means uneven
+// scan costs).
 package main
 
 import (
@@ -12,6 +18,8 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"sort"
+	"strings"
 
 	"climber"
 	"climber/internal/storage"
@@ -23,6 +31,7 @@ func main() {
 
 	var (
 		dir        = flag.String("dir", "", "database directory (required)")
+		stats      = flag.Bool("stats", false, "print skeleton shape statistics: node counts, depth histogram, partition size distribution")
 		groups     = flag.Bool("groups", false, "list every group with its centroid and trie shape")
 		partitions = flag.Bool("partitions", false, "list per-partition record counts")
 		verify     = flag.Bool("verify", false, "checksum every partition file")
@@ -63,6 +72,10 @@ func main() {
 	fmt.Println()
 	fmt.Printf("  partition est.: min=%d max=%d (capacity %d)\n",
 		desc.SmallestPartitionEst, desc.LargestPartitionEst, cfg.Capacity)
+
+	if *stats {
+		printStats(db)
+	}
 
 	if *groups {
 		fmt.Println("groups:")
@@ -113,4 +126,87 @@ func main() {
 			log.Fatalf("verify: %d of %d partitions corrupt", bad, len(db.Index().Parts.Paths))
 		}
 	}
+}
+
+// printStats renders the skeleton's shape: per-trie node counts, the full
+// leaf-depth histogram with bars, and the distribution of real partition
+// sizes (quantiles plus a power-of-two size histogram).
+func printStats(db *climber.DB) {
+	skel := db.Index().Skel
+	desc := skel.Describe()
+
+	fmt.Println("skeleton shape:")
+	interior := desc.TrieNodes - desc.TrieLeaves
+	fmt.Printf("  tries:  %d groups, %d nodes (%d interior, %d leaves), max depth %d\n",
+		skel.NumGroups(), desc.TrieNodes, interior, desc.TrieLeaves, desc.MaxDepth)
+
+	fmt.Println("  leaf depth histogram:")
+	maxCnt := 0
+	for _, cnt := range desc.DepthHistogram {
+		if cnt > maxCnt {
+			maxCnt = cnt
+		}
+	}
+	for depth, cnt := range desc.DepthHistogram {
+		if cnt == 0 {
+			continue
+		}
+		fmt.Printf("    depth %-3d %8d %s\n", depth, cnt, bar(cnt, maxCnt))
+	}
+
+	counts := append([]int(nil), db.Index().Parts.Counts...)
+	if len(counts) == 0 {
+		fmt.Println("  partitions: none")
+		return
+	}
+	sort.Ints(counts)
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	q := func(p float64) int { return counts[int(p*float64(len(counts)-1))] }
+	fmt.Printf("  partition sizes: %d partitions, %d records total\n", len(counts), total)
+	fmt.Printf("    min=%d p25=%d median=%d p75=%d p90=%d max=%d mean=%.1f\n",
+		counts[0], q(0.25), q(0.50), q(0.75), q(0.90), counts[len(counts)-1],
+		float64(total)/float64(len(counts)))
+
+	// Power-of-two size buckets show the skew a single mean hides.
+	buckets := map[int]int{} // bucket exponent -> partition count
+	maxExp := 0
+	for _, c := range counts {
+		exp := 0
+		for v := c; v > 1; v >>= 1 {
+			exp++
+		}
+		buckets[exp]++
+		if exp > maxExp {
+			maxExp = exp
+		}
+	}
+	maxB := 0
+	for _, n := range buckets {
+		if n > maxB {
+			maxB = n
+		}
+	}
+	fmt.Println("  partition size distribution (records, power-of-two buckets):")
+	for exp := 0; exp <= maxExp; exp++ {
+		n := buckets[exp]
+		if n == 0 {
+			continue
+		}
+		fmt.Printf("    [%6d, %6d) %6d %s\n", 1<<exp, 1<<(exp+1), n, bar(n, maxB))
+	}
+}
+
+// bar renders a proportional histogram bar, widest at 40 chars.
+func bar(n, max int) string {
+	if max <= 0 {
+		return ""
+	}
+	w := n * 40 / max
+	if w == 0 && n > 0 {
+		w = 1
+	}
+	return strings.Repeat("#", w)
 }

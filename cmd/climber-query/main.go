@@ -17,16 +17,18 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"sort"
 	"time"
 
 	"climber"
-	"climber/internal/core"
 	"climber/internal/dataset"
 	"climber/internal/dss"
+	"climber/internal/obs"
 	"climber/internal/series"
 )
 
@@ -112,38 +114,41 @@ func main() {
 	var stats climber.Stats
 	switch {
 	case *explain:
-		// Apply the same option closures the normal query path folds, so
-		// -explain can never report a different plan or budget than the
-		// query the user actually measures.
-		sopts := core.SearchOptions{K: *k, Variant: v, Explain: true}
-		for _, fn := range budgetOpts() {
-			fn(&sopts)
-		}
-		sr, err := db.Index().Search(q, sopts)
+		// The explain path runs the exact same query (same option fold,
+		// same engine entry point) under a local trace, so what it prints
+		// can never describe a different plan or budget than the query the
+		// user actually measures.
+		tr := obs.NewTrace("search", "")
+		ctx := obs.ContextWithSpan(context.Background(), tr.Root())
+		var ex *climber.Explanation
+		res, stats, ex, err = db.SearchExplainContext(ctx, q, *k,
+			append(budgetOpts(), climber.WithVariant(v))...)
 		if err != nil {
 			log.Fatal(err)
 		}
-		for _, r := range sr.Results {
-			res = append(res, climber.Result{ID: r.ID, Dist: r.Dist})
-		}
-		stats = climber.Stats{
-			GroupsConsidered:  sr.Stats.GroupsConsidered,
-			PartitionsScanned: sr.Stats.PartitionsScanned,
-			RecordsScanned:    sr.Stats.RecordsScanned,
-			BytesLoaded:       sr.Stats.BytesLoaded,
-			StepsPlanned:      sr.Stats.StepsPlanned,
-			StepsExecuted:     sr.Stats.StepsExecuted,
-			Partial:           sr.Stats.Partial,
-			BudgetExhausted:   sr.Stats.BudgetExhausted,
-		}
-		ex := sr.Explain
-		fmt.Printf("explain:\n")
+		tr.Root().End()
+		fmt.Printf("explain (variant %s):\n", ex.Variant)
 		fmt.Printf("  P4->  = %v\n", ex.RankSensitive)
 		fmt.Printf("  P4-/> = %v\n", ex.RankInsensitive)
 		fmt.Printf("  best OD = %d, candidate groups = %v, selected G%d\n",
 			ex.BestOD, ex.CandidateGroups, ex.SelectedGroup)
 		fmt.Printf("  trie path = %v (node size %d), partitions = %v\n",
 			ex.MatchedPath, ex.TargetNodeSize, ex.Partitions)
+		fmt.Printf("  plan (%d steps ranked, %d executed):\n", stats.StepsPlanned, stats.StepsExecuted)
+		for i, st := range ex.Plan {
+			state := "executed"
+			if !st.Executed {
+				state = "skipped (budget)"
+			}
+			target := fmt.Sprintf("%d clusters", st.Clusters)
+			if st.Clusters == 0 {
+				target = "whole partition"
+			}
+			fmt.Printf("    #%-3d partition %-6d od=%-3d depth=%-3d est=%-8d %-16s %s\n",
+				i+1, st.Partition, st.OD, st.PathLen, st.Est, target, state)
+		}
+		fmt.Printf("  trace:\n")
+		printSpan(tr.Root().Data(), "    ")
 	case *progressive:
 		var err error
 		res, stats, err = db.SearchProgressive(q, *k, func(u climber.SearchUpdate) bool {
@@ -198,6 +203,36 @@ func main() {
 			exElapsed.Round(time.Microsecond), series.Recall(approx, exactRes))
 	}
 	printCacheStats(db, *cache)
+}
+
+// printSpan renders a span tree as an indented outline, one line per
+// span: name, duration, then the span's attributes and labels in key
+// order.
+func printSpan(d *obs.SpanData, indent string) {
+	if d == nil {
+		return
+	}
+	line := fmt.Sprintf("%s%-10s %v", indent, d.Name, time.Duration(d.DurationNS).Round(time.Microsecond))
+	keys := make([]string, 0, len(d.Attrs))
+	for k := range d.Attrs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		line += fmt.Sprintf(" %s=%d", k, d.Attrs[k])
+	}
+	lkeys := make([]string, 0, len(d.Labels))
+	for k := range d.Labels {
+		lkeys = append(lkeys, k)
+	}
+	sort.Strings(lkeys)
+	for _, k := range lkeys {
+		line += fmt.Sprintf(" %s=%s", k, d.Labels[k])
+	}
+	fmt.Println(line)
+	for _, c := range d.Children {
+		printSpan(c, indent+"  ")
+	}
 }
 
 // printCacheStats summarises the partition cache's effect when enabled.

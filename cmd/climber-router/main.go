@@ -26,6 +26,15 @@
 //	GET  /stats         router counters + every shard's /stats
 //	GET  /healthz       aggregate shard health
 //	GET  /metrics       Prometheus text exposition (climber_router_*)
+//	GET  /debug/slow    slow-query log (ring buffer of traced slow/sampled queries)
+//
+// Observability: a search request carrying "explain": true comes back with
+// the router's span tree — scatter and merge stages, one span per shard —
+// and, nested under each shard span, that shard's own span tree and
+// planner explanation (keyed by shard ID). The trace identity propagates
+// to the shards in a traceparent-style header, so the router and every
+// shard log the same query under one trace id. -debug-addr starts a
+// second listener carrying net/http/pprof and /debug/slow.
 //
 // With -quorum 0 (the default) a query fails fast with 502 the moment any
 // shard errors — no silently incomplete answers. With -quorum N a query
@@ -47,6 +56,7 @@ import (
 	"syscall"
 	"time"
 
+	"climber/internal/obs"
 	"climber/internal/shard"
 )
 
@@ -67,6 +77,10 @@ func main() {
 		healthEvery  = flag.Duration("health-interval", 2*time.Second, "shard health probe period")
 		shardTimeout = flag.Duration("shard-timeout", 0, "per-shard sub-request deadline (0 = client deadline only)")
 		drainTimeout = flag.Duration("drain-timeout", 15*time.Second, "graceful-shutdown deadline for in-flight requests")
+		debugAddr    = flag.String("debug-addr", "", "optional second listener for net/http/pprof and /debug/slow (e.g. localhost:6060)")
+		slowThresh   = flag.Duration("slow-threshold", 500*time.Millisecond, "routed requests at least this slow enter the slow-query log (negative disables)")
+		slowSample   = flag.Float64("slow-sample", 0, "probability in [0,1] that an arbitrary routed query is traced across the shards and slow-logged")
+		slowLogSize  = flag.Int("slow-log-size", 128, "slow-query ring buffer capacity")
 	)
 	flag.Parse()
 	if *topoPath == "" {
@@ -93,6 +107,9 @@ func main() {
 		Quorum:          *quorum,
 		HealthInterval:  *healthEvery,
 		ShardTimeout:    *shardTimeout,
+		SlowLogSize:     *slowLogSize,
+		SlowThreshold:   *slowThresh,
+		SlowSample:      *slowSample,
 	})
 	defer r.Close()
 
@@ -101,6 +118,16 @@ func main() {
 		Handler:           r.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
 		IdleTimeout:       2 * time.Minute,
+	}
+	if *debugAddr != "" {
+		// Diagnostics stay off the routed service port and its admission
+		// control.
+		go func() {
+			log.Printf("debug listener (pprof, /debug/slow) on %s", *debugAddr)
+			if err := http.ListenAndServe(*debugAddr, obs.DebugMux(r.SlowLog())); err != nil {
+				log.Printf("debug listener: %v", err)
+			}
+		}()
 	}
 	errCh := make(chan error, 1)
 	go func() {

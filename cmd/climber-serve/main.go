@@ -16,6 +16,14 @@
 //	GET  /stats         server + cache + ingestion counters (JSON)
 //	GET  /healthz       liveness probe
 //	GET  /metrics       Prometheus text exposition
+//	GET  /debug/slow    slow-query log (ring buffer of traced slow/sampled queries)
+//
+// Observability: any search request may carry "explain": true to get the
+// planner's ranked step list and the query's span tree inline in the
+// response. Requests slower than -slow-threshold (and a -slow-sample
+// fraction of all requests) are recorded in /debug/slow and logged.
+// -debug-addr starts a second listener carrying net/http/pprof and the
+// same /debug/slow, kept off the service port's admission control.
 //
 // The service bounds in-flight queries and writes with an admission
 // semaphore (-max-inflight): excess requests queue up to -queue-timeout and
@@ -39,6 +47,7 @@ import (
 	"time"
 
 	"climber"
+	"climber/internal/obs"
 	"climber/internal/server"
 )
 
@@ -59,6 +68,10 @@ func main() {
 		compactAge   = flag.Duration("compact-age", 5*time.Second, "oldest uncompacted record age that forces a compaction")
 		bodyTimeout  = flag.Duration("body-timeout", 15*time.Second, "deadline for reading one request body")
 		drainTimeout = flag.Duration("drain-timeout", 15*time.Second, "graceful-shutdown deadline for in-flight requests")
+		debugAddr    = flag.String("debug-addr", "", "optional second listener for net/http/pprof and /debug/slow (e.g. localhost:6060)")
+		slowThresh   = flag.Duration("slow-threshold", 500*time.Millisecond, "requests at least this slow enter the slow-query log (negative disables)")
+		slowSample   = flag.Float64("slow-sample", 0, "probability in [0,1] that an arbitrary query is traced and slow-logged")
+		slowLogSize  = flag.Int("slow-log-size", 128, "slow-query ring buffer capacity")
 	)
 	flag.Parse()
 	if *dir == "" {
@@ -88,12 +101,25 @@ func main() {
 		MaxBatch:        *maxBatch,
 		MaxAppend:       *maxAppend,
 		BodyReadTimeout: *bodyTimeout,
+		SlowLogSize:     *slowLogSize,
+		SlowThreshold:   *slowThresh,
+		SlowSample:      *slowSample,
 	})
 	httpSrv := &http.Server{
 		Addr:              *addr,
 		Handler:           srv.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
 		IdleTimeout:       2 * time.Minute,
+	}
+	if *debugAddr != "" {
+		// The diagnostics listener is separate so pprof and the slow-query
+		// log can stay off the service port (and off its admission control).
+		go func() {
+			log.Printf("debug listener (pprof, /debug/slow) on %s", *debugAddr)
+			if err := http.ListenAndServe(*debugAddr, obs.DebugMux(srv.SlowLog())); err != nil {
+				log.Printf("debug listener: %v", err)
+			}
+		}()
 	}
 
 	errCh := make(chan error, 1)

@@ -1,6 +1,7 @@
 // Command climber-vet is the repository's invariant multichecker: it runs
 // every analyzer under internal/analysis — ctxflow, lockio, syncack,
-// statsmerge, ctxleak, doccomment — over the given package patterns, plus
+// statsmerge, ctxleak, tracespan, doccomment — over the given package
+// patterns, plus
 // the repository-level markdown link gate, and exits non-zero on any
 // finding. CI runs it in the lint job; locally:
 //
@@ -30,6 +31,7 @@ import (
 	"climber/internal/analysis/lockio"
 	"climber/internal/analysis/statsmerge"
 	"climber/internal/analysis/syncack"
+	"climber/internal/analysis/tracespan"
 	"climber/internal/analysis/vet"
 )
 
@@ -40,6 +42,7 @@ func analyzers() []*vet.Analyzer {
 		syncack.Analyzer,
 		statsmerge.Analyzer,
 		ctxleak.Analyzer,
+		tracespan.Analyzer,
 		docs.Analyzer,
 	}
 }

@@ -1,0 +1,29 @@
+// Package obs is a fixture stub of climber/internal/obs: just the span
+// surface the tracespan analyzer matches on. The analyzer accepts the
+// package path "obs" alongside the real module path so these fixtures
+// type-check without the module.
+package obs
+
+import "context"
+
+// Span is the stub span; the zero value stands in for any real span.
+type Span struct{}
+
+// StartChild opens a child span.
+func (s *Span) StartChild(name string) *Span { return &Span{} }
+
+// End closes the span.
+func (s *Span) End() {}
+
+// SetAttr records an attribute (present so fixtures can use a span
+// between opening and ending it).
+func (s *Span) SetAttr(key string, v int64) {}
+
+// StartSpan opens a span under the context's current span.
+func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	return ctx, nil
+}
+
+// NotASpan returns something span-shaped from a non-open call, so
+// fixtures can prove the analyzer keys on the callee, not the type.
+func NotASpan() *Span { return nil }

@@ -1,0 +1,125 @@
+// Package tracespantest is the tracespan analyzer's golden fixture: each
+// function is one open/End shape, flagged or clean. Diagnostics for an
+// un-ended span land on the line that declares it.
+package tracespantest
+
+import (
+	"context"
+	"errors"
+
+	"obs"
+)
+
+func root() *obs.Span { return &obs.Span{} }
+
+// deferEnd is the canonical clean shape: a defer dominates every return.
+func deferEnd() {
+	sp := root().StartChild("stage")
+	defer sp.End()
+	sp.SetAttr("n", 1)
+}
+
+// explicitEnd ends the span at the same statement level before returning.
+func explicitEnd() int {
+	sp := root().StartChild("stage")
+	sp.SetAttr("n", 1)
+	sp.End()
+	return 1
+}
+
+// startSpanDefer tracks the second result of obs.StartSpan.
+func startSpanDefer(ctx context.Context) context.Context {
+	ctx, sp := obs.StartSpan(ctx, "stage")
+	defer sp.End()
+	return ctx
+}
+
+// neverEnded falls off the end of the function with the span open.
+func neverEnded() {
+	sp := root().StartChild("stage") // want "span sp is not ended on every return path"
+	sp.SetAttr("n", 1)
+}
+
+// openAtReturn reaches an explicit return with the span open.
+func openAtReturn() int {
+	sp := root().StartChild("stage") // want "span sp is not ended on every return path"
+	sp.SetAttr("n", 1)
+	return 2
+}
+
+// branchOnlyEnd ends the span only on one branch: the End does not
+// dominate the fall-off-the-end return.
+func branchOnlyEnd(cond bool) {
+	sp := root().StartChild("stage") // want "span sp is not ended on every return path"
+	if cond {
+		sp.End()
+	}
+}
+
+// earlyReturnLeak ends the span on the main path but leaks it through the
+// error return inside the branch.
+func earlyReturnLeak(cond bool) error {
+	sp := root().StartChild("stage") // want "span sp is not ended on every return path"
+	if cond {
+		return errors.New("boom")
+	}
+	sp.End()
+	return nil
+}
+
+// endBeforeBranchReturn is clean: the branch ends the span before its own
+// return, and the main path ends it too.
+func endBeforeBranchReturn(cond bool) error {
+	sp := root().StartChild("stage")
+	if cond {
+		sp.End()
+		return errors.New("boom")
+	}
+	sp.End()
+	return nil
+}
+
+// loopBody opens and ends a span per iteration — clean: each iteration's
+// span is ended before the body's end, and nothing leaks past the loop.
+func loopBody(items []int) {
+	for range items {
+		sp := root().StartChild("item")
+		sp.SetAttr("n", 1)
+		sp.End()
+	}
+}
+
+// discarded drops the span on the floor at the call site.
+func discarded() {
+	root().StartChild("stage") // want "result is discarded"
+}
+
+// blanked assigns the span to the blank identifier — same bug.
+func blanked(ctx context.Context) {
+	_, _ = obs.StartSpan(ctx, "stage") // want "blank identifier is discarded"
+}
+
+// inLiteral checks function literals as their own functions: the outer
+// function is clean, the literal leaks.
+func inLiteral() func() {
+	sp := root().StartChild("outer")
+	defer sp.End()
+	return func() {
+		inner := root().StartChild("inner") // want "span inner is not ended on every return path"
+		inner.SetAttr("n", 1)
+	}
+}
+
+// notAnOpen proves the analyzer keys on the callee: a span obtained from
+// any other call is not tracked.
+func notAnOpen() {
+	sp := obs.NotASpan()
+	sp.SetAttr("n", 1)
+}
+
+// ignored is the reviewed escape hatch.
+func ignored() {
+	//lint:ignore tracespan fixture: span intentionally handed to a background closer
+	sp := root().StartChild("stage")
+	sp.SetAttr("n", 1)
+}

@@ -1,0 +1,235 @@
+// Package tracespan checks that every span opened on the query path is
+// closed on every path out of the function that opened it. An unended
+// span is a silent observability bug: it serializes with a duration that
+// keeps growing ("still in flight"), skews the per-stage histograms its
+// StageNanos feed, and — unlike a leaked file descriptor — never fails
+// loudly, so nothing but a gate catches it.
+//
+// The rule: a variable assigned from obs.StartSpan or from a
+// (*obs.Span).StartChild call must have a dominating End() — a `defer
+// sp.End()` anywhere before, or an explicit sp.End() statement — on the
+// path to every return of the enclosing function (function literals are
+// checked as their own functions). Discarding the span result outright is
+// reported at the call site: a span nobody holds can never be ended.
+//
+// The dominance walk is the same conservative under-approximation the
+// syncack analyzer uses: an End inside a conditional branch does not
+// count for the code after the branch, because only some executions pass
+// through it. A site the analyzer cannot prove is annotated
+// //lint:ignore tracespan <reason>.
+package tracespan
+
+import (
+	"go/ast"
+	"go/types"
+
+	"climber/internal/analysis/vet"
+)
+
+// Analyzer is the tracespan check.
+var Analyzer = &vet.Analyzer{
+	Name: "tracespan",
+	Doc:  "every span opened by obs.StartSpan/StartChild must be ended (defer sp.End() or a dominating End) on every return path of its function",
+	Run:  run,
+}
+
+func run(pass *vet.Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkFunc(pass, fn.Body)
+		}
+	}
+	return nil
+}
+
+// checkFunc walks one function body, then recurses into every function
+// literal it contains — each literal is its own function with its own
+// return paths, so a span opened inside one must be ended inside it.
+func checkFunc(pass *vet.Pass, body *ast.BlockStmt) {
+	state := make(map[*types.Var]bool)
+	walkStmts(pass, body.List, state, true)
+	ast.Inspect(body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok {
+			checkFunc(pass, lit.Body)
+			return false
+		}
+		return true
+	})
+}
+
+// walkStmts processes a statement list. state maps each tracked span
+// variable to whether an End dominates the current position. fnBody
+// marks the function's outermost list: control falling off its end is an
+// implicit return and is held to the same rule. Returns whether the list
+// ended in a return.
+func walkStmts(pass *vet.Pass, stmts []ast.Stmt, state map[*types.Var]bool, fnBody bool) bool {
+	terminated := false
+	for _, stmt := range stmts {
+		terminated = false
+		switch s := stmt.(type) {
+		case *ast.ReturnStmt:
+			reportOpen(pass, state)
+			terminated = true
+		case *ast.BlockStmt:
+			terminated = walkStmts(pass, s.List, state, false)
+			continue
+		case *ast.IfStmt:
+			noteStmt(pass, s.Init, state)
+			walkBranch(pass, s.Body, state)
+			if s.Else != nil {
+				walkBranch(pass, s.Else, state)
+			}
+		case *ast.ForStmt:
+			walkBranch(pass, s.Body, state)
+		case *ast.RangeStmt:
+			walkBranch(pass, s.Body, state)
+		case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+			ast.Inspect(s, func(n ast.Node) bool {
+				if body, ok := n.(*ast.BlockStmt); ok {
+					walkBranch(pass, body, state)
+					return false
+				}
+				return true
+			})
+		}
+		noteStmt(pass, stmt, state)
+	}
+	if fnBody && !terminated {
+		// Control can fall off the end of the function — an implicit
+		// return, held to the same rule as an explicit one.
+		reportOpen(pass, state)
+	}
+	return terminated
+}
+
+// walkBranch checks a conditional body against a copy of the state:
+// whatever a branch establishes does not dominate the code after it, and
+// a span the branch opens must be ended before any return the branch
+// reaches.
+func walkBranch(pass *vet.Pass, stmt ast.Stmt, state map[*types.Var]bool) {
+	branch := make(map[*types.Var]bool, len(state))
+	for k, v := range state {
+		branch[k] = v
+	}
+	if body, ok := stmt.(*ast.BlockStmt); ok {
+		walkStmts(pass, body.List, branch, false)
+		return
+	}
+	walkStmts(pass, []ast.Stmt{stmt}, branch, false)
+}
+
+// reportOpen reports every tracked span that reaches a return (explicit
+// or implicit) without a dominating End. The diagnostic lands on the
+// span's declaration, once per span — the fix (a defer) belongs there,
+// not at whichever return happened to be reached first.
+func reportOpen(pass *vet.Pass, state map[*types.Var]bool) {
+	for v, ended := range state {
+		if !ended {
+			pass.Reportf(v.Pos(), "span %s is not ended on every return path: add defer %s.End() after opening it (or End it before each return)", v.Name(), v.Name())
+			delete(state, v) // one diagnostic per span, not one per return
+		}
+	}
+}
+
+// noteStmt updates state from one statement (not descending into nested
+// branch bodies or function literals): span-opening assignments add
+// entries, End calls — explicit or deferred — mark them ended, and a
+// span-opening call whose result is discarded is reported immediately.
+func noteStmt(pass *vet.Pass, stmt ast.Stmt, state map[*types.Var]bool) {
+	if stmt == nil {
+		return
+	}
+	switch s := stmt.(type) {
+	case *ast.IfStmt, *ast.ForStmt, *ast.RangeStmt, *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt, *ast.BlockStmt:
+		return // branch bodies were handled by the walker
+	case *ast.AssignStmt:
+		noteAssign(pass, s, state)
+	case *ast.ExprStmt:
+		if call, ok := ast.Unparen(s.X).(*ast.CallExpr); ok {
+			if spanOpenCall(pass, call) >= 0 {
+				pass.Reportf(call.Pos(), "span-opening call's result is discarded: a span nobody holds can never be ended")
+				return
+			}
+			noteEnd(pass, call, state)
+		}
+	case *ast.DeferStmt:
+		noteEnd(pass, s.Call, state)
+	}
+}
+
+// noteAssign tracks `sp := x.StartChild(...)` and `ctx, sp :=
+// obs.StartSpan(...)` shapes, including a blank identifier in the span
+// slot (reported: the span is discarded).
+func noteAssign(pass *vet.Pass, s *ast.AssignStmt, state map[*types.Var]bool) {
+	if len(s.Rhs) != 1 {
+		return
+	}
+	call, ok := ast.Unparen(s.Rhs[0]).(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	slot := spanOpenCall(pass, call)
+	if slot < 0 || slot >= len(s.Lhs) {
+		return
+	}
+	id, ok := ast.Unparen(s.Lhs[slot]).(*ast.Ident)
+	if !ok {
+		return // a field or index target: out of scope for the tracker
+	}
+	if id.Name == "_" {
+		pass.Reportf(call.Pos(), "span assigned to the blank identifier is discarded: a span nobody holds can never be ended")
+		return
+	}
+	if v, ok := pass.Info.ObjectOf(id).(*types.Var); ok && v != nil {
+		state[v] = false
+	}
+}
+
+// noteEnd marks a tracked span ended when call is sp.End() on one of the
+// state's variables.
+func noteEnd(pass *vet.Pass, call *ast.CallExpr, state map[*types.Var]bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "End" {
+		return
+	}
+	id, ok := ast.Unparen(sel.X).(*ast.Ident)
+	if !ok {
+		return
+	}
+	if v, ok := pass.Info.Uses[id].(*types.Var); ok {
+		if _, tracked := state[v]; tracked {
+			state[v] = true
+		}
+	}
+}
+
+// spanOpenCall reports which result slot of the call holds a new span:
+// 0 for (*obs.Span).StartChild, 1 for obs.StartSpan's (ctx, span), and
+// -1 when the call opens no span.
+func spanOpenCall(pass *vet.Pass, call *ast.CallExpr) int {
+	fn := vet.CalleeFunc(pass.Info, call)
+	if fn == nil || fn.Pkg() == nil || !obsPackage(fn.Pkg().Path()) {
+		return -1
+	}
+	switch fn.Name() {
+	case "StartChild":
+		if fn.Type().(*types.Signature).Recv() != nil {
+			return 0
+		}
+	case "StartSpan":
+		if fn.Type().(*types.Signature).Recv() == nil {
+			return 1
+		}
+	}
+	return -1
+}
+
+// obsPackage matches the tracing package in the real module and in the
+// GOPATH-style test fixtures.
+func obsPackage(path string) bool {
+	return path == "climber/internal/obs" || path == "obs"
+}

@@ -1,0 +1,12 @@
+package tracespan_test
+
+import (
+	"testing"
+
+	"climber/internal/analysis/analysistest"
+	"climber/internal/analysis/tracespan"
+)
+
+func TestTracespan(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), tracespan.Analyzer, "tracespantest")
+}

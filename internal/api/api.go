@@ -13,7 +13,10 @@
 // response bodies it can decode with the very types the shard encoded.
 package api
 
-import "climber"
+import (
+	"climber"
+	"climber/internal/obs"
+)
 
 // DefaultK is the answer-set size used when a request omits k.
 const DefaultK = 10
@@ -49,6 +52,11 @@ type SearchRequest struct {
 	// some latency versus no budget; prefer max_partitions (which keeps
 	// the concurrent scan) for pure I/O caps.
 	TimeBudgetMS int `json:"time_budget_ms,omitempty"`
+	// Explain, when true, traces the query and returns the span tree and
+	// the planner's decisions in the response (the explain and trace
+	// fields). Routed requests are forwarded with the flag intact, so a
+	// router answer nests every shard's span tree under its own.
+	Explain bool `json:"explain,omitempty"`
 }
 
 // BatchRequest is the body of POST /search/batch. The per-request options
@@ -67,6 +75,10 @@ type BatchRequest struct {
 	// a whole: the deadline is fixed once, so queries still running when
 	// it passes answer partially (see SearchRequest.TimeBudgetMS).
 	TimeBudgetMS int `json:"time_budget_ms,omitempty"`
+	// Explain, when true, traces the batch and returns the span tree (one
+	// child span per query) in the response's trace field. Per-query
+	// planner decisions are a single-query concern; use /search for them.
+	Explain bool `json:"explain,omitempty"`
 }
 
 // AppendRequest is the body of POST /append.
@@ -107,6 +119,60 @@ type SearchResponse struct {
 	// Stats.StepsPlanned it tells how much of the plan a partial answer
 	// covered.
 	StepsExecuted int `json:"steps_executed,omitempty"`
+	// Explain is the planner's navigation and ranked-plan record; present
+	// only when the request set explain. On a routed response the map is
+	// keyed by shard ID (each shard planned independently); a single node
+	// answers under the "" key.
+	Explain map[string]*ExplainData `json:"explain,omitempty"`
+	// Trace is the query's span tree; present only when the request set
+	// explain. A routed response nests each shard's tree under the
+	// router's per-shard spans.
+	Trace *obs.SpanData `json:"trace,omitempty"`
+}
+
+// ExplainData is the wire form of the engine's query explanation: how
+// the skeleton was navigated and what the ranked plan looked like, step
+// scores included (see climber.Explanation for field semantics).
+type ExplainData struct {
+	// RankSensitive and RankInsensitive are the query's P4 dual signature.
+	RankSensitive   []int `json:"rank_sensitive"`
+	RankInsensitive []int `json:"rank_insensitive"`
+	// BestOD is the smallest Overlap Distance to any group centroid.
+	BestOD int `json:"best_od"`
+	// CandidateGroups are the group IDs surviving OD/WD filtering.
+	CandidateGroups []int `json:"candidate_groups"`
+	// SelectedGroup is the group whose trie was chosen.
+	SelectedGroup int `json:"selected_group"`
+	// MatchedPath is the pivot-ID prefix matched in the group's trie.
+	MatchedPath []int `json:"matched_path"`
+	// TargetNodeSize is the estimated membership of the matched node.
+	TargetNodeSize int `json:"target_node_size"`
+	// Partitions are the partitions the plan selected, ascending.
+	Partitions []int `json:"partitions"`
+	// Variant names the plan policy that produced the plan.
+	Variant string `json:"variant"`
+	// Plan is the ranked step list with scores and executed flags.
+	Plan []climber.PlanStepInfo `json:"plan"`
+}
+
+// ExplainFromCore converts the engine's explanation to its wire form.
+// Returns nil on nil, so unexplained responses stay absent.
+func ExplainFromCore(e *climber.Explanation) *ExplainData {
+	if e == nil {
+		return nil
+	}
+	return &ExplainData{
+		RankSensitive:   e.RankSensitive,
+		RankInsensitive: e.RankInsensitive,
+		BestOD:          e.BestOD,
+		CandidateGroups: e.CandidateGroups,
+		SelectedGroup:   e.SelectedGroup,
+		MatchedPath:     e.MatchedPath,
+		TargetNodeSize:  e.TargetNodeSize,
+		Partitions:      e.Partitions,
+		Variant:         e.Variant,
+		Plan:            e.Plan,
+	}
 }
 
 // BatchResponse is the body of a successful POST /search/batch; Results
@@ -118,6 +184,9 @@ type BatchResponse struct {
 	Partial bool `json:"partial,omitempty"`
 	// StepsExecuted sums the executed plan steps across the batch.
 	StepsExecuted int `json:"steps_executed,omitempty"`
+	// Trace is the batch's span tree (one child per query); present only
+	// when the request set explain.
+	Trace *obs.SpanData `json:"trace,omitempty"`
 }
 
 // InfoResponse is the body of GET /info: the database's structural shape.

@@ -49,14 +49,40 @@ func (h *Histogram) Observe(d time.Duration) {
 // render time so one exposition always satisfies bucket{le="+Inf"} ==
 // _count.
 func (h *Histogram) Render(w *strings.Builder, name, help string) {
-	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
+	h.render(w, name, help, "", true)
+}
+
+// RenderLabeled is Render with a fixed label set (e.g. `stage="scan"`)
+// attached to every series. The HELP/TYPE header is emitted only when
+// withHeader is true, so several labeled instances of one metric family
+// can share a single header: the caller emits the first with the header
+// and the rest without.
+func (h *Histogram) RenderLabeled(w *strings.Builder, name, labels, help string, withHeader bool) {
+	h.render(w, name, help, labels, withHeader)
+}
+
+// render emits the exposition; labels, when non-empty, is a rendered
+// label list without braces ('stage="scan"') merged into every series.
+func (h *Histogram) render(w *strings.Builder, name, help, labels string, withHeader bool) {
+	if withHeader {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
+	}
+	sep := ""
+	if labels != "" {
+		sep = ","
+	}
 	var cum int64
 	for i, le := range LatencyBuckets {
 		cum += h.buckets[i].Load()
-		fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, strconv.FormatFloat(le, 'g', -1, 64), cum)
+		fmt.Fprintf(w, "%s_bucket{%s%sle=%q} %d\n", name, labels, sep, strconv.FormatFloat(le, 'g', -1, 64), cum)
 	}
 	cum += h.inf.Load()
-	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, cum)
-	fmt.Fprintf(w, "%s_sum %g\n", name, float64(h.sumNs.Load())/1e9)
-	fmt.Fprintf(w, "%s_count %d\n", name, cum)
+	fmt.Fprintf(w, "%s_bucket{%s%sle=\"+Inf\"} %d\n", name, labels, sep, cum)
+	if labels == "" {
+		fmt.Fprintf(w, "%s_sum %g\n", name, float64(h.sumNs.Load())/1e9)
+		fmt.Fprintf(w, "%s_count %d\n", name, cum)
+	} else {
+		fmt.Fprintf(w, "%s_sum{%s} %g\n", name, labels, float64(h.sumNs.Load())/1e9)
+		fmt.Fprintf(w, "%s_count{%s} %d\n", name, labels, cum)
+	}
 }

@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+
+	"climber/internal/obs"
 )
 
 // SearchBatch answers many kNN queries concurrently, mirroring the paper's
@@ -43,7 +45,17 @@ func (ix *Index) SearchBatchContext(ctx context.Context, queries [][]float64, op
 					errs[i] = err
 					continue
 				}
-				out[i], errs[i] = ix.SearchContext(ctx, queries[i], opts)
+				// When the batch is traced, each query gets its own child
+				// span so per-query stage timings stay attributable; the
+				// "query" attr is its position in the batch.
+				qctx := ctx
+				qsp := obs.SpanFromContext(ctx).StartChild("query")
+				if qsp != nil {
+					qsp.SetAttr("query", int64(i))
+					qctx = obs.ContextWithSpan(ctx, qsp)
+				}
+				out[i], errs[i] = ix.SearchContext(qctx, queries[i], opts)
+				qsp.End()
 			}
 		}()
 	}

@@ -83,7 +83,7 @@ func TestCancelMidScanStopsPlan(t *testing.T) {
 		cancel()
 		return math.Inf(1) // abandoned; keep the accumulator empty
 	}, &stats)
-	err := ex.scanSteps(ctx, plan.Steps, nil, true)
+	err := ex.scanSteps(ctx, plan.Steps, nil, true, nil)
 	if !errors.Is(err, context.Canceled) {
 		t.Fatalf("cancelled plan returned %v, want context.Canceled", err)
 	}

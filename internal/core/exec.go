@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"climber/internal/obs"
 	"climber/internal/series"
 	"climber/internal/storage"
 )
@@ -98,6 +99,9 @@ type executor struct {
 	// results is the final merged answer (true distances, ascending),
 	// populated by the delta stage.
 	results []series.Result
+	// span is the query's active span (nil when untraced); the stage
+	// spans — scan, widen, delta, merge — open as its children.
+	span *obs.Span
 }
 
 func newExecutor(ix *Index, plan *ScanPlan, opts SearchOptions, dist distFunc, stats *QueryStats) *executor {
@@ -121,6 +125,7 @@ func (e *executor) markPartial(reason string) {
 // non-worsening snapshot after each executed step (and a final one);
 // returning false from it stops the query early with a partial answer.
 func (e *executor) run(ctx context.Context, sink func(Snapshot) bool) error {
+	e.span = obs.SpanFromContext(ctx)
 	if err := e.scanPlanned(ctx, sink); err != nil {
 		return err
 	}
@@ -146,6 +151,8 @@ func (e *executor) run(ctx context.Context, sink func(Snapshot) bool) error {
 // at a time in rank order, so the budget can be checked (and a snapshot
 // emitted) at every step boundary.
 func (e *executor) scanPlanned(ctx context.Context, sink func(Snapshot) bool) error {
+	sp := e.span.StartChild("scan")
+	defer sp.End()
 	steps := e.plan.Steps
 	budget := e.opts.Budget
 	if sink == nil && budget.Deadline.IsZero() && budget.MinRecords <= 0 {
@@ -159,7 +166,7 @@ func (e *executor) scanPlanned(ctx context.Context, sink func(Snapshot) bool) er
 			steps = steps[:budget.MaxPartitions]
 			e.markPartial(BudgetMaxPartitions)
 		}
-		if err := e.scanSteps(ctx, steps, nil, true); err != nil {
+		if err := e.scanSteps(ctx, steps, nil, true, sp); err != nil {
 			return err
 		}
 		e.stats.StepsExecuted = len(steps)
@@ -175,7 +182,7 @@ func (e *executor) scanPlanned(ctx context.Context, sink func(Snapshot) bool) er
 				return nil
 			}
 		}
-		if err := e.scanSteps(ctx, steps[i:i+1], nil, true); err != nil {
+		if err := e.scanSteps(ctx, steps[i:i+1], nil, true, sp); err != nil {
 			return err
 		}
 		e.stats.StepsExecuted++
@@ -206,6 +213,8 @@ func (e *executor) widen(ctx context.Context, sink func(Snapshot) bool) error {
 	case BudgetDeadline, BudgetMinRecords, BudgetCallback:
 		return nil
 	}
+	sp := e.span.StartChild("widen")
+	defer sp.End()
 	pids := make([]int, 0, len(e.executed))
 	for pid, clusters := range e.executed {
 		if clusters == nil {
@@ -228,7 +237,7 @@ func (e *executor) widen(ctx context.Context, sink func(Snapshot) bool) error {
 		for i, pid := range pids {
 			wsteps[i] = PlanStep{Partition: pid}
 		}
-		if err := e.scanSteps(ctx, wsteps, e.executed, false); err != nil {
+		if err := e.scanSteps(ctx, wsteps, e.executed, false, sp); err != nil {
 			return err
 		}
 		for _, pid := range pids {
@@ -244,7 +253,7 @@ func (e *executor) widen(ctx context.Context, sink func(Snapshot) bool) error {
 		// The widening scan of one partition must skip the clusters its
 		// planned step already compared; the done set is consulted before
 		// executed[pid] is overwritten below.
-		if err := e.scanSteps(ctx, []PlanStep{{Partition: pid}}, e.executed, false); err != nil {
+		if err := e.scanSteps(ctx, []PlanStep{{Partition: pid}}, e.executed, false, sp); err != nil {
 			return err
 		}
 		e.executed[pid] = nil
@@ -262,10 +271,15 @@ func (e *executor) widen(ctx context.Context, sink func(Snapshot) bool) error {
 // answers: delta records are resident by definition, so merging them costs
 // no I/O and only improves the snapshot.
 func (e *executor) mergeDelta(ctx context.Context) error {
+	dsp := e.span.StartChild("delta")
 	deltaTop, err := e.ix.scanDelta(ctx, e.executed, e.opts.K, e.stats, e.dist)
+	dsp.SetAttr("records", int64(e.stats.DeltaScanned))
+	dsp.End()
 	if err != nil {
 		return err
 	}
+	msp := e.span.StartChild("merge")
+	defer msp.End()
 	results := e.top.Results()
 	if deltaTop != nil {
 		results = mergeResults(results, deltaTop.Results(), e.opts.K)
@@ -274,6 +288,7 @@ func (e *executor) mergeDelta(ctx context.Context) error {
 		results[i].Dist = math.Sqrt(results[i].Dist)
 	}
 	e.results = results
+	msp.SetAttr("results", int64(len(results)))
 	return nil
 }
 
@@ -322,7 +337,12 @@ const cancelCheckStride = 256
 // as it observes cancellation. Statistics stay consistent on a cancelled
 // query — every record compared and partition loaded before the
 // cancellation is still charged.
-func (e *executor) scanSteps(ctx context.Context, steps []PlanStep, done planMap, countLoads bool) error {
+//
+// stage, when traced, receives one "partition" child span per step,
+// carrying the partition ID, whether the open hit the shared partition
+// cache, and the bytes charged — the per-trace attribution of effort
+// that aggregate QueryStats cannot give.
+func (e *executor) scanSteps(ctx context.Context, steps []PlanStep, done planMap, countLoads bool, stage *obs.Span) error {
 	ix, top, stats, dist := e.ix, e.top, e.stats, e.dist
 
 	var mu sync.Mutex
@@ -358,11 +378,21 @@ func (e *executor) scanSteps(ctx context.Context, steps []PlanStep, done planMap
 		if err := ctx.Err(); err != nil {
 			return err
 		}
+		ssp := stage.StartChild("partition")
+		defer ssp.End()
+		ssp.SetAttr("partition", int64(st.Partition))
 		p, err := ix.Cl.OpenPartition(ix.Parts, st.Partition)
 		if err != nil {
 			return err
 		}
 		defer p.Close()
+		if p.Cached() {
+			if p.CacheHit() {
+				ssp.SetAttr("cache_hit", 1)
+			} else {
+				ssp.SetAttr("cache_hit", 0)
+			}
+		}
 		mu.Lock()
 		if p.Cached() {
 			if p.CacheHit() {
@@ -373,7 +403,9 @@ func (e *executor) scanSteps(ctx context.Context, steps []PlanStep, done planMap
 		}
 		if countLoads {
 			stats.PartitionsScanned++
-			stats.BytesLoaded += int64(p.Count() * storage.RecordBytes(p.SeriesLen()))
+			bytes := int64(p.Count() * storage.RecordBytes(p.SeriesLen()))
+			stats.BytesLoaded += bytes
+			ssp.SetAttr("bytes", bytes)
 		}
 		mu.Unlock()
 		var doneSet map[storage.ClusterID]struct{}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 
+	"climber/internal/obs"
 	"climber/internal/pivot"
 	"climber/internal/series"
 	"climber/internal/trie"
@@ -98,6 +99,34 @@ type Explanation struct {
 	TargetNodeSize int
 	// Partitions are the physical partitions the plan selected, ascending.
 	Partitions []int
+	// Variant names the plan policy that produced the plan.
+	Variant string
+	// Plan is the planner's ranked step list with its scores, in execution
+	// order, each marked with whether the executor actually ran it — steps
+	// with Executed false were skipped by a budget (see
+	// QueryStats.BudgetExhausted for which dimension ran out).
+	Plan []PlanStepInfo
+}
+
+// PlanStepInfo is the explain-facing view of one ranked plan step: the
+// scores the planner ordered it by, what it covers, and whether the
+// executor got to it before the budget ran out.
+type PlanStepInfo struct {
+	// Partition is the physical partition the step opens.
+	Partition int `json:"partition"`
+	// OD is the step's Overlap Distance score (smaller ranks earlier).
+	OD int `json:"od"`
+	// PathLen is the deepest matched trie-path length (deeper ranks
+	// earlier); -1 for whole-partition policies.
+	PathLen int `json:"path_len"`
+	// Est is the skeleton's record-count estimate for the planned clusters
+	// (larger ranks earlier).
+	Est int `json:"est"`
+	// Clusters is the number of record clusters the step scans; 0 means
+	// the whole partition.
+	Clusters int `json:"clusters"`
+	// Executed reports whether the executor ran this step.
+	Executed bool `json:"executed"`
 }
 
 // QueryStats reports where a query's effort went — the metrics behind
@@ -203,6 +232,10 @@ func (ix *Index) search(ctx context.Context, q []float64, opts SearchOptions, si
 // budget (executor), and assemble the result.
 func (ix *Index) runQuery(ctx context.Context, paaQ []float64, opts SearchOptions, sink func(Snapshot) bool, dist distFunc) (*SearchResult, error) {
 	skel := ix.Skel
+
+	// The "plan" span covers the pure in-memory half of the query: dual
+	// signature, group selection, trie descent, and plan ranking.
+	planSpan := obs.SpanFromContext(ctx).StartChild("plan")
 	rs, ri := skel.Pivots.Dual(paaQ)
 
 	// Lines 5-9: best group(s) by OD, ties broken by WD.
@@ -212,6 +245,10 @@ func (ix *Index) runQuery(ctx context.Context, paaQ []float64, opts SearchOption
 	// variant's plan policy.
 	base := ix.selectTarget(cands, rs, bestOD)
 	plan := ix.plan(base, rs, ri, bestOD, opts)
+	planSpan.SetAttr("groups", int64(len(cands)))
+	planSpan.SetAttr("best_od", int64(bestOD))
+	planSpan.SetAttr("steps", int64(len(plan.Steps)))
+	planSpan.End()
 
 	stats := QueryStats{
 		GroupsConsidered: len(cands),
@@ -227,8 +264,18 @@ func (ix *Index) runQuery(ctx context.Context, paaQ []float64, opts SearchOption
 	out := &SearchResult{Results: ex.results, Stats: stats}
 	if opts.Explain {
 		pids := make([]int, 0, len(plan.Steps))
+		stepInfos := make([]PlanStepInfo, 0, len(plan.Steps))
 		for _, st := range plan.Steps {
 			pids = append(pids, st.Partition)
+			_, executed := ex.executed[st.Partition]
+			stepInfos = append(stepInfos, PlanStepInfo{
+				Partition: st.Partition,
+				OD:        st.OD,
+				PathLen:   st.PathLen,
+				Est:       st.Est,
+				Clusters:  len(st.Clusters),
+				Executed:  executed,
+			})
 		}
 		sort.Ints(pids)
 		out.Explain = &Explanation{
@@ -240,6 +287,8 @@ func (ix *Index) runQuery(ctx context.Context, paaQ []float64, opts SearchOption
 			MatchedPath:     rs[:base.pathLen].Clone(),
 			TargetNodeSize:  base.node.Count,
 			Partitions:      pids,
+			Variant:         opts.Variant.String(),
+			Plan:            stepInfos,
 		}
 	}
 	return out, nil

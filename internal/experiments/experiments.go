@@ -107,6 +107,7 @@ func Registry() map[string]Runner {
 		"sharded":      ShardedWorkload,
 		"budget":       BudgetExperiment,
 		"buildscale":   BuildScale,
+		"tracing":      TracingOverhead,
 	}
 }
 

@@ -26,7 +26,7 @@ func TestRegistryComplete(t *testing.T) {
 	want := []string{"fig7a", "fig7b", "fig7cd", "fig8ab", "fig8cd",
 		"fig9", "fig10", "fig11a", "fig11b", "fig12", "table1",
 		"abl-decay", "abl-dual", "abl-sampling", "landscape", "mixed", "sharded",
-		"budget", "buildscale"}
+		"budget", "buildscale", "tracing"}
 	reg := Registry()
 	for _, id := range want {
 		if reg[id] == nil {
@@ -230,6 +230,42 @@ func TestBuildScaleSmoke(t *testing.T) {
 	}
 	if len(report.Builds) != 4 || len(report.Kernels) != 4 {
 		t.Fatalf("bench JSON has %d builds, %d kernels; want 4 and 4", len(report.Builds), len(report.Kernels))
+	}
+}
+
+func TestTracingSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runner smoke tests are slow")
+	}
+	jsonPath := filepath.Join(t.TempDir(), "bench.json")
+	BenchJSONPath = jsonPath
+	defer func() { BenchJSONPath = "" }()
+	out := runnerSmoke(t, "tracing")
+	for _, want := range []string{"off", "sampled", "always", "overhead"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("tracing output missing %q:\n%s", want, out)
+		}
+	}
+	raw, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatalf("bench JSON not written: %v", err)
+	}
+	var report struct {
+		Runs []struct {
+			Mode    string
+			NsPerOp float64 `json:"ns_per_op"`
+		}
+	}
+	if err := json.Unmarshal(raw, &report); err != nil {
+		t.Fatalf("bench JSON malformed: %v", err)
+	}
+	if len(report.Runs) != 3 {
+		t.Fatalf("bench JSON has %d runs, want 3", len(report.Runs))
+	}
+	for _, r := range report.Runs {
+		if r.NsPerOp <= 0 {
+			t.Errorf("mode %s measured %f ns/op", r.Mode, r.NsPerOp)
+		}
 	}
 }
 

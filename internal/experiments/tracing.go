@@ -1,0 +1,150 @@
+package experiments
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"climber/internal/core"
+	"climber/internal/dataset"
+	"climber/internal/obs"
+)
+
+// tracingSampleEvery is the "sampled" mode's period: one query in this
+// many runs under a trace, matching a production -slow-sample of a few
+// percent.
+var tracingSampleEvery = 16
+
+// tracingRun is one mode's measurement.
+type tracingRun struct {
+	Mode    string  `json:"mode"` // off, sampled, always
+	NsPerOp float64 `json:"ns_per_op"`
+	// DeltaPct is the ns/op overhead relative to tracing off, in percent.
+	DeltaPct float64 `json:"delta_pct"`
+}
+
+// tracingReport is the JSON document the tracing experiment writes to
+// BenchJSONPath (the checked-in BENCH_tracing.json baseline).
+type tracingReport struct {
+	Experiment string       `json:"experiment"`
+	Scale      string       `json:"scale"`
+	Records    int          `json:"records"`
+	Queries    int          `json:"queries"`
+	Rounds     int          `json:"rounds"`
+	Runs       []tracingRun `json:"runs"`
+}
+
+// tracingModes enumerates the measured tracing regimes. traced reports
+// whether query i of a round runs under a trace.
+var tracingModes = []struct {
+	name   string
+	traced func(i int) bool
+}{
+	{"off", func(int) bool { return false }},
+	{"sampled", func(i int) bool { return i%tracingSampleEvery == 0 }},
+	{"always", func(int) bool { return true }},
+}
+
+// TracingOverhead measures the query-path cost of the obs tracing layer:
+// the same workload is timed with tracing off (the production default —
+// one context lookup per query), sampled (every 16th query traced), and
+// always on (every query builds and serializes a full span tree). The
+// "off" row is the number the <2% overhead acceptance reads; "always" is
+// the worst case an -slow-sample 1.0 deployment would pay.
+func TracingOverhead(s Scale, workDir string, out io.Writer) error {
+	e, err := newEnv(workDir, "randomwalk", s.BaseSize, 1234)
+	if err != nil {
+		return err
+	}
+	ix, err := core.Build(e.cl, e.bs, climberConfig(s, s.BaseSize), "tracing")
+	if err != nil {
+		return fmt.Errorf("tracing: build: %w", err)
+	}
+	_, qs := dataset.Queries(e.ds, s.Queries, 777)
+	opts := core.SearchOptions{K: s.K, Variant: core.VariantAdaptive4X}
+
+	// Rounds repeat the whole workload so per-query cost averages over
+	// enough executions to be stable; one untimed warm-up pass per mode
+	// absorbs cold partition loads.
+	const rounds = 25
+	runOne := func(traced bool, q []float64) error {
+		//lint:ignore ctxflow benchmark root: each measured query starts a fresh context on purpose
+		ctx := context.Background()
+		var tr *obs.Trace
+		if traced {
+			tr = obs.NewTrace("bench", "")
+			ctx = obs.ContextWithSpan(ctx, tr.Root())
+		}
+		_, err := ix.SearchContext(ctx, q, opts)
+		if tr != nil {
+			tr.Root().End()
+			if tr.Root().Data() == nil { // never true; keeps serialization honest
+				return fmt.Errorf("tracing: empty span tree")
+			}
+		}
+		return err
+	}
+
+	report := tracingReport{
+		Experiment: "tracing",
+		Scale:      s.Name,
+		Records:    s.BaseSize,
+		Queries:    len(qs),
+		Rounds:     rounds,
+	}
+	t := &Table{
+		Caption: fmt.Sprintf("tracing — query ns/op by tracing regime, size=%d K=%d (%d queries x %d rounds, best round)",
+			s.BaseSize, s.K, len(qs), rounds),
+		Header: []string{"mode", "ns/op", "overhead"},
+	}
+	// The workload is partition-I/O bound, so ambient machine noise dwarfs
+	// the tracing delta in any single round. The modes interleave round-
+	// robin (so drift hits all three equally) and each mode reports its
+	// best round — the floor that only the code path itself can raise.
+	best := make([]float64, len(tracingModes))
+	for _, mode := range tracingModes {
+		for i, q := range qs { // warm-up pass, untimed
+			if err := runOne(mode.traced(i), q); err != nil {
+				return fmt.Errorf("tracing %s: %w", mode.name, err)
+			}
+		}
+	}
+	for r := 0; r < rounds; r++ {
+		for mi, mode := range tracingModes {
+			start := time.Now()
+			for i, q := range qs {
+				if err := runOne(mode.traced(i), q); err != nil {
+					return fmt.Errorf("tracing %s: %w", mode.name, err)
+				}
+			}
+			nsPerOp := float64(time.Since(start).Nanoseconds()) / float64(len(qs))
+			if best[mi] == 0 || nsPerOp < best[mi] {
+				best[mi] = nsPerOp
+			}
+		}
+	}
+	offNs := best[0]
+	for mi, mode := range tracingModes {
+		delta := (best[mi] - offNs) / offNs * 100
+		report.Runs = append(report.Runs, tracingRun{Mode: mode.name, NsPerOp: best[mi], DeltaPct: delta})
+		t.Add(mode.name, fmt.Sprintf("%.0f", best[mi]), fmt.Sprintf("%+.1f%%", delta))
+	}
+	if err := t.Write(out); err != nil {
+		return err
+	}
+
+	if BenchJSONPath != "" {
+		raw, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(BenchJSONPath, append(raw, '\n'), 0o644); err != nil {
+			return fmt.Errorf("tracing: write bench JSON: %w", err)
+		}
+		fmt.Fprintf(out, "(bench JSON written to %s)\n", BenchJSONPath)
+	}
+	return nil
+}

@@ -1,0 +1,24 @@
+package obs
+
+import (
+	"net/http"
+	"net/http/pprof"
+)
+
+// DebugMux builds the sidecar diagnostics mux served under
+// -debug-addr by climber-serve and climber-router: net/http/pprof at
+// its conventional /debug/pprof/ paths plus the slow-query ring at
+// /debug/slow. The mux is deliberately separate from the serving mux
+// so profiling endpoints are never exposed on the public port by
+// accident; /debug/slow is additionally mounted on the serving mux by
+// the server and router themselves.
+func DebugMux(slow *SlowLog) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/slow", slow.Handler())
+	return mux
+}

@@ -1,0 +1,198 @@
+package obs
+
+import (
+	"encoding/json"
+	"log/slog"
+	"math/rand/v2"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// SlowLogEntry is one recorded query in the slow-query ring. Reason
+// says why it was kept: "threshold" for queries at or over the slow
+// threshold, "sampled" for probabilistically traced ones. Stats is
+// the query's wire-visible stats value, marshaled as-is.
+type SlowLogEntry struct {
+	Seq        int64     `json:"seq"`
+	Time       time.Time `json:"time"`
+	Endpoint   string    `json:"endpoint"`
+	DurationMS float64   `json:"duration_ms"`
+	Reason     string    `json:"reason"`
+	TraceID    string    `json:"trace_id,omitempty"`
+	Status     int       `json:"status,omitempty"`
+	Stats      any       `json:"stats,omitempty"`
+	Trace      *SpanData `json:"trace,omitempty"`
+}
+
+// SlowLog is a fixed-capacity FIFO ring of slow or sampled queries,
+// safe for concurrent writers. Queries whose duration reaches the
+// threshold are always recorded (and emitted as a structured slog
+// line); sampled entries ride along so the ring also shows what
+// "normal" looks like. When the ring is full the oldest entry is
+// overwritten.
+type SlowLog struct {
+	threshold time.Duration
+	sample    float64
+	logger    *slog.Logger
+
+	mu   sync.Mutex
+	buf  []SlowLogEntry
+	next int   // ring write position
+	n    int   // live entries (≤ cap)
+	seq  int64 // monotone id assigned under mu, exposes eviction order
+}
+
+// NewSlowLog builds a slow-query log holding up to size entries.
+// threshold is the duration at or above which a query is always
+// recorded (0 disables threshold capture); sample in [0,1] is the
+// probability an arbitrary query is head-sampled for tracing (0
+// disables sampling). logger receives one structured line per
+// threshold breach; nil uses slog.Default().
+func NewSlowLog(size int, threshold time.Duration, sample float64, logger *slog.Logger) *SlowLog {
+	if size <= 0 {
+		size = 128
+	}
+	if logger == nil {
+		logger = slog.Default()
+	}
+	return &SlowLog{
+		threshold: threshold,
+		sample:    sample,
+		logger:    logger,
+		buf:       make([]SlowLogEntry, size),
+	}
+}
+
+// Threshold returns the slow threshold the log was built with.
+func (l *SlowLog) Threshold() time.Duration {
+	if l == nil {
+		return 0
+	}
+	return l.threshold
+}
+
+// Sample makes one head-sampling decision: true with probability
+// sample. The server calls this before running a query to decide
+// whether to arm tracing for it.
+func (l *SlowLog) Sample() bool {
+	if l == nil || l.sample <= 0 {
+		return false
+	}
+	return l.sample >= 1 || rand.Float64() < l.sample
+}
+
+// Note considers one finished query. d at or over the threshold
+// records it with reason "threshold" and logs a structured line;
+// otherwise sampled records it with reason "sampled"; otherwise the
+// query is dropped. Safe for concurrent callers on a nil *SlowLog
+// (no-op).
+func (l *SlowLog) Note(endpoint string, d time.Duration, sampled bool, traceID string, status int, stats any, trace *SpanData) {
+	if l == nil {
+		return
+	}
+	slow := l.threshold > 0 && d >= l.threshold
+	if !slow && !sampled {
+		return
+	}
+	e := SlowLogEntry{
+		Time:       time.Now(),
+		Endpoint:   endpoint,
+		DurationMS: float64(d.Microseconds()) / 1000.0,
+		Reason:     "sampled",
+		TraceID:    traceID,
+		Status:     status,
+		Stats:      stats,
+		Trace:      trace,
+	}
+	if slow {
+		e.Reason = "threshold"
+	}
+	l.mu.Lock()
+	l.seq++
+	e.Seq = l.seq
+	l.buf[l.next] = e
+	l.next = (l.next + 1) % len(l.buf)
+	if l.n < len(l.buf) {
+		l.n++
+	}
+	l.mu.Unlock()
+	if slow {
+		l.logger.Warn("slow query",
+			slog.String("endpoint", endpoint),
+			slog.Duration("duration", d),
+			slog.String("trace_id", traceID),
+			slog.Int("status", status),
+		)
+	}
+}
+
+// Entries snapshots the ring oldest-first. Seq values are contiguous
+// over the retained window — the ring has dropped exactly the entries
+// below the first returned Seq.
+func (l *SlowLog) Entries() []SlowLogEntry {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]SlowLogEntry, 0, l.n)
+	start := l.next - l.n
+	if start < 0 {
+		start += len(l.buf)
+	}
+	for i := 0; i < l.n; i++ {
+		out = append(out, l.buf[(start+i)%len(l.buf)])
+	}
+	return out
+}
+
+// Total returns how many entries have ever been recorded (including
+// ones the ring has since evicted).
+func (l *SlowLog) Total() int64 {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.seq
+}
+
+// slowLogPage is the JSON document Handler serves.
+type slowLogPage struct {
+	ThresholdMS float64        `json:"threshold_ms"`
+	Sample      float64        `json:"sample"`
+	Total       int64          `json:"total"`
+	Entries     []SlowLogEntry `json:"entries"`
+}
+
+// Handler serves the ring as JSON (GET /debug/slow): capture
+// configuration, total-ever-recorded, and the retained entries
+// oldest-first. (Marshaled inline rather than via internal/api, which
+// sits above obs in the import graph.)
+func (l *SlowLog) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			w.Header().Set("Allow", http.MethodGet)
+			http.Error(w, `{"error":"GET only"}`, http.StatusMethodNotAllowed)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(slowLogPage{
+			ThresholdMS: float64(l.Threshold().Microseconds()) / 1000.0,
+			Sample:      l.sampleRate(),
+			Total:       l.Total(),
+			Entries:     l.Entries(),
+		})
+	})
+}
+
+// sampleRate returns the configured sampling probability.
+func (l *SlowLog) sampleRate() float64 {
+	if l == nil {
+		return 0
+	}
+	return l.sample
+}

@@ -1,0 +1,126 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"log/slog"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+)
+
+// quiet returns a logger that discards output so tests don't spam stderr.
+func quiet() *slog.Logger {
+	return slog.New(slog.NewTextHandler(io.Discard, nil))
+}
+
+func TestSlowLogThresholdAndSampling(t *testing.T) {
+	l := NewSlowLog(8, 10*time.Millisecond, 0, quiet())
+	l.Note("/search", time.Millisecond, false, "", 200, nil, nil) // fast, unsampled: dropped
+	l.Note("/search", 20*time.Millisecond, false, "abc", 200, nil, nil)
+	l.Note("/search", time.Millisecond, true, "", 200, nil, nil) // sampled rides along
+	got := l.Entries()
+	if len(got) != 2 {
+		t.Fatalf("want 2 entries, got %d", len(got))
+	}
+	if got[0].Reason != "threshold" || got[1].Reason != "sampled" {
+		t.Fatalf("reasons: %q, %q", got[0].Reason, got[1].Reason)
+	}
+	if got[0].TraceID != "abc" {
+		t.Fatalf("trace id lost: %+v", got[0])
+	}
+	if l.Total() != 2 {
+		t.Fatalf("total: %d", l.Total())
+	}
+}
+
+func TestSlowLogSampleRate(t *testing.T) {
+	if (&SlowLog{sample: 0}).Sample() {
+		t.Fatal("sample=0 must never sample")
+	}
+	always := NewSlowLog(1, 0, 1, quiet())
+	for i := 0; i < 10; i++ {
+		if !always.Sample() {
+			t.Fatal("sample=1 must always sample")
+		}
+	}
+	var nilLog *SlowLog
+	if nilLog.Sample() {
+		t.Fatal("nil slowlog sampled")
+	}
+	nilLog.Note("/x", time.Second, true, "", 200, nil, nil) // must not panic
+}
+
+// TestSlowLogFIFOConcurrent is the satellite-3 eviction test: under
+// many concurrent writers the ring must retain exactly the newest
+// `cap` entries, in order — run with -race.
+func TestSlowLogFIFOConcurrent(t *testing.T) {
+	const capacity, writers, perWriter = 32, 8, 50
+	l := NewSlowLog(capacity, time.Nanosecond, 0, quiet())
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				l.Note("/search", time.Millisecond, false, "", 200, nil, nil)
+			}
+		}()
+	}
+	wg.Wait()
+	const total = writers * perWriter
+	if got := l.Total(); got != total {
+		t.Fatalf("total: want %d, got %d", total, got)
+	}
+	got := l.Entries()
+	if len(got) != capacity {
+		t.Fatalf("retained: want %d, got %d", capacity, len(got))
+	}
+	// FIFO eviction: the survivors are exactly the last `capacity`
+	// sequence numbers, ascending and contiguous.
+	for i, e := range got {
+		want := int64(total - capacity + 1 + i)
+		if e.Seq != want {
+			t.Fatalf("entry %d: want seq %d, got %d (eviction not FIFO)", i, want, e.Seq)
+		}
+	}
+}
+
+func TestSlowLogHandler(t *testing.T) {
+	l := NewSlowLog(4, 5*time.Millisecond, 0.5, quiet())
+	l.Note("/search", 10*time.Millisecond, false, "deadbeef", 200, map[string]int{"records": 7}, nil)
+	rec := httptest.NewRecorder()
+	l.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/debug/slow", nil))
+	if rec.Code != 200 {
+		t.Fatalf("status %d", rec.Code)
+	}
+	var page struct {
+		ThresholdMS float64        `json:"threshold_ms"`
+		Sample      float64        `json:"sample"`
+		Total       int64          `json:"total"`
+		Entries     []SlowLogEntry `json:"entries"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &page); err != nil {
+		t.Fatal(err)
+	}
+	if page.ThresholdMS != 5 || page.Sample != 0.5 || page.Total != 1 || len(page.Entries) != 1 {
+		t.Fatalf("page: %+v", page)
+	}
+	rec = httptest.NewRecorder()
+	l.Handler().ServeHTTP(rec, httptest.NewRequest("POST", "/debug/slow", nil))
+	if rec.Code != 405 {
+		t.Fatalf("POST status %d", rec.Code)
+	}
+}
+
+func TestDebugMux(t *testing.T) {
+	mux := DebugMux(NewSlowLog(4, 0, 0, quiet()))
+	for _, path := range []string{"/debug/slow", "/debug/pprof/", "/debug/pprof/cmdline"} {
+		rec := httptest.NewRecorder()
+		mux.ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+		if rec.Code != 200 {
+			t.Fatalf("%s: status %d", path, rec.Code)
+		}
+	}
+}

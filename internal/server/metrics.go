@@ -29,10 +29,17 @@ type metrics struct {
 	budgetExh    atomic.Int64   // queries answered partially, budget exhausted
 	inflight     atomic.Int64   // queries currently holding an admission slot
 	queued       atomic.Int64   // requests currently waiting for a slot
+	traced       atomic.Int64   // queries that ran with a trace attached
 	latency      *api.Histogram // read path (search + batch + prefix) only
 	appendLat    *api.Histogram // write path; fsync-bound, kept out of the
 	// query histogram so write bursts cannot skew search percentiles
+	stageLat map[string]*api.Histogram // per-pipeline-stage latency, traced queries only
 }
+
+// stageNames are the pipeline stages of one traced query, in execution
+// order — the direct children of a query's root span (see internal/core)
+// and the label values of climber_stage_latency_seconds.
+var stageNames = []string{"plan", "scan", "widen", "delta", "merge"}
 
 // ServerStats is the JSON shape of the server section of GET /stats.
 type ServerStats struct {
@@ -75,14 +82,21 @@ func (m *metrics) snapshot(uptime time.Duration) ServerStats {
 
 // renderProm writes the Prometheus text exposition of the server counters,
 // the latency histograms, and the DB's partition-cache and ingestion
-// counters.
-func (m *metrics) renderProm(w *strings.Builder, cache climber.CacheStats, ing climber.IngestStats) {
+// counters. buildInfo is the pre-rendered label set of the
+// climber_build_info gauge; slowTotal is the slow-query log's lifetime
+// entry count.
+func (m *metrics) renderProm(w *strings.Builder, buildInfo string, slowTotal int64, cache climber.CacheStats, ing climber.IngestStats) {
 	metric := func(name, help, kind string, v int64) {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, kind)
 		fmt.Fprintf(w, "%s %d\n", name, v)
 	}
 	counter := func(name, help string, v int64) { metric(name, help, "counter", v) }
 	gauge := func(name, help string, v int64) { metric(name, help, "gauge", v) }
+	if buildInfo != "" {
+		fmt.Fprintf(w, "# HELP climber_build_info Build and index-granularity identity; constant 1.\n")
+		fmt.Fprintf(w, "# TYPE climber_build_info gauge\n")
+		fmt.Fprintf(w, "climber_build_info{%s} 1\n", buildInfo)
+	}
 	counter("climber_search_requests_total", "Answered /search requests.", m.searches.Load())
 	counter("climber_batch_requests_total", "Answered /search/batch requests.", m.batches.Load())
 	counter("climber_batch_queries_total", "Queries inside answered batches.", m.batchQueries.Load())
@@ -94,11 +108,18 @@ func (m *metrics) renderProm(w *strings.Builder, cache climber.CacheStats, ing c
 	counter("climber_budget_exhausted_total", "Queries answered partially because their time/partition budget ran out.", m.budgetExh.Load())
 	gauge("climber_inflight_queries", "Queries currently holding an admission slot.", m.inflight.Load())
 	gauge("climber_queued_requests", "Requests currently waiting for an admission slot.", m.queued.Load())
+	counter("climber_traced_queries_total", "Queries that ran with tracing attached (explain, sampled, or propagated).", m.traced.Load())
+	counter("climber_slow_log_entries_total", "Requests recorded in the slow-query log (threshold or sampled).", slowTotal)
 
 	m.latency.Render(w, "climber_query_latency_seconds",
-		"End-to-end query latency (admission to answer).")
+		"End-to-end query latency, every outcome included (200s, 400s, 429s).")
 	m.appendLat.Render(w, "climber_append_latency_seconds",
 		"End-to-end append latency (admission to durable ack).")
+	for i, st := range stageNames {
+		m.stageLat[st].RenderLabeled(w, "climber_stage_latency_seconds",
+			fmt.Sprintf("stage=%q", st),
+			"Per-pipeline-stage latency of traced queries.", i == 0)
+	}
 
 	counter("climber_partition_cache_hits_total", "Partition opens served from the shared cache.", cache.Hits)
 	counter("climber_partition_cache_misses_total", "Partition opens that loaded from disk.", cache.Misses)

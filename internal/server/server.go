@@ -40,14 +40,18 @@ package server
 import (
 	"context"
 	"errors"
+	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"runtime"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"climber"
 	"climber/internal/api"
+	"climber/internal/obs"
 )
 
 // StatusClientClosedRequest is the non-standard status (nginx's 499)
@@ -79,6 +83,20 @@ type Config struct {
 	// itself work an overloaded server must bound), so without a deadline
 	// a slow-trickling client could pin slots indefinitely. Default: 15s.
 	BodyReadTimeout time.Duration
+	// SlowLogSize bounds the slow-query ring buffer (GET /debug/slow);
+	// when full, the oldest entry is evicted. Default: 128.
+	SlowLogSize int
+	// SlowThreshold is the duration at or above which a finished request
+	// is recorded in the slow-query log and emitted as a structured log
+	// line. Default: 500ms; negative disables threshold capture.
+	SlowThreshold time.Duration
+	// SlowSample in [0, 1] is the probability an arbitrary query is
+	// head-sampled: traced end to end and recorded in the slow-query log
+	// even when fast, so the log also shows what normal looks like and the
+	// per-stage histograms fill without explain traffic. Default: 0.
+	SlowSample float64
+	// Logger receives the slow-query lines. Default: slog.Default().
+	Logger *slog.Logger
 }
 
 func (c Config) withDefaults() Config {
@@ -103,6 +121,21 @@ func (c Config) withDefaults() Config {
 	if c.BodyReadTimeout <= 0 {
 		c.BodyReadTimeout = 15 * time.Second
 	}
+	if c.SlowLogSize <= 0 {
+		c.SlowLogSize = 128
+	}
+	if c.SlowThreshold == 0 {
+		c.SlowThreshold = 500 * time.Millisecond
+	}
+	if c.SlowThreshold < 0 {
+		c.SlowThreshold = 0 // disabled
+	}
+	if c.SlowSample < 0 {
+		c.SlowSample = 0
+	}
+	if c.SlowSample > 1 {
+		c.SlowSample = 1
+	}
 	return c
 }
 
@@ -116,6 +149,8 @@ type Server struct {
 	lim       *api.Limiter
 	m         metrics
 	started   time.Time
+	slow      *obs.SlowLog
+	buildInfo string // rendered label set of the climber_build_info gauge
 
 	// Test seams: hookAdmitted runs after a query request is admitted
 	// (holding its slot) and before the search starts; hookSearchDone
@@ -142,22 +177,153 @@ func New(db *climber.DB, cfg Config) *Server {
 	})
 	s.m.latency = api.NewHistogram()
 	s.m.appendLat = api.NewHistogram()
+	s.m.stageLat = make(map[string]*api.Histogram, len(stageNames))
+	for _, st := range stageNames {
+		s.m.stageLat[st] = api.NewHistogram()
+	}
+	s.slow = obs.NewSlowLog(s.cfg.SlowLogSize, s.cfg.SlowThreshold, s.cfg.SlowSample, s.cfg.Logger)
+	cfg0 := db.Index().Skel.Cfg
+	s.buildInfo = fmt.Sprintf("version=%q,series_len=\"%d\",segments=\"%d\",prefix_len=\"%d\"",
+		climber.Version, s.seriesLen, cfg0.Segments, cfg0.PrefixLen)
 	return s
 }
+
+// SlowLog exposes the server's slow-query ring so cmd/climber-serve can
+// mount it on the -debug-addr diagnostics listener too.
+func (s *Server) SlowLog() *obs.SlowLog { return s.slow }
 
 // Handler returns the service's routing handler.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /search", s.handleSearch)
-	mux.HandleFunc("POST /search/batch", s.handleBatch)
-	mux.HandleFunc("POST /search/prefix", s.handlePrefix)
-	mux.HandleFunc("POST /append", s.handleAppend)
+	mux.Handle("POST /search", s.instrument("/search", &s.m.searches, s.m.latency, s.handleSearch))
+	mux.Handle("POST /search/batch", s.instrument("/search/batch", &s.m.batches, s.m.latency, s.handleBatch))
+	mux.Handle("POST /search/prefix", s.instrument("/search/prefix", &s.m.prefixes, s.m.latency, s.handlePrefix))
+	mux.Handle("POST /append", s.instrument("/append", &s.m.appends, s.m.appendLat, s.handleAppend))
 	mux.HandleFunc("POST /flush", s.handleFlush)
 	mux.HandleFunc("GET /info", s.handleInfo)
 	mux.HandleFunc("GET /stats", s.handleStats)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.Handle("GET /debug/slow", s.slow.Handler())
 	return mux
+}
+
+// queryObs carries one request's observability state between the
+// instrument wrapper and its handler: the wrapper decides sampling and
+// parses the propagated traceparent header before the handler runs, the
+// handler fills in what the query produced, and the wrapper turns the
+// result into histogram observations and a slow-log entry.
+type queryObs struct {
+	// sampled arms tracing without an explain flag: set by an upstream
+	// traceparent sampled bit or by the slow log's head-sampling.
+	sampled bool
+	// traceID is the propagated trace id ("" = generate fresh).
+	traceID string
+	// stats, trace, stages are filled by the handler after the query.
+	stats  any
+	trace  *obs.SpanData
+	stages map[string]int64
+}
+
+// qobsKey is the context key carrying the request's *queryObs.
+type qobsKey struct{}
+
+// qobsFrom returns the request's observability state, or nil outside an
+// instrumented handler.
+func qobsFrom(ctx context.Context) *queryObs {
+	qo, _ := ctx.Value(qobsKey{}).(*queryObs)
+	return qo
+}
+
+// statusWriter captures the response status code for the slow-query log.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (sw *statusWriter) WriteHeader(code int) {
+	if sw.status == 0 {
+		sw.status = code
+	}
+	sw.ResponseWriter.WriteHeader(code)
+}
+
+func (sw *statusWriter) Write(b []byte) (int, error) {
+	if sw.status == 0 {
+		sw.status = http.StatusOK
+	}
+	return sw.ResponseWriter.Write(b)
+}
+
+// instrument wraps one query-path handler with the unified observation
+// pipeline: the latency histogram sees every outcome — 400s and 429s
+// included, where previously the error paths skipped the histogram and
+// bad-request storms were invisible in the percentiles — the endpoint
+// counter increments exactly once per request, traced queries feed the
+// per-stage histograms, and every finished request is offered to the
+// slow-query log.
+func (s *Server) instrument(endpoint string, count *atomic.Int64, lat *api.Histogram, h func(http.ResponseWriter, *http.Request)) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		qo := &queryObs{}
+		if id, sampled, ok := obs.ParseTraceparent(r.Header.Get(obs.TraceHeader)); ok {
+			qo.traceID, qo.sampled = id, sampled
+		}
+		if !qo.sampled {
+			qo.sampled = s.slow.Sample()
+		}
+		sw := &statusWriter{ResponseWriter: w}
+		start := time.Now()
+		h(sw, r.WithContext(context.WithValue(r.Context(), qobsKey{}, qo)))
+		d := time.Since(start)
+		lat.Observe(d)
+		count.Add(1)
+		for stage, ns := range qo.stages {
+			if hist := s.m.stageLat[stage]; hist != nil {
+				hist.Observe(time.Duration(ns))
+			}
+		}
+		status := sw.status
+		if status == 0 {
+			status = http.StatusOK
+		}
+		s.slow.Note(endpoint, d, qo.sampled, qo.traceID, status, qo.stats, qo.trace)
+	})
+}
+
+// traceFor starts a trace for the request when it asked for explain or
+// the sampling decision armed one, adopting a propagated trace id so
+// the router's logs and this server's agree on identity. Returns the
+// (possibly traced) context and the trace — nil when tracing is off,
+// which every downstream span call tolerates.
+func (s *Server) traceFor(ctx context.Context, name string, explain bool) (context.Context, *obs.Trace) {
+	qo := qobsFrom(ctx)
+	if qo == nil || (!explain && !qo.sampled) {
+		return ctx, nil
+	}
+	tr := obs.NewTrace(name, qo.traceID)
+	qo.traceID = tr.ID()
+	s.m.traced.Add(1)
+	return obs.ContextWithSpan(ctx, tr.Root()), tr
+}
+
+// finishTrace ends the trace, stores the query's wire stats and span
+// tree into the request's observation state, and returns the span tree
+// for the explain response (nil when untraced).
+func finishTrace(ctx context.Context, tr *obs.Trace, stats any) *obs.SpanData {
+	qo := qobsFrom(ctx)
+	if qo != nil {
+		qo.stats = stats
+	}
+	if tr == nil {
+		return nil
+	}
+	tr.Root().End()
+	data := tr.Root().Data()
+	if qo != nil {
+		qo.trace = data
+		qo.stages = tr.Root().StageNanos()
+	}
+	return data
 }
 
 // admit acquires an in-flight slot, waiting up to QueueTimeout. It returns
@@ -225,24 +391,37 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	if s.hookAdmitted != nil {
 		s.hookAdmitted(r.Context())
 	}
-	ctx, cancel := s.budgetContext(r.Context(), req.TimeBudgetMS)
+	tctx, tr := s.traceFor(r.Context(), "search", req.Explain)
+	ctx, cancel := s.budgetContext(tctx, req.TimeBudgetMS)
 	defer cancel()
 
-	start := time.Now()
-	res, stats, err := s.db.SearchWithStatsContext(ctx, req.Query, req.K,
-		api.SearchOptions(req.Variant, req.MaxPartitions, req.TimeBudgetMS)...)
-	s.m.latency.Observe(time.Since(start))
-	s.m.searches.Add(1)
+	opts := api.SearchOptions(req.Variant, req.MaxPartitions, req.TimeBudgetMS)
+	var (
+		res   []climber.Result
+		stats climber.Stats
+		expl  *climber.Explanation
+	)
+	if req.Explain {
+		res, stats, expl, err = s.db.SearchExplainContext(ctx, req.Query, req.K, opts...)
+	} else {
+		res, stats, err = s.db.SearchWithStatsContext(ctx, req.Query, req.K, opts...)
+	}
+	trace := finishTrace(r.Context(), tr, stats)
 	if !s.finishQuery(w, err) {
 		return
 	}
 	if stats.Partial {
 		s.m.budgetExh.Add(1)
 	}
-	api.WriteJSON(w, http.StatusOK, SearchResponse{
+	resp := SearchResponse{
 		Results: toWire(res), Stats: stats,
 		Partial: stats.Partial, StepsExecuted: stats.StepsExecuted,
-	})
+	}
+	if req.Explain {
+		resp.Explain = map[string]*api.ExplainData{"": api.ExplainFromCore(expl)}
+		resp.Trace = trace
+	}
+	api.WriteJSON(w, http.StatusOK, resp)
 }
 
 // budgetContext derives the per-request deadline a time budget implies: the
@@ -281,24 +460,37 @@ func (s *Server) handlePrefix(w http.ResponseWriter, r *http.Request) {
 	if s.hookAdmitted != nil {
 		s.hookAdmitted(r.Context())
 	}
-	ctx, cancel := s.budgetContext(r.Context(), req.TimeBudgetMS)
+	tctx, tr := s.traceFor(r.Context(), "prefix", req.Explain)
+	ctx, cancel := s.budgetContext(tctx, req.TimeBudgetMS)
 	defer cancel()
 
-	start := time.Now()
-	res, stats, err := s.db.SearchPrefixWithStatsContext(ctx, req.Query, req.K,
-		api.SearchOptions(req.Variant, req.MaxPartitions, req.TimeBudgetMS)...)
-	s.m.latency.Observe(time.Since(start))
-	s.m.prefixes.Add(1)
+	opts := api.SearchOptions(req.Variant, req.MaxPartitions, req.TimeBudgetMS)
+	var (
+		res   []climber.Result
+		stats climber.Stats
+		expl  *climber.Explanation
+	)
+	if req.Explain {
+		res, stats, expl, err = s.db.SearchPrefixExplainContext(ctx, req.Query, req.K, opts...)
+	} else {
+		res, stats, err = s.db.SearchPrefixWithStatsContext(ctx, req.Query, req.K, opts...)
+	}
+	trace := finishTrace(r.Context(), tr, stats)
 	if !s.finishQuery(w, err) {
 		return
 	}
 	if stats.Partial {
 		s.m.budgetExh.Add(1)
 	}
-	api.WriteJSON(w, http.StatusOK, SearchResponse{
+	resp := SearchResponse{
 		Results: toWire(res), Stats: stats,
 		Partial: stats.Partial, StepsExecuted: stats.StepsExecuted,
-	})
+	}
+	if req.Explain {
+		resp.Explain = map[string]*api.ExplainData{"": api.ExplainFromCore(expl)}
+		resp.Trace = trace
+	}
+	api.WriteJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
@@ -327,14 +519,20 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	// queries than MaxInFlight allows across the whole server.
 	extra, releaseExtra := s.lim.AcquireExtra(min(len(req.Queries), s.cfg.MaxInFlight) - 1)
 	defer releaseExtra()
-	ctx, cancel := s.budgetContext(r.Context(), req.TimeBudgetMS)
+	tctx, tr := s.traceFor(r.Context(), "batch", req.Explain)
+	ctx, cancel := s.budgetContext(tctx, req.TimeBudgetMS)
 	defer cancel()
 
-	start := time.Now()
 	batch, stats, err := s.db.SearchBatchWithStatsContextWorkers(ctx, req.Queries, req.K, 1+extra,
 		api.SearchOptions(req.Variant, req.MaxPartitions, req.TimeBudgetMS)...)
-	s.m.latency.Observe(time.Since(start))
-	s.m.batches.Add(1)
+	sum := batchSummary{Queries: len(req.Queries)}
+	for _, st := range stats {
+		sum.StepsExecuted += st.StepsExecuted
+		if st.Partial {
+			sum.Truncated++
+		}
+	}
+	trace := finishTrace(r.Context(), tr, sum)
 	if !s.finishQuery(w, err) {
 		return
 	}
@@ -343,19 +541,27 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	for i, res := range batch {
 		out[i] = toWire(res)
 	}
-	resp := BatchResponse{Results: out}
-	truncated := 0
-	for _, st := range stats {
-		resp.StepsExecuted += st.StepsExecuted
-		if st.Partial {
-			resp.Partial = true
-			truncated++
-		}
+	resp := BatchResponse{
+		Results:       out,
+		StepsExecuted: sum.StepsExecuted,
+		Partial:       sum.Truncated > 0,
 	}
 	// The counter is per query (matching /search), not per batch request:
 	// a 50-query batch with 40 truncated answers counts 40.
-	s.m.budgetExh.Add(int64(truncated))
+	s.m.budgetExh.Add(int64(sum.Truncated))
+	if req.Explain {
+		resp.Trace = trace
+	}
 	api.WriteJSON(w, http.StatusOK, resp)
+}
+
+// batchSummary is the slow-query-log stats shape for a batch request: a
+// compact roll-up, not a full stats fold — per-query detail lives under
+// the trace's "query" spans.
+type batchSummary struct {
+	Queries       int `json:"queries"`
+	StepsExecuted int `json:"steps_executed"`
+	Truncated     int `json:"truncated"`
 }
 
 func (s *Server) handleAppend(w http.ResponseWriter, r *http.Request) {
@@ -382,10 +588,7 @@ func (s *Server) handleAppend(w http.ResponseWriter, r *http.Request) {
 		s.hookAdmitted(r.Context())
 	}
 
-	start := time.Now()
 	ids, err := s.db.AppendContext(r.Context(), req.Series)
-	s.m.appendLat.Observe(time.Since(start))
-	s.m.appends.Add(1)
 	if !s.finishQuery(w, err) {
 		return
 	}
@@ -451,7 +654,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	var b strings.Builder
-	s.m.renderProm(&b, s.db.CacheStats(), s.db.IngestStats())
+	s.m.renderProm(&b, s.buildInfo, s.slow.Total(), s.db.CacheStats(), s.db.IngestStats())
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	_, _ = io.WriteString(w, b.String())
 }

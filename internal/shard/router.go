@@ -7,6 +7,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"runtime"
 	"strings"
@@ -16,6 +17,7 @@ import (
 
 	"climber"
 	"climber/internal/api"
+	"climber/internal/obs"
 )
 
 // Config tunes the router. The zero value is usable: every field falls
@@ -55,6 +57,20 @@ type Config struct {
 	// Client overrides the HTTP client used for shard traffic (tests,
 	// custom transports). Default: a client with a widened idle pool.
 	Client *http.Client
+	// SlowLogSize bounds the slow-query ring buffer (GET /debug/slow).
+	// Default: 128.
+	SlowLogSize int
+	// SlowThreshold is the duration at or above which a finished routed
+	// request is recorded in the slow-query log. Default: 500ms; negative
+	// disables threshold capture.
+	SlowThreshold time.Duration
+	// SlowSample in [0, 1] is the probability an arbitrary routed query is
+	// head-sampled: traced across the router AND the shards (the sampled
+	// bit propagates in the traceparent header) and recorded in the slow
+	// log even when fast. Default: 0.
+	SlowSample float64
+	// Logger receives the slow-query lines. Default: slog.Default().
+	Logger *slog.Logger
 }
 
 func (c Config) withDefaults() Config {
@@ -87,6 +103,21 @@ func (c Config) withDefaults() Config {
 		tr.MaxIdleConnsPerHost = 64
 		c.Client = &http.Client{Transport: tr}
 	}
+	if c.SlowLogSize <= 0 {
+		c.SlowLogSize = 128
+	}
+	if c.SlowThreshold == 0 {
+		c.SlowThreshold = 500 * time.Millisecond
+	}
+	if c.SlowThreshold < 0 {
+		c.SlowThreshold = 0 // disabled
+	}
+	if c.SlowSample < 0 {
+		c.SlowSample = 0
+	}
+	if c.SlowSample > 1 {
+		c.SlowSample = 1
+	}
 	return c
 }
 
@@ -101,6 +132,7 @@ type Router struct {
 	lim     *api.Limiter
 	m       rmetrics
 	started time.Time
+	slow    *obs.SlowLog
 
 	// seriesLen is the indexed series length, learned from the first shard
 	// /info that answers; 0 until then. Request validation needs it, so a
@@ -128,25 +160,36 @@ type Router struct {
 // rmetrics aggregates the router's operational counters; the admission
 // ones are written by the shared api.Limiter.
 type rmetrics struct {
-	searches    atomic.Int64   // /search requests answered (incl. errors)
-	batches     atomic.Int64   // /search/batch requests answered
-	prefixes    atomic.Int64   // /search/prefix requests answered
-	appends     atomic.Int64   // /append requests answered
-	appendSer   atomic.Int64   // series inside successful appends
-	flushes     atomic.Int64   // /flush requests answered
-	badRequests atomic.Int64   // 400s from decode/validation
-	rejected    atomic.Int64   // 429s from admission control
-	canceled    atomic.Int64   // requests aborted by client disconnect
-	errors      atomic.Int64   // requests failed (shard loss, quorum, internal)
-	partials    atomic.Int64   // successful answers merged from a strict subset
-	budgetExh   atomic.Int64   // answers partial because a shard's budget ran out
-	dups        atomic.Int64   // duplicate global IDs dropped by the merge
-	inflight    atomic.Int64   // requests currently holding an admission slot
-	queued      atomic.Int64   // requests currently waiting for a slot
-	shardErrs   []atomic.Int64 // failed sub-requests, indexed like topo.Shards
-	latency     *api.Histogram // read path (search + batch + prefix)
-	appendLat   *api.Histogram // write path
+	searches    atomic.Int64              // /search requests answered (incl. errors)
+	batches     atomic.Int64              // /search/batch requests answered
+	prefixes    atomic.Int64              // /search/prefix requests answered
+	appends     atomic.Int64              // /append requests answered
+	appendSer   atomic.Int64              // series inside successful appends
+	flushes     atomic.Int64              // /flush requests answered
+	badRequests atomic.Int64              // 400s from decode/validation
+	rejected    atomic.Int64              // 429s from admission control
+	canceled    atomic.Int64              // requests aborted by client disconnect
+	errors      atomic.Int64              // requests failed (shard loss, quorum, internal)
+	partials    atomic.Int64              // successful answers merged from a strict subset
+	budgetExh   atomic.Int64              // answers partial because a shard's budget ran out
+	dups        atomic.Int64              // duplicate global IDs dropped by the merge
+	inflight    atomic.Int64              // requests currently holding an admission slot
+	queued      atomic.Int64              // requests currently waiting for a slot
+	traced      atomic.Int64              // routed queries that ran with a trace attached
+	partScanned atomic.Int64              // partitions scanned by the shards for routed answers
+	cacheHits   atomic.Int64              // shard partition-cache hits inside routed answers
+	cacheMisses atomic.Int64              // shard partition-cache misses inside routed answers
+	deltaRecs   atomic.Int64              // delta records the shards scanned for routed answers
+	shardErrs   []atomic.Int64            // failed sub-requests, indexed like topo.Shards
+	latency     *api.Histogram            // read path (search + batch + prefix)
+	appendLat   *api.Histogram            // write path
+	stageLat    map[string]*api.Histogram // per-router-stage latency, traced queries only
 }
+
+// rstageNames are the router's pipeline stages — the direct children of
+// a routed query's root span and the label values of
+// climber_router_stage_latency_seconds.
+var rstageNames = []string{"scatter", "merge"}
 
 // NewRouter builds a router over a validated topology and starts its
 // background health prober. Every shard starts optimistically marked up;
@@ -174,6 +217,11 @@ func NewRouter(t *Topology, cfg Config) *Router {
 	r.m.shardErrs = make([]atomic.Int64, len(t.Shards))
 	r.m.latency = api.NewHistogram()
 	r.m.appendLat = api.NewHistogram()
+	r.m.stageLat = make(map[string]*api.Histogram, len(rstageNames))
+	for _, st := range rstageNames {
+		r.m.stageLat[st] = api.NewHistogram()
+	}
+	r.slow = obs.NewSlowLog(r.cfg.SlowLogSize, r.cfg.SlowThreshold, r.cfg.SlowSample, r.cfg.Logger)
 	for i := range r.up {
 		r.up[i].Store(true)
 	}
@@ -197,16 +245,131 @@ func (r *Router) Close() {
 // sharded deployment.
 func (r *Router) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /search", r.handleSearch)
-	mux.HandleFunc("POST /search/batch", r.handleBatch)
-	mux.HandleFunc("POST /search/prefix", r.handlePrefix)
-	mux.HandleFunc("POST /append", r.handleAppend)
+	mux.Handle("POST /search", r.instrument("/search", &r.m.searches, r.m.latency, r.handleSearch))
+	mux.Handle("POST /search/batch", r.instrument("/search/batch", &r.m.batches, r.m.latency, r.handleBatch))
+	mux.Handle("POST /search/prefix", r.instrument("/search/prefix", &r.m.prefixes, r.m.latency, r.handlePrefix))
+	mux.Handle("POST /append", r.instrument("/append", &r.m.appends, r.m.appendLat, r.handleAppend))
 	mux.HandleFunc("POST /flush", r.handleFlush)
 	mux.HandleFunc("GET /info", r.handleInfo)
 	mux.HandleFunc("GET /stats", r.handleStats)
 	mux.HandleFunc("GET /healthz", r.handleHealthz)
 	mux.HandleFunc("GET /metrics", r.handleMetrics)
+	mux.Handle("GET /debug/slow", r.slow.Handler())
 	return mux
+}
+
+// SlowLog exposes the router's slow-query ring so cmd/climber-router can
+// mount it on the -debug-addr diagnostics listener too.
+func (r *Router) SlowLog() *obs.SlowLog { return r.slow }
+
+// queryObs carries one routed request's observability state between the
+// instrument wrapper and its handler — same contract as the server's
+// (internal/server): the wrapper decides sampling before the handler
+// runs, the handler fills in what the query produced.
+type queryObs struct {
+	sampled bool
+	traceID string // propagated trace id ("" = generate fresh)
+	stats   any
+	trace   *obs.SpanData
+	stages  map[string]int64
+}
+
+// qobsKey is the context key carrying the request's *queryObs.
+type qobsKey struct{}
+
+// qobsFrom returns the request's observability state, or nil outside an
+// instrumented handler.
+func qobsFrom(ctx context.Context) *queryObs {
+	qo, _ := ctx.Value(qobsKey{}).(*queryObs)
+	return qo
+}
+
+// statusWriter captures the response status code for the slow-query log.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (sw *statusWriter) WriteHeader(code int) {
+	if sw.status == 0 {
+		sw.status = code
+	}
+	sw.ResponseWriter.WriteHeader(code)
+}
+
+func (sw *statusWriter) Write(b []byte) (int, error) {
+	if sw.status == 0 {
+		sw.status = http.StatusOK
+	}
+	return sw.ResponseWriter.Write(b)
+}
+
+// instrument wraps one routed query handler with the unified observation
+// pipeline: the latency histogram sees every outcome (400s and 429s
+// included), the endpoint counter increments exactly once per request,
+// traced queries feed the per-stage histograms, and every finished
+// request is offered to the slow-query log.
+func (r *Router) instrument(endpoint string, count *atomic.Int64, lat *api.Histogram, h func(http.ResponseWriter, *http.Request)) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		qo := &queryObs{}
+		if id, sampled, ok := obs.ParseTraceparent(req.Header.Get(obs.TraceHeader)); ok {
+			qo.traceID, qo.sampled = id, sampled
+		}
+		if !qo.sampled {
+			qo.sampled = r.slow.Sample()
+		}
+		sw := &statusWriter{ResponseWriter: w}
+		start := time.Now()
+		h(sw, req.WithContext(context.WithValue(req.Context(), qobsKey{}, qo)))
+		d := time.Since(start)
+		lat.Observe(d)
+		count.Add(1)
+		for stage, ns := range qo.stages {
+			if hist := r.m.stageLat[stage]; hist != nil {
+				hist.Observe(time.Duration(ns))
+			}
+		}
+		status := sw.status
+		if status == 0 {
+			status = http.StatusOK
+		}
+		r.slow.Note(endpoint, d, qo.sampled, qo.traceID, status, qo.stats, qo.trace)
+	})
+}
+
+// traceFor starts a router trace when the request asked for explain or
+// the sampling decision armed one. The trace's sampled state propagates
+// to every forwarded sub-request via the traceparent header (see
+// forward), so the shards trace the same query under the same id.
+func (r *Router) traceFor(ctx context.Context, name string, explain bool) (context.Context, *obs.Trace) {
+	qo := qobsFrom(ctx)
+	if qo == nil || (!explain && !qo.sampled) {
+		return ctx, nil
+	}
+	tr := obs.NewTrace(name, qo.traceID)
+	qo.traceID = tr.ID()
+	r.m.traced.Add(1)
+	return obs.ContextWithSpan(ctx, tr.Root()), tr
+}
+
+// finishTrace ends the trace and stores the routed query's stats and
+// span tree into the request's observation state, returning the span
+// tree for the explain response (nil when untraced).
+func finishTrace(ctx context.Context, tr *obs.Trace, stats any) *obs.SpanData {
+	qo := qobsFrom(ctx)
+	if qo != nil {
+		qo.stats = stats
+	}
+	if tr == nil {
+		return nil
+	}
+	tr.Root().End()
+	data := tr.Root().Data()
+	if qo != nil {
+		qo.trace = data
+		qo.stages = tr.Root().StageNanos()
+	}
+	return data
 }
 
 // healthLoop probes every shard's /healthz each HealthInterval and flips
@@ -304,7 +467,10 @@ func (r *Router) do(req *http.Request) ([]byte, error) {
 	return raw, nil
 }
 
-// forward POSTs body to one shard and returns the response body.
+// forward POSTs body to one shard and returns the response body. When ctx
+// carries an active span, the sub-request gets a traceparent header with
+// the sampled bit set, so the shard traces the same query under the same
+// id and its trace nests under the router's.
 func (r *Router) forward(ctx context.Context, shard int, path string, body []byte) ([]byte, error) {
 	if r.cfg.ShardTimeout > 0 {
 		var cancel context.CancelFunc
@@ -316,6 +482,9 @@ func (r *Router) forward(ctx context.Context, shard int, path string, body []byt
 		return nil, err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	if sp := obs.SpanFromContext(ctx); sp != nil {
+		req.Header.Set(obs.TraceHeader, obs.FormatTraceparent(sp.Trace().ID(), true))
+	}
 	return r.do(req)
 }
 
@@ -333,11 +502,14 @@ func (r *Router) getShard(ctx context.Context, shard int, path string, timeout t
 	return r.do(req)
 }
 
-// reply is one shard's scatter outcome.
+// reply is one shard's scatter outcome. span is the per-shard child of
+// the scatter span (nil when untraced); the gather step grafts the
+// shard's own span tree under it.
 type reply struct {
 	shard int
 	body  []byte
 	err   error
+	span  *obs.Span
 }
 
 // errQuorum is the scatter failure of a quorum-policy read: fewer shards
@@ -378,11 +550,16 @@ func (r *Router) scatter(ctx context.Context, path string, body []byte) (oks []r
 
 	sctx, cancel := context.WithCancel(ctx)
 	defer cancel()
+	scatterSpan := obs.SpanFromContext(ctx)
 	replies := make(chan reply, len(targets))
 	for _, i := range targets {
 		go func(i int) {
-			raw, err := r.forward(sctx, i, path, body)
-			replies <- reply{shard: i, body: raw, err: err}
+			ssp := scatterSpan.StartChild("shard")
+			ssp.SetLabel("shard", r.topo.Shards[i].ID)
+			ssp.SetAttr("shard", int64(i))
+			raw, err := r.forward(obs.ContextWithSpan(sctx, ssp), i, path, body)
+			ssp.End()
+			replies <- reply{shard: i, body: raw, err: err, span: ssp}
 		}(i)
 	}
 	var firstErr error
@@ -542,12 +719,16 @@ func (r *Router) aggregateInfo(ctx context.Context) (*InfoResponse, error) {
 // gatherSearch decodes scatter replies for /search-shaped endpoints and
 // merges them into the global top-k. A shard that answered partially (its
 // local budget stopped the query) marks the merged answer partial too —
-// the global top-k can only be as complete as its inputs.
-func (r *Router) gatherSearch(oks []reply, k int) (*SearchResponse, error) {
+// the global top-k can only be as complete as its inputs. When the
+// request asked for explain, each shard's planner explanation is keyed by
+// its shard ID and its span tree is grafted under the scatter span that
+// fetched it.
+func (r *Router) gatherSearch(oks []reply, k int, explain bool) (*SearchResponse, error) {
 	answers := make([]answer, 0, len(oks))
 	stats := make([]climber.Stats, 0, len(oks))
 	budgetPartial := false
 	steps := 0
+	var explains map[string]*api.ExplainData
 	for _, rep := range oks {
 		var sr api.SearchResponse
 		if err := api.DecodeJSON(rep.body, &sr); err != nil {
@@ -559,28 +740,50 @@ func (r *Router) gatherSearch(oks []reply, k int) (*SearchResponse, error) {
 		if sr.Partial {
 			budgetPartial = true
 		}
+		if explain {
+			rep.span.AddChildData(sr.Trace)
+			if ed := sr.Explain[""]; ed != nil {
+				if explains == nil {
+					explains = make(map[string]*api.ExplainData, len(oks))
+				}
+				explains[r.topo.Shards[rep.shard].ID] = ed
+			}
+		}
 	}
 	merged, dups := r.topo.mergeTopK(answers, k)
 	r.m.dups.Add(int64(dups))
 	if budgetPartial {
 		r.m.budgetExh.Add(1)
 	}
+	sum := sumStats(stats)
+	r.noteEffort(sum)
 	return &SearchResponse{
 		Results:        merged,
-		Stats:          sumStats(stats),
+		Stats:          sum,
 		ShardsAnswered: len(oks),
 		Partial:        budgetPartial,
 		StepsExecuted:  steps,
+		Explain:        explains,
 	}, nil
 }
 
+// noteEffort feeds the router's query-effort counters from one merged
+// answer's summed shard stats, so /metrics shows the scan volume the
+// routed traffic is costing the fleet.
+func (r *Router) noteEffort(sum climber.Stats) {
+	r.m.partScanned.Add(int64(sum.PartitionsScanned))
+	r.m.cacheHits.Add(int64(sum.PartitionCacheHits))
+	r.m.cacheMisses.Add(int64(sum.PartitionCacheMisses))
+	r.m.deltaRecs.Add(int64(sum.DeltaScanned))
+}
+
 func (r *Router) handleSearch(w http.ResponseWriter, req *http.Request) {
-	r.handleSearchLike(w, req, "/search", &r.m.searches, func(body []byte, seriesLen int) (int, error) {
+	r.handleSearchLike(w, req, "/search", func(body []byte, seriesLen int) (int, bool, error) {
 		sreq, err := api.DecodeSearchRequest(body, seriesLen, r.cfg.MaxK)
 		if err != nil {
-			return 0, err
+			return 0, false, err
 		}
-		return sreq.K, nil
+		return sreq.K, sreq.Explain, nil
 	})
 }
 
@@ -588,18 +791,21 @@ func (r *Router) handleSearch(w http.ResponseWriter, req *http.Request) {
 // does not know the shards' PAA segment count, so the lower length bound
 // is 1 and a too-short prefix comes back as the shard's 400.
 func (r *Router) handlePrefix(w http.ResponseWriter, req *http.Request) {
-	r.handleSearchLike(w, req, "/search/prefix", &r.m.prefixes, func(body []byte, seriesLen int) (int, error) {
+	r.handleSearchLike(w, req, "/search/prefix", func(body []byte, seriesLen int) (int, bool, error) {
 		sreq, err := api.DecodePrefixRequest(body, 1, seriesLen, r.cfg.MaxK)
 		if err != nil {
-			return 0, err
+			return 0, false, err
 		}
-		return sreq.K, nil
+		return sreq.K, sreq.Explain, nil
 	})
 }
 
 // handleSearchLike is the shared scatter-merge-respond path of /search and
-// /search/prefix; decode returns the validated request's k.
-func (r *Router) handleSearchLike(w http.ResponseWriter, req *http.Request, path string, counter *atomic.Int64, decode func(body []byte, seriesLen int) (int, error)) {
+// /search/prefix; decode returns the validated request's k and explain
+// flag. An explain request needs no body rewriting: the explain flag
+// forwards verbatim, so each shard already answers with its own span tree
+// and planner explanation for the router to nest.
+func (r *Router) handleSearchLike(w http.ResponseWriter, req *http.Request, path string, decode func(body []byte, seriesLen int) (int, bool, error)) {
 	body, release, ok := r.admitAndRead(w, req)
 	if !ok {
 		return
@@ -607,26 +813,37 @@ func (r *Router) handleSearchLike(w http.ResponseWriter, req *http.Request, path
 	defer release()
 	seriesLen, err := r.requireSeriesLen(req.Context())
 	if err != nil {
-		counter.Add(1)
 		r.m.errors.Add(1)
 		api.WriteError(w, http.StatusServiceUnavailable, err)
 		return
 	}
-	k, err := decode(body, seriesLen)
+	k, explain, err := decode(body, seriesLen)
 	if err != nil {
 		r.m.badRequests.Add(1)
 		api.WriteError(w, http.StatusBadRequest, err)
 		return
 	}
 
-	start := time.Now()
-	oks, asked, err := r.scatter(req.Context(), path, body)
-	r.m.latency.Observe(time.Since(start))
-	counter.Add(1)
-	if !r.finish(w, err) {
+	ctx, tr := r.traceFor(req.Context(), strings.TrimPrefix(path, "/"), explain)
+	ssp := tr.Root().StartChild("scatter")
+	oks, asked, err := r.scatter(obs.ContextWithSpan(ctx, ssp), path, body)
+	ssp.End()
+	if err != nil {
+		finishTrace(req.Context(), tr, nil)
+		r.finish(w, err)
 		return
 	}
-	resp, err := r.gatherSearch(oks, k)
+	msp := tr.Root().StartChild("merge")
+	resp, err := r.gatherSearch(oks, k, explain)
+	msp.End()
+	if resp != nil {
+		resp.Trace = finishTrace(req.Context(), tr, resp.Stats)
+		if !explain {
+			resp.Trace = nil
+		}
+	} else {
+		finishTrace(req.Context(), tr, nil)
+	}
 	if !r.finish(w, err) {
 		return
 	}
@@ -648,7 +865,6 @@ func (r *Router) handleBatch(w http.ResponseWriter, req *http.Request) {
 	defer release()
 	seriesLen, err := r.requireSeriesLen(req.Context())
 	if err != nil {
-		r.m.batches.Add(1)
 		r.m.errors.Add(1)
 		api.WriteError(w, http.StatusServiceUnavailable, err)
 		return
@@ -660,13 +876,16 @@ func (r *Router) handleBatch(w http.ResponseWriter, req *http.Request) {
 		return
 	}
 
-	start := time.Now()
-	oks, asked, err := r.scatter(req.Context(), "/search/batch", body)
-	r.m.latency.Observe(time.Since(start))
-	r.m.batches.Add(1)
-	if !r.finish(w, err) {
+	ctx, tr := r.traceFor(req.Context(), "batch", breq.Explain)
+	ssp := tr.Root().StartChild("scatter")
+	oks, asked, err := r.scatter(obs.ContextWithSpan(ctx, ssp), "/search/batch", body)
+	ssp.End()
+	if err != nil {
+		finishTrace(req.Context(), tr, nil)
+		r.finish(w, err)
 		return
 	}
+	msp := tr.Root().StartChild("merge")
 	// Decode every shard's batch and merge query-by-query.
 	perShard := make([]*api.BatchResponse, len(oks))
 	budgetPartial := false
@@ -674,6 +893,8 @@ func (r *Router) handleBatch(w http.ResponseWriter, req *http.Request) {
 	for i, rep := range oks {
 		var br api.BatchResponse
 		if err := api.DecodeJSON(rep.body, &br); err != nil || len(br.Results) != len(breq.Queries) {
+			msp.End()
+			finishTrace(req.Context(), tr, nil)
 			r.finish(w, fmt.Errorf("shard %s: malformed batch response", r.topo.Shards[rep.shard].ID))
 			return
 		}
@@ -681,6 +902,9 @@ func (r *Router) handleBatch(w http.ResponseWriter, req *http.Request) {
 		steps += br.StepsExecuted
 		if br.Partial {
 			budgetPartial = true
+		}
+		if breq.Explain {
+			rep.span.AddChildData(br.Trace)
 		}
 	}
 	if budgetPartial {
@@ -702,10 +926,22 @@ func (r *Router) handleBatch(w http.ResponseWriter, req *http.Request) {
 		r.m.dups.Add(int64(dups))
 		out.Results[q] = merged
 	}
+	msp.End()
+	trace := finishTrace(req.Context(), tr, batchSummary{Queries: len(breq.Queries), StepsExecuted: steps})
+	if breq.Explain {
+		out.Trace = trace
+	}
 	if out.Partial {
 		r.m.partials.Add(1)
 	}
 	api.WriteJSON(w, http.StatusOK, out)
+}
+
+// batchSummary is the slow-query-log stats shape for a routed batch: a
+// compact roll-up; per-shard detail lives under the trace's scatter span.
+type batchSummary struct {
+	Queries       int `json:"queries"`
+	StepsExecuted int `json:"steps_executed"`
 }
 
 // handleAppend places each incoming series on a shard by rendezvous
@@ -726,7 +962,6 @@ func (r *Router) handleAppend(w http.ResponseWriter, req *http.Request) {
 	defer release()
 	seriesLen, err := r.requireSeriesLen(req.Context())
 	if err != nil {
-		r.m.appends.Add(1)
 		r.m.errors.Add(1)
 		api.WriteError(w, http.StatusServiceUnavailable, err)
 		return
@@ -765,7 +1000,6 @@ func (r *Router) handleAppend(w http.ResponseWriter, req *http.Request) {
 		sb.pos = append(sb.pos, pos)
 	}
 
-	start := time.Now()
 	type appendReply struct {
 		shard int
 		ids   []int
@@ -803,8 +1037,6 @@ func (r *Router) handleAppend(w http.ResponseWriter, req *http.Request) {
 			ids[subs[rep.shard].pos[i]] = r.topo.GlobalID(rep.shard, local)
 		}
 	}
-	r.m.appendLat.Observe(time.Since(start))
-	r.m.appends.Add(1)
 	if !r.finish(w, firstErr) {
 		return
 	}
@@ -948,6 +1180,8 @@ func (r *Router) handleMetrics(w http.ResponseWriter, req *http.Request) {
 	}
 	counter := func(name, help string, v int64) { metric(name, help, "counter", v) }
 	gauge := func(name, help string, v int64) { metric(name, help, "gauge", v) }
+	fmt.Fprintf(&b, "# HELP climber_build_info Build identity of this router; constant 1.\n# TYPE climber_build_info gauge\n")
+	fmt.Fprintf(&b, "climber_build_info{version=%q,role=\"router\",shards=\"%d\"} 1\n", climber.Version, len(r.topo.Shards))
 	counter("climber_router_search_requests_total", "Answered /search requests.", m.searches.Load())
 	counter("climber_router_batch_requests_total", "Answered /search/batch requests.", m.batches.Load())
 	counter("climber_router_prefix_requests_total", "Answered /search/prefix requests.", m.prefixes.Load())
@@ -963,6 +1197,12 @@ func (r *Router) handleMetrics(w http.ResponseWriter, req *http.Request) {
 	counter("climber_router_duplicates_dropped_total", "Duplicate global IDs dropped by the top-k merge.", m.dups.Load())
 	gauge("climber_router_inflight_requests", "Requests currently holding an admission slot.", m.inflight.Load())
 	gauge("climber_router_queued_requests", "Requests currently waiting for an admission slot.", m.queued.Load())
+	counter("climber_router_traced_queries_total", "Routed queries that ran with tracing attached (explain, sampled, or propagated).", m.traced.Load())
+	counter("climber_router_slow_log_entries_total", "Routed requests recorded in the slow-query log (threshold or sampled).", r.slow.Total())
+	counter("climber_router_partitions_scanned_total", "Partitions the shards scanned for routed answers.", m.partScanned.Load())
+	counter("climber_router_partition_cache_hits_total", "Shard partition-cache hits inside routed answers.", m.cacheHits.Load())
+	counter("climber_router_partition_cache_misses_total", "Shard partition-cache misses inside routed answers.", m.cacheMisses.Load())
+	counter("climber_router_delta_scanned_total", "Delta records the shards scanned for routed answers.", m.deltaRecs.Load())
 
 	fmt.Fprintf(&b, "# HELP climber_router_shard_up Shard health per the last probe (1 up, 0 down).\n# TYPE climber_router_shard_up gauge\n")
 	for i := range r.topo.Shards {
@@ -978,9 +1218,14 @@ func (r *Router) handleMetrics(w http.ResponseWriter, req *http.Request) {
 	}
 
 	m.latency.Render(&b, "climber_router_query_latency_seconds",
-		"End-to-end routed query latency (admission to merged answer).")
+		"End-to-end routed query latency, every outcome included (200s, 400s, 429s).")
 	m.appendLat.Render(&b, "climber_router_append_latency_seconds",
 		"End-to-end routed append latency (admission to global ack).")
+	for i, st := range rstageNames {
+		m.stageLat[st].RenderLabeled(&b, "climber_router_stage_latency_seconds",
+			fmt.Sprintf("stage=%q", st),
+			"Per-router-stage latency of traced routed queries.", i == 0)
+	}
 
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	_, _ = io.WriteString(w, b.String())

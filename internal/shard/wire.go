@@ -5,6 +5,7 @@ import (
 
 	"climber"
 	"climber/internal/api"
+	"climber/internal/obs"
 )
 
 // SearchResponse is the router's body for POST /search and POST
@@ -26,6 +27,12 @@ type SearchResponse struct {
 	// StepsExecuted sums the plan steps the shards executed — with a
 	// budget, how much of the distributed plan the answer covers.
 	StepsExecuted int `json:"steps_executed,omitempty"`
+	// Explain, present when the request carried "explain": true, maps
+	// shard ID to that shard's planner explanation; Trace is the router's
+	// span tree with each shard's own span tree grafted under its scatter
+	// span.
+	Explain map[string]*api.ExplainData `json:"explain,omitempty"`
+	Trace   *obs.SpanData               `json:"trace,omitempty"`
 }
 
 // BatchResponse is the router's body for POST /search/batch; Results
@@ -40,6 +47,8 @@ type BatchResponse struct {
 	// executed plan steps across shards and queries.
 	Partial       bool `json:"partial,omitempty"`
 	StepsExecuted int  `json:"steps_executed,omitempty"`
+	// Trace is the router's span tree when the batch asked for explain.
+	Trace *obs.SpanData `json:"trace,omitempty"`
 }
 
 // InfoResponse is the router's body for GET /info: the aggregate shape of
