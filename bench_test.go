@@ -268,7 +268,7 @@ func BenchmarkFig8Build(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
-			b.ReportMetric(float64(ix.Skel.EncodedSize()), "skeleton-bytes")
+			b.ReportMetric(float64(ix.Skeleton().EncodedSize()), "skeleton-bytes")
 		}
 	})
 	b.Run("TARDIS", func(b *testing.B) {
@@ -429,7 +429,7 @@ func BenchmarkFig12PrefixLen(b *testing.B) {
 				if err != nil {
 					b.Fatal(err)
 				}
-				b.ReportMetric(float64(ix.Skel.EncodedSize()), "skeleton-bytes")
+				b.ReportMetric(float64(ix.Skeleton().EncodedSize()), "skeleton-bytes")
 			}
 		})
 	}

@@ -75,8 +75,10 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -90,7 +92,7 @@ import (
 // Version identifies this build of the library on the wire: the
 // climber_build_info Prometheus gauge exports it, and operators use it
 // to correlate deployed binaries with metric changes.
-const Version = "0.8.0"
+const Version = "0.9.0"
 
 // ErrClosed is returned by every query and mutation method of a DB after
 // Close. Use errors.Is to test for it.
@@ -99,6 +101,12 @@ var ErrClosed = errors.New("climber: database is closed")
 // ErrReadOnly is returned by Append and Flush on a DB opened with
 // WithReadOnly. Use errors.Is to test for it.
 var ErrReadOnly = errors.New("climber: database opened read-only")
+
+// ErrReindexInProgress is returned by Reindex while another reindex is
+// already running, and by Flush and Backup while a reindex holds the
+// compaction pipeline paused. Appends and searches are never affected by a
+// running reindex. Use errors.Is to test for it.
+var ErrReindexInProgress = errors.New("climber: reindex in progress")
 
 // Result is one approximate nearest neighbour: the ID (the position of the
 // series in the build input) and its Euclidean distance to the query.
@@ -393,6 +401,23 @@ type DB struct {
 	cl     *cluster.Cluster
 	ing    *ingest.Ingester
 	closed atomic.Bool
+
+	// nodes is the simulated-cluster width; Reindex lays the new
+	// generation's partition files out over the same number of node
+	// directories the build used.
+	nodes int
+	// genNum is the active generation number (0 = the build-time layout at
+	// dir itself, N = dir/gen-NNNN). Written only under the ingestion
+	// semaphore (the swap is part of CommitRebuild's publish step); read
+	// anywhere.
+	genNum atomic.Int64
+	// reindexing serialises Reindex calls: one rebuild at a time.
+	reindexing atomic.Bool
+	// cleanupWG tracks the deferred deletion of swapped-out generations
+	// (each waits for its generation's readers to drain). Tests join it;
+	// Close does not — an orphaned old generation is reclaimed by the next
+	// Open's stale-generation sweep.
+	cleanupWG sync.WaitGroup
 }
 
 func buildOptions(opts []Option) options {
@@ -418,14 +443,36 @@ func newCluster(dir string, o options) (*cluster.Cluster, error) {
 	return cl, nil
 }
 
+// indexPath is the generation-0 skeleton/manifest location; later
+// generations live under gen-NNNN directories (see internal/core's
+// generation helpers and DB.activeRoot).
+//
+//climber:genpath
 func indexPath(dir string) string { return filepath.Join(dir, "index.clms") }
-func walPath(dir string) string   { return filepath.Join(dir, "wal.clmw") }
+
+// walPath is the write-ahead log location. The WAL lives at the database
+// root across generations: replay filters by record ID against the active
+// manifest's counts, so it never needs to move during a reindex.
+//
+//climber:genpath
+func walPath(dir string) string { return filepath.Join(dir, "wal.clmw") }
+
+// activeRoot returns the directory holding the active generation's skeleton
+// and partition files.
+func (db *DB) activeRoot() string {
+	if n := db.genNum.Load(); n > 0 {
+		return core.GenDir(db.dir, int(n))
+	}
+	return db.dir
+}
 
 // attachIngest starts the streaming write path on a freshly built or opened
-// index: WAL replay, delta install, background compactor.
-func attachIngest(dir string, ix *core.Index, o options) (*ingest.Ingester, error) {
-	return ingest.Open(ix, walPath(dir), func() error {
-		return core.SaveIndex(ix, indexPath(dir))
+// index: WAL replay, delta install, background compactor. The manifest-save
+// callback resolves the active generation at each call, so compactions that
+// run after a reindex swap persist into the new generation's index file.
+func (db *DB) attachIngest(o options) (*ingest.Ingester, error) {
+	return ingest.Open(db.ix, walPath(db.dir), func() error {
+		return core.SaveIndex(db.ix, core.IndexPathIn(db.activeRoot()))
 	}, o.ingest)
 }
 
@@ -479,12 +526,14 @@ func BuildDataset(dir string, ds *series.Dataset, opts ...Option) (*DB, error) {
 		cl.Close()
 		return nil, fmt.Errorf("climber: remove stale WAL: %w", err)
 	}
-	ing, err := attachIngest(dir, ix, o)
+	db := &DB{dir: dir, ix: ix, cl: cl, nodes: o.nodes}
+	ing, err := db.attachIngest(o)
 	if err != nil {
 		cl.Close()
 		return nil, err
 	}
-	return &DB{dir: dir, ix: ix, cl: cl, ing: ing}, nil
+	db.ing = ing
+	return db, nil
 }
 
 // Open loads a database previously built in dir. Acked appends that were
@@ -493,24 +542,38 @@ func BuildDataset(dir string, ds *series.Dataset, opts ...Option) (*DB, error) {
 // background compactor lands them in partition files shortly after.
 func Open(dir string, opts ...Option) (*DB, error) {
 	o := buildOptions(opts)
+	// The MANIFEST pointer names the active generation; a database that has
+	// never been reindexed has no MANIFEST and stays on its build layout.
+	root, genNum, err := core.ActiveGeneration(dir)
+	if err != nil {
+		return nil, err
+	}
 	cl, err := newCluster(dir, o)
 	if err != nil {
 		return nil, err
 	}
-	ix, err := core.OpenIndex(cl, indexPath(dir))
+	ix, err := core.OpenIndex(cl, core.IndexPathIn(root))
 	if err != nil {
 		cl.Close()
 		return nil, err
 	}
+	db := &DB{dir: dir, ix: ix, cl: cl, nodes: o.nodes}
+	db.genNum.Store(int64(genNum))
 	if o.readOnly {
-		return &DB{dir: dir, ix: ix, cl: cl}, nil
+		return db, nil
 	}
-	ing, err := attachIngest(dir, ix, o)
+	// Sweep debris the pointer does not reference: half-built generations a
+	// crashed reindex left behind, or a superseded generation whose deferred
+	// deletion never ran. Best-effort — stale files are unreferenced, so a
+	// failed sweep costs only disk space.
+	_ = core.CleanStaleGenerations(dir, genNum)
+	ing, err := db.attachIngest(o)
 	if err != nil {
 		cl.Close()
 		return nil, err
 	}
-	return &DB{dir: dir, ix: ix, cl: cl, ing: ing}, nil
+	db.ing = ing
+	return db, nil
 }
 
 // searchOptions folds per-call options over the library defaults.
@@ -666,6 +729,9 @@ func (db *DB) FlushContext(ctx context.Context) error {
 	err := db.ing.Flush(ctx)
 	if errors.Is(err, ingest.ErrClosed) {
 		return ErrClosed
+	}
+	if errors.Is(err, ingest.ErrRebuildInProgress) {
+		return ErrReindexInProgress
 	}
 	return err
 }
@@ -918,6 +984,9 @@ type Info struct {
 	NumPartitions int
 	SkeletonBytes int
 	NumRecords    int
+	// Generation is the active index generation: 0 until the first
+	// successful Reindex, then incremented by each one.
+	Generation int
 }
 
 // Info reports the database's structural summary. NumRecords counts every
@@ -929,13 +998,258 @@ func (db *DB) Info() Info {
 	if db.ing != nil {
 		records = db.ing.TotalRecords()
 	}
+	skel := db.ix.Skeleton()
 	return Info{
-		SeriesLen:     db.ix.Skel.SeriesLen,
-		NumGroups:     db.ix.Skel.NumGroups(),
-		NumPartitions: db.ix.Skel.NumPartitions,
-		SkeletonBytes: db.ix.Skel.EncodedSize(),
+		SeriesLen:     skel.SeriesLen,
+		NumGroups:     skel.NumGroups(),
+		NumPartitions: skel.NumPartitions,
+		SkeletonBytes: skel.EncodedSize(),
 		NumRecords:    records,
+		Generation:    int(db.genNum.Load()),
 	}
+}
+
+// Reindex rebuilds the index online: a fresh sample is drawn from the live
+// dataset, a new skeleton (new pivots, new groups, new tries) is built from
+// it, every persisted record is re-routed into new partition files under a
+// versioned sibling directory (gen-NNNN), and the database atomically swaps
+// to the new generation by renaming its fsynced MANIFEST pointer. This is
+// the remedy for capacity drift: heavy append traffic grows partitions past
+// the capacity the original sample's skeleton planned for (the paper's
+// Section V soft-constraint), and a reindex restores the built-fresh layout
+// without taking the database offline.
+//
+// Zero downtime, concretely:
+//
+//   - Searches run throughout. A query pins the generation current at its
+//     start and reads it to completion; the moment the swap commits, new
+//     queries see the new generation. The swapped-out generation's files are
+//     deleted only after its last in-flight reader finishes.
+//   - Appends run throughout. Writes acked during the rebuild accumulate in
+//     the WAL and the old generation's delta; at commit, they are re-routed
+//     through the new skeleton into the new generation's delta — every
+//     acked-before-commit record is visible after, and remains durable.
+//   - Compactions pause during the rebuild (Flush returns
+//     ErrReindexInProgress) and resume against the new generation after.
+//
+// Crash safety: the MANIFEST rename is the single commit point. A kill at
+// any step before it reopens the old generation (the half-built gen-NNNN
+// directory is swept on the next Open); a kill at or after it reopens the
+// new one; WAL replay re-routes surviving entries against whichever
+// skeleton the manifest names. The kill-anywhere crash matrix in the tests
+// enumerates every fsync/rename step of the protocol and verifies exactly
+// this.
+//
+// Reindex runs synchronously (minutes on a large database — callers wanting
+// a background rebuild should run it on their own goroutine) and returns
+// ErrReindexInProgress if another reindex is already running, ErrReadOnly on
+// a read-only DB, and ctx's error if cancelled mid-rebuild (the database is
+// left on the old generation, unharmed).
+func (db *DB) Reindex(ctx context.Context) error {
+	if db.closed.Load() {
+		return ErrClosed
+	}
+	if db.ing == nil {
+		return ErrReadOnly
+	}
+	if !db.reindexing.CompareAndSwap(false, true) {
+		return ErrReindexInProgress
+	}
+	defer db.reindexing.Store(false)
+
+	// Quiesce the write-side baseline: one final compaction drains the delta
+	// and WAL, so the partition files hold exactly the records the rebuild
+	// will re-route, then compactions pause. Appends stay live.
+	if err := db.ing.BeginRebuild(ctx); err != nil {
+		switch {
+		case errors.Is(err, ingest.ErrClosed):
+			return ErrClosed
+		case errors.Is(err, ingest.ErrRebuildInProgress):
+			return ErrReindexInProgress
+		}
+		return err
+	}
+
+	next := int(db.genNum.Load()) + 1
+	genRoot := core.GenDir(db.dir, next)
+	newGen, err := db.ix.RebuildGeneration(ctx, genRoot, db.nodes, "climber")
+	if err != nil {
+		db.ing.AbortRebuild()
+		os.RemoveAll(genRoot)
+		return err
+	}
+
+	// Commit: under the write semaphore, re-route the records appended
+	// during the rebuild into the new generation's delta, point the MANIFEST
+	// at the new generation (the durable commit), and swap it in. A failure
+	// before the pointer rename resumes the old generation untouched.
+	oldRoot := db.activeRoot()
+	err = db.ing.CommitRebuild(newGen.Skel.RouteNewRecord, func(nd *ingest.MemDelta) error {
+		newGen.SetDelta(nd)
+		if err := core.WriteManifestPointer(db.dir, next); err != nil {
+			return err
+		}
+		old := db.ix.SwapGeneration(newGen)
+		db.genNum.Store(int64(next))
+		db.cleanupWG.Add(1)
+		go db.cleanupGeneration(old, oldRoot)
+		return nil
+	})
+	if err != nil {
+		os.RemoveAll(genRoot)
+		if errors.Is(err, ingest.ErrClosed) {
+			return ErrClosed
+		}
+		return err
+	}
+	return nil
+}
+
+// cleanupGeneration deletes a swapped-out generation's files once its last
+// in-flight reader drains, and drops its partitions from the shared cache.
+// Only the retired generation's own files are touched — a concurrent later
+// reindex may already be building the next generation alongside.
+func (db *DB) cleanupGeneration(old *core.Generation, oldRoot string) {
+	defer db.cleanupWG.Done()
+	<-old.Drained()
+	sep := string(filepath.Separator)
+	if oldRoot == db.dir {
+		// Generation 0 lives interleaved with the database root: its
+		// skeleton at dir/index.clms and its partition and block files under
+		// dir/cluster/.
+		db.cl.InvalidatePartitionPrefix(filepath.Join(db.dir, "cluster") + sep)
+		os.Remove(indexPath(db.dir))
+		os.RemoveAll(filepath.Join(db.dir, "cluster"))
+		return
+	}
+	db.cl.InvalidatePartitionPrefix(oldRoot + sep)
+	os.RemoveAll(oldRoot)
+}
+
+// Backup writes a self-contained snapshot of the database into destDir,
+// which must not yet exist (or be an empty directory). The immutable-
+// generation layout makes this nearly free: after a synchronous flush (so
+// the partition files hold every acked record and the WAL is empty), the
+// current generation's partition files are hard-linked into destDir —
+// falling back to copies across filesystems — and the skeleton+manifest is
+// re-encoded against the backup's own layout. The result is a directory
+// climber.Open accepts directly; climber-build -restore copies it back into
+// a fresh live directory.
+//
+// Backup runs under the write barrier: appends wait out the copy (partition
+// files must not be rewritten mid-link), searches are unaffected. During a
+// reindex, Backup returns ErrReindexInProgress. On a read-only DB the
+// barrier is skipped — nothing mutates — and the WAL, if one was left by a
+// writer, is not part of the snapshot.
+func (db *DB) Backup(ctx context.Context, destDir string) error {
+	if db.closed.Load() {
+		return ErrClosed
+	}
+	if db.ing == nil {
+		return db.backupTo(destDir)
+	}
+	err := db.ing.Barrier(ctx, func() error { return db.backupTo(destDir) })
+	switch {
+	case errors.Is(err, ingest.ErrClosed):
+		return ErrClosed
+	case errors.Is(err, ingest.ErrRebuildInProgress):
+		return ErrReindexInProgress
+	}
+	return err
+}
+
+// backupTo assembles the snapshot. Caller holds the write barrier (or the
+// DB is read-only), so the generation, its partition files, and its counts
+// are all stable.
+func (db *DB) backupTo(destDir string) error {
+	if ents, err := os.ReadDir(destDir); err == nil && len(ents) > 0 {
+		return fmt.Errorf("climber: backup destination %s is not empty", destDir)
+	} else if err != nil && !os.IsNotExist(err) {
+		return fmt.Errorf("climber: backup destination: %w", err)
+	}
+	if err := os.MkdirAll(destDir, 0o755); err != nil {
+		return fmt.Errorf("climber: backup destination: %w", err)
+	}
+	g := db.ix.AcquireGeneration()
+	defer g.Release()
+
+	destPaths := make([]string, len(g.Parts.Paths))
+	madeDirs := map[string]bool{}
+	for pid, src := range g.Parts.Paths {
+		// Preserve the node-directory layout so the backup mirrors a
+		// build-time database directory.
+		node := filepath.Base(filepath.Dir(src))
+		nodeDir := filepath.Join(destDir, node)
+		if !madeDirs[nodeDir] {
+			if err := os.MkdirAll(nodeDir, 0o755); err != nil {
+				return fmt.Errorf("climber: backup mkdir: %w", err)
+			}
+			madeDirs[nodeDir] = true
+		}
+		dst := filepath.Join(nodeDir, filepath.Base(src))
+		if err := linkOrCopy(src, dst); err != nil {
+			return fmt.Errorf("climber: backup partition %d: %w", pid, err)
+		}
+		destPaths[pid] = dst
+	}
+	parts := &cluster.PartitionSet{
+		SeriesLen: g.Parts.SeriesLen,
+		Paths:     destPaths,
+		Counts:    append([]int(nil), g.Parts.Counts...),
+	}
+	// SaveSnapshot relativises the partition paths against destDir, so the
+	// backup opens wherever it is later moved or restored to.
+	if err := core.SaveSnapshot(g.Skel, parts, core.IndexPathIn(destDir)); err != nil {
+		return err
+	}
+	for d := range madeDirs {
+		if err := fsyncPath(d); err != nil {
+			return err
+		}
+	}
+	return fsyncPath(destDir)
+}
+
+// linkOrCopy hard-links src to dst, degrading to a full copy when the link
+// fails (cross-device backups). Partition files are immutable-once-written
+// (rewrites replace the file via rename, never modify it in place), so a
+// hard link shares the bytes safely: a later compaction unlinks the live
+// name and the backup keeps the old inode.
+func linkOrCopy(src, dst string) error {
+	if err := os.Link(src, dst); err == nil {
+		return nil
+	}
+	in, err := os.Open(src)
+	if err != nil {
+		return err
+	}
+	defer in.Close()
+	out, err := os.Create(dst)
+	if err != nil {
+		return err
+	}
+	if _, err := io.Copy(out, in); err != nil {
+		out.Close()
+		return err
+	}
+	if err := out.Sync(); err != nil {
+		out.Close()
+		return err
+	}
+	return out.Close()
+}
+
+// fsyncPath fsyncs a file or directory by path.
+func fsyncPath(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := f.Sync(); err != nil {
+		return fmt.Errorf("climber: sync %s: %w", path, err)
+	}
+	return nil
 }
 
 // Dir returns the database's directory.

@@ -10,6 +10,15 @@
 // phases across that many goroutines (0 = all cores); the built index is
 // bit-identical at any worker count, so the flag only trades build time.
 //
+// With -restore the command rebuilds a live database directory from a
+// backup taken by POST /backup (or climber.DB.Backup):
+//
+//	climber-build -restore ./backups/nightly -dir ./db
+//
+// The backup tree is copied verbatim into -dir (which must not yet exist),
+// then opened and verified; the restored database serves exactly the
+// records the backup captured.
+//
 // With -shards N the dataset is split round-robin into N independent
 // databases <dir>/shard-0 .. <dir>/shard-N-1, each a complete CLIMBER
 // directory (own skeleton, partitions, WAL), plus a <dir>/shards.json
@@ -49,8 +58,17 @@ func main() {
 		decay    = flag.String("decay", "exponential", "pivot weight decay: exponential or linear")
 		shards   = flag.Int("shards", 0, "split the dataset into this many shard databases under -dir (0 = one unsharded database)")
 		port     = flag.Int("shard-port", 9001, "first localhost port in the generated shards.json template")
+		restore  = flag.String("restore", "", "restore a backup directory into -dir instead of building from -data")
 	)
 	flag.Parse()
+	if *restore != "" {
+		if *dir == "" {
+			flag.Usage()
+			os.Exit(2)
+		}
+		restoreBackup(*restore, *dir)
+		return
+	}
 	if *data == "" || *dir == "" {
 		flag.Usage()
 		os.Exit(2)
@@ -106,6 +124,61 @@ func buildShards(ds *series.Dataset, dir string, n, firstPort int, opts []climbe
 	}
 	fmt.Printf("wrote topology template %s — edit the URLs, start one\n", topoPath)
 	fmt.Printf("climber-serve per shard directory, then: climber-router -topology %s\n", topoPath)
+}
+
+// restoreBackup copies a backup tree (POST /backup output: a self-contained
+// database directory with manifest paths relative to its root) verbatim
+// into dst, then opens the copy to verify it. dst must not already exist:
+// restoring over a live database would silently mix two record sets.
+func restoreBackup(src, dst string) {
+	if _, err := os.Stat(dst); err == nil {
+		log.Fatalf("restore target %s already exists; refusing to overwrite", dst)
+	} else if !os.IsNotExist(err) {
+		log.Fatal(err)
+	}
+	if err := copyTree(src, dst); err != nil {
+		log.Fatalf("restore: %v", err)
+	}
+	db, err := climber.Open(dst)
+	if err != nil {
+		log.Fatalf("restored database failed verification: %v", err)
+	}
+	defer db.Close()
+	info := db.Info()
+	fmt.Printf("restored backup %s into %s\n", src, dst)
+	fmt.Printf("  records:        %d (length %d)\n", info.NumRecords, info.SeriesLen)
+	fmt.Printf("  groups:         %d (incl. fall-back G0)\n", info.NumGroups)
+	fmt.Printf("  partitions:     %d\n", info.NumPartitions)
+}
+
+// copyTree recursively copies the directory src to dst (which must not
+// exist). Backups contain only regular files and directories.
+func copyTree(src, dst string) error {
+	entries, err := os.ReadDir(src)
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(dst, 0o755); err != nil {
+		return err
+	}
+	for _, e := range entries {
+		sp := filepath.Join(src, e.Name())
+		dp := filepath.Join(dst, e.Name())
+		if e.IsDir() {
+			if err := copyTree(sp, dp); err != nil {
+				return err
+			}
+			continue
+		}
+		data, err := os.ReadFile(sp)
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(dp, data, 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 func printSummary(dir string, db *climber.DB) {

@@ -48,7 +48,7 @@ func main() {
 	}
 	defer db.Close()
 	info := db.Info()
-	skel := db.Index().Skel
+	skel := db.Index().Skeleton()
 	cfg := skel.Cfg
 
 	fmt.Printf("CLIMBER database %s\n", *dir)
@@ -95,19 +95,19 @@ func main() {
 
 	if *partitions {
 		fmt.Println("partitions:")
-		for pid, cnt := range db.Index().Parts.Counts {
+		for pid, cnt := range db.Index().Partitions().Counts {
 			est := 0
 			if pid < len(skel.PartitionEst) {
 				est = skel.PartitionEst[pid]
 			}
 			fmt.Printf("  beta%-4d records=%-8d estimated=%-8d path=%s\n",
-				pid, cnt, est, db.Index().Parts.Paths[pid])
+				pid, cnt, est, db.Index().Partitions().Paths[pid])
 		}
 	}
 
 	if *verify {
 		bad := 0
-		for pid, path := range db.Index().Parts.Paths {
+		for pid, path := range db.Index().Partitions().Paths {
 			p, err := storage.OpenPartition(path)
 			if err != nil {
 				fmt.Printf("  beta%-4d OPEN FAILED: %v\n", pid, err)
@@ -121,9 +121,9 @@ func main() {
 			p.Close()
 		}
 		if bad == 0 {
-			fmt.Printf("verify: all %d partitions intact\n", len(db.Index().Parts.Paths))
+			fmt.Printf("verify: all %d partitions intact\n", len(db.Index().Partitions().Paths))
 		} else {
-			log.Fatalf("verify: %d of %d partitions corrupt", bad, len(db.Index().Parts.Paths))
+			log.Fatalf("verify: %d of %d partitions corrupt", bad, len(db.Index().Partitions().Paths))
 		}
 	}
 }
@@ -132,7 +132,7 @@ func main() {
 // leaf-depth histogram with bars, and the distribution of real partition
 // sizes (quantiles plus a power-of-two size histogram).
 func printStats(db *climber.DB) {
-	skel := db.Index().Skel
+	skel := db.Index().Skeleton()
 	desc := skel.Describe()
 
 	fmt.Println("skeleton shape:")
@@ -154,7 +154,7 @@ func printStats(db *climber.DB) {
 		fmt.Printf("    depth %-3d %8d %s\n", depth, cnt, bar(cnt, maxCnt))
 	}
 
-	counts := append([]int(nil), db.Index().Parts.Counts...)
+	counts := append([]int(nil), db.Index().Partitions().Counts...)
 	if len(counts) == 0 {
 		fmt.Println("  partitions: none")
 		return

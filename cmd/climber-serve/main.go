@@ -12,6 +12,8 @@
 //	POST /search/prefix one query shorter than the indexed length
 //	POST /append        ingest new series (durable + immediately searchable)
 //	POST /flush         force compaction of acked writes into partitions
+//	POST /reindex       rebuild the index online (new sample, pivots, layout)
+//	POST /backup        snapshot the database under -backup-dir
 //	GET  /info          database shape
 //	GET  /stats         server + cache + ingestion counters (JSON)
 //	GET  /healthz       liveness probe
@@ -72,6 +74,7 @@ func main() {
 		slowThresh   = flag.Duration("slow-threshold", 500*time.Millisecond, "requests at least this slow enter the slow-query log (negative disables)")
 		slowSample   = flag.Float64("slow-sample", 0, "probability in [0,1] that an arbitrary query is traced and slow-logged")
 		slowLogSize  = flag.Int("slow-log-size", 128, "slow-query ring buffer capacity")
+		backupRoot   = flag.String("backup-dir", "", "directory for POST /backup snapshots (empty disables the endpoint)")
 	)
 	flag.Parse()
 	if *dir == "" {
@@ -104,6 +107,7 @@ func main() {
 		SlowLogSize:     *slowLogSize,
 		SlowThreshold:   *slowThresh,
 		SlowSample:      *slowSample,
+		BackupRoot:      *backupRoot,
 	})
 	httpSrv := &http.Server{
 		Addr:              *addr,

@@ -5,3 +5,8 @@ package climber
 // final compaction), releasing the single-writer file lock exactly as a
 // real process death would. The DB must not be used afterwards.
 func (db *DB) abandonForTest() { db.ing.Abandon() }
+
+// waitCleanupForTest joins the deferred generation-cleanup goroutines a
+// reindex spawns, so tests can assert the retired generation's files are
+// gone without racing the drain.
+func (db *DB) waitCleanupForTest() { db.cleanupWG.Wait() }

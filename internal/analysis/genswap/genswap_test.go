@@ -1,0 +1,12 @@
+package genswap_test
+
+import (
+	"testing"
+
+	"climber/internal/analysis/analysistest"
+	"climber/internal/analysis/genswap"
+)
+
+func TestGenswap(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), genswap.Analyzer, "genswaptest")
+}

@@ -196,6 +196,9 @@ type InfoResponse struct {
 	NumGroups     int `json:"num_groups"`
 	NumPartitions int `json:"num_partitions"`
 	SkeletonBytes int `json:"skeleton_bytes"`
+	// Generation is the active index generation; it increments on every
+	// completed online reindex (POST /reindex).
+	Generation int `json:"generation"`
 }
 
 // ErrorResponse is the JSON body of every non-2xx answer.

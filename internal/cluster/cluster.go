@@ -152,6 +152,16 @@ func (c *Cluster) InvalidatePartition(path string) {
 	}
 }
 
+// InvalidatePartitionPrefix drops every cached partition whose file path
+// starts with prefix — the whole-directory form of InvalidatePartition,
+// used when a retired index generation's files are deleted after its last
+// reader drains.
+func (c *Cluster) InvalidatePartitionPrefix(prefix string) {
+	if pc := c.pcache.Load(); pc != nil {
+		pc.InvalidatePrefix(prefix)
+	}
+}
+
 // Workers returns the total worker parallelism.
 func (c *Cluster) Workers() int { return c.cfg.NumNodes * c.cfg.WorkersPerNode }
 
@@ -193,6 +203,7 @@ func (c *Cluster) IngestBlocks(ds *series.Dataset, blockSize int, name string) (
 			hi = ds.Len()
 		}
 		node := blockIdx % c.cfg.NumNodes
+		//lint:ignore genswap build-time block files live in the generation-0 layout the cluster owns; reindex reads them only through the manifest
 		path := filepath.Join(c.nodeDirs[node], fmt.Sprintf("%s-block%05d.clmb", name, blockIdx))
 		bw, err := storage.NewBlockWriter(path, ds.Length())
 		if err != nil {

@@ -74,6 +74,7 @@ func (c *Cluster) Shuffle(bs *BlockSet, numPartitions int, name string,
 	var wg sync.WaitGroup
 	for i, w := range writers {
 		node := i % c.cfg.NumNodes
+		//lint:ignore genswap build-time shuffle writes the generation-0 partitions; later generations mint theirs via core.genPartitionPath
 		path := filepath.Join(c.nodeDirs[node], fmt.Sprintf("%s-part%05d.clmp", name, i))
 		ps.Paths[i] = path
 		ps.Counts[i] = w.Count()

@@ -26,7 +26,7 @@ type Routed struct {
 // mutable state.
 func (ix *Index) initNextID() {
 	total := 0
-	for _, c := range ix.Parts.Counts {
+	for _, c := range ix.Partitions().Counts {
 		total += c
 	}
 	ix.nextID.Store(int64(total))
@@ -68,20 +68,28 @@ func (ix *Index) PersistedRecords() int {
 	ix.countsMu.Lock()
 	defer ix.countsMu.Unlock()
 	total := 0
-	for _, c := range ix.Parts.Counts {
+	for _, c := range ix.Partitions().Counts {
 		total += c
 	}
 	return total
 }
 
-// RouteNew routes one new record through the existing pivots, groups, and
-// tries (exactly like Step 4 of construction). The tie-break generator is
-// derived from the record ID with the same formula the build uses, so a
-// record's destination is a pure function of (seed, id, values) — WAL replay
-// after a crash recomputes identical routes.
+// RouteNewRecord routes one new record through the skeleton's pivots,
+// groups, and tries (exactly like Step 4 of construction). The tie-break
+// generator is derived from the record ID with the same formula the build
+// uses, so a record's destination is a pure function of
+// (skeleton, seed, id, values) — WAL replay after a crash recomputes
+// identical routes, and an online reindex re-routes the surviving delta
+// against the new skeleton with the same determinism.
+func (s *Skeleton) RouteNewRecord(id int, values []float64) cluster.Route {
+	rng := rand.New(rand.NewPCG(s.Cfg.Seed, uint64(id)+0x9e3779b97f4a7c15))
+	return s.RouteRecord(values, rng)
+}
+
+// RouteNew routes one new record through the current generation's skeleton;
+// see Skeleton.RouteNewRecord.
 func (ix *Index) RouteNew(id int, values []float64) cluster.Route {
-	rng := rand.New(rand.NewPCG(ix.Skel.Cfg.Seed, uint64(id)+0x9e3779b97f4a7c15))
-	return ix.Skel.RouteRecord(values, rng)
+	return ix.Skeleton().RouteNewRecord(id, values)
 }
 
 // Append inserts new data series into a built index without rebuilding the
@@ -104,10 +112,11 @@ func (ix *Index) Append(records [][]float64) ([]int, error) {
 	if len(records) == 0 {
 		return nil, nil
 	}
+	seriesLen := ix.Skeleton().SeriesLen
 	for i, r := range records {
-		if len(r) != ix.Skel.SeriesLen {
+		if len(r) != seriesLen {
 			return nil, fmt.Errorf("core: appended record %d has length %d, index stores %d",
-				i, len(r), ix.Skel.SeriesLen)
+				i, len(r), seriesLen)
 		}
 	}
 	first := ix.ReserveIDs(len(records))
@@ -131,10 +140,14 @@ func (ix *Index) Append(records [][]float64) ([]int, error) {
 
 // WriteRouted lands already-routed records in their partition files,
 // grouping by destination so each affected partition is rewritten once.
-// Callers must serialise WriteRouted calls (see Append); queries running
-// concurrently are safe — partition files are replaced atomically, so they
-// see either the old or the new consistent snapshot.
+// Callers must serialise WriteRouted calls (see Append) — which also keeps
+// them serialised against generation swaps, so the whole batch lands in one
+// generation's files. Queries running concurrently are safe — partition
+// files are replaced atomically, so they see either the old or the new
+// consistent snapshot.
 func (ix *Index) WriteRouted(recs []Routed) error {
+	g := ix.AcquireGeneration()
+	defer g.Release()
 	byPartition := make(map[int][]Routed)
 	for _, r := range recs {
 		byPartition[r.Route.Partition] = append(byPartition[r.Route.Partition], r)
@@ -145,7 +158,7 @@ func (ix *Index) WriteRouted(recs []Routed) error {
 	}
 	sort.Ints(pids)
 	for _, pid := range pids {
-		if err := ix.appendToPartition(pid, byPartition[pid]); err != nil {
+		if err := ix.appendToPartition(g, pid, byPartition[pid]); err != nil {
 			return err
 		}
 	}
@@ -160,9 +173,9 @@ func (ix *Index) WriteRouted(recs []Routed) error {
 // replaced rather than duplicated. This is what makes WAL replay after a
 // crash between partition writes and the manifest save safe — recompacting
 // a replayed record lands it exactly once.
-func (ix *Index) appendToPartition(pid int, recs []Routed) error {
-	path := ix.Parts.Paths[pid]
-	w := storage.NewPartitionWriter(ix.Parts.SeriesLen)
+func (ix *Index) appendToPartition(g *Generation, pid int, recs []Routed) error {
+	path := g.Parts.Paths[pid]
+	w := storage.NewPartitionWriter(g.Parts.SeriesLen)
 	incoming := make(map[int]struct{}, len(recs))
 	for _, r := range recs {
 		incoming[r.ID] = struct{}{}
@@ -205,7 +218,7 @@ func (ix *Index) appendToPartition(pid int, recs []Routed) error {
 	// keep scanning their immutable snapshot.
 	ix.Cl.InvalidatePartition(path)
 	ix.countsMu.Lock()
-	ix.Parts.Counts[pid] = w.Count()
+	g.Parts.Counts[pid] = w.Count()
 	ix.countsMu.Unlock()
 	return nil
 }

@@ -30,7 +30,7 @@ func TestAppendRoutesAndPersists(t *testing.T) {
 	}
 	// Totals updated.
 	total := 0
-	for _, c := range ix.Parts.Counts {
+	for _, c := range ix.Partitions().Counts {
 		total += c
 	}
 	if total != ds.Len()+50 {
@@ -78,8 +78,8 @@ func TestAppendPreservesExistingRecords(t *testing.T) {
 	}
 	// Every original record still present exactly once.
 	seen := map[int]int{}
-	for pid := range ix.Parts.Paths {
-		p, err := ix.Cl.OpenPartition(ix.Parts, pid)
+	for pid := range ix.Partitions().Paths {
+		p, err := ix.Cl.OpenPartition(ix.Partitions(), pid)
 		if err != nil {
 			t.Fatal(err)
 		}

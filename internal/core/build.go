@@ -25,26 +25,39 @@ type BuildStats struct {
 	Total          time.Duration
 }
 
-// Index is a built CLIMBER index: the broadcastable skeleton plus the
-// physical partition files living on the simulated cluster.
+// Index is a built CLIMBER index: the cluster it lives on plus the current
+// generation — the broadcastable skeleton, the physical partition files, and
+// the in-memory delta of uncompacted appends. The generation is held behind
+// an atomic pointer so an online reindex can swap in a freshly built one
+// while in-flight queries keep reading the old (see gen.go); code that needs
+// a consistent skeleton+partitions view across a whole operation must
+// AcquireGeneration, metadata-only reads can use Skeleton()/Partitions().
 type Index struct {
-	Skel  *Skeleton
 	Cl    *cluster.Cluster
-	Parts *cluster.PartitionSet
 	Stats BuildStats
+
+	// gen is the current generation; never nil once the Index is built or
+	// opened.
+	gen atomic.Pointer[Generation]
 
 	// nextID mints record IDs for appended series: a single atomic counter
 	// seeded from the partition counts at build/open time, so concurrent
 	// writers can never assign duplicate IDs.
 	nextID atomic.Int64
-	// countsMu guards Parts.Counts, which writers update as partitions grow
-	// while Info-style readers sum it.
+	// countsMu guards the current generation's Parts.Counts, which writers
+	// update as partitions grow while Info-style readers sum it.
 	countsMu sync.Mutex
+}
 
-	// delta, when set, is the in-memory index of appended-but-not-yet-
-	// compacted records; the search paths merge its hits into every answer.
-	deltaMu sync.RWMutex
-	delta   DeltaSource
+// NewIndex wraps an already-built skeleton and partition set as an Index
+// with a fresh generation holding them. Build and OpenIndex use richer
+// paths; this constructor serves harnesses that assemble the pieces
+// themselves.
+func NewIndex(cl *cluster.Cluster, skel *Skeleton, parts *cluster.PartitionSet) *Index {
+	ix := &Index{Cl: cl}
+	ix.gen.Store(NewGeneration(skel, parts))
+	ix.initNextID()
+	return ix
 }
 
 // Build constructs a CLIMBER index over a raw block set using the four-step
@@ -136,9 +149,7 @@ func Build(cl *cluster.Cluster, bs *cluster.BlockSet, cfg Config, name string) (
 	redistTime := time.Since(redistStart)
 
 	ix := &Index{
-		Skel:  skel,
-		Cl:    cl,
-		Parts: parts,
+		Cl: cl,
 		Stats: BuildStats{
 			SampleRecords:  sample.Len(),
 			Skeleton:       skeletonTime,
@@ -147,6 +158,7 @@ func Build(cl *cluster.Cluster, bs *cluster.BlockSet, cfg Config, name string) (
 			Total:          time.Since(start),
 		},
 	}
+	ix.gen.Store(NewGeneration(skel, parts))
 	ix.initNextID()
 	return ix, nil
 }

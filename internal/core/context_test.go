@@ -55,8 +55,8 @@ func TestCancelMidScanStopsPlan(t *testing.T) {
 	// Find a partition with at least two clusters so "stop at the next
 	// cluster boundary" is observable.
 	pid, firstCluster, total := -1, 0, 0
-	for cand := 0; cand < ix.Skel.NumPartitions; cand++ {
-		p, err := ix.Cl.OpenPartition(ix.Parts, cand)
+	for cand := 0; cand < ix.Skeleton().NumPartitions; cand++ {
+		p, err := ix.Cl.OpenPartition(ix.Partitions(), cand)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -78,7 +78,9 @@ func TestCancelMidScanStopsPlan(t *testing.T) {
 	plan := &ScanPlan{Steps: []PlanStep{{Partition: pid}}} // whole partition
 	var stats QueryStats
 	compared := 0
-	ex := newExecutor(ix, plan, SearchOptions{K: 10}, func(values []float64, bound float64) float64 {
+	g := ix.AcquireGeneration()
+	defer g.Release()
+	ex := newExecutor(ix, g, plan, SearchOptions{K: 10}, func(values []float64, bound float64) float64 {
 		compared++
 		cancel()
 		return math.Inf(1) // abandoned; keep the accumulator empty

@@ -161,7 +161,7 @@ func TestBuildEndToEndInvariants(t *testing.T) {
 
 	// Every record must land in exactly one partition.
 	total := 0
-	for _, c := range ix.Parts.Counts {
+	for _, c := range ix.Partitions().Counts {
 		total += c
 	}
 	if total != ds.Len() {
@@ -169,8 +169,8 @@ func TestBuildEndToEndInvariants(t *testing.T) {
 	}
 
 	seen := make(map[int]int)
-	for pid := range ix.Parts.Paths {
-		p, err := ix.Cl.OpenPartition(ix.Parts, pid)
+	for pid := range ix.Partitions().Paths {
+		p, err := ix.Cl.OpenPartition(ix.Partitions(), pid)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -25,20 +25,18 @@ type DeltaSource interface {
 }
 
 // SetDelta installs (or, with nil, removes) the delta index merged into
-// every search answer. It is called once when a streaming ingestion pipeline
-// attaches to the index; installing a new source while queries run is safe.
+// every search answer on the *current* generation. It is called when a
+// streaming ingestion pipeline attaches to the index; installing a new
+// source while queries run is safe. During an online reindex the new
+// generation gets its own re-routed delta before the swap, so this
+// convenience forwarder always targets the generation queries will see.
 func (ix *Index) SetDelta(d DeltaSource) {
-	ix.deltaMu.Lock()
-	ix.delta = d
-	ix.deltaMu.Unlock()
+	ix.gen.Load().SetDelta(d)
 }
 
-// Delta returns the installed delta source, or nil.
+// Delta returns the current generation's delta source, or nil.
 func (ix *Index) Delta() DeltaSource {
-	ix.deltaMu.RLock()
-	d := ix.delta
-	ix.deltaMu.RUnlock()
-	return d
+	return ix.gen.Load().Delta()
 }
 
 // scanDelta collects the delta records covered by the executed scan plan
@@ -60,9 +58,9 @@ func (ix *Index) Delta() DeltaSource {
 //
 // Delta comparisons are charged to RecordsScanned (and DeltaScanned) but to
 // no partition load — the records are resident by definition.
-func (ix *Index) scanDelta(ctx context.Context, executed planMap, k int, stats *QueryStats,
+func (g *Generation) scanDelta(ctx context.Context, executed planMap, k int, stats *QueryStats,
 	dist func(values []float64, bound float64) float64) (*series.TopK, error) {
-	d := ix.Delta()
+	d := g.Delta()
 	if d == nil || d.Len() == 0 {
 		return nil, nil
 	}

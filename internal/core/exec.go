@@ -80,7 +80,11 @@ type distFunc func(values []float64, bound float64) float64
 // the planner decides *what* could be scanned; the executor decides, step
 // by step and under the budget, *how much* of it actually is.
 type executor struct {
-	ix    *Index
+	ix *Index
+	// gen is the generation the caller pinned for the query; partition
+	// opens and the delta merge go through it so a concurrent reindex swap
+	// cannot change what this query observes mid-plan.
+	gen   *Generation
 	plan  *ScanPlan
 	opts  SearchOptions
 	dist  distFunc
@@ -104,9 +108,9 @@ type executor struct {
 	span *obs.Span
 }
 
-func newExecutor(ix *Index, plan *ScanPlan, opts SearchOptions, dist distFunc, stats *QueryStats) *executor {
+func newExecutor(ix *Index, g *Generation, plan *ScanPlan, opts SearchOptions, dist distFunc, stats *QueryStats) *executor {
 	return &executor{
-		ix: ix, plan: plan, opts: opts, dist: dist,
+		ix: ix, gen: g, plan: plan, opts: opts, dist: dist,
 		top:      series.NewTopK(opts.K),
 		stats:    stats,
 		executed: make(planMap, len(plan.Steps)),
@@ -272,7 +276,7 @@ func (e *executor) widen(ctx context.Context, sink func(Snapshot) bool) error {
 // no I/O and only improves the snapshot.
 func (e *executor) mergeDelta(ctx context.Context) error {
 	dsp := e.span.StartChild("delta")
-	deltaTop, err := e.ix.scanDelta(ctx, e.executed, e.opts.K, e.stats, e.dist)
+	deltaTop, err := e.gen.scanDelta(ctx, e.executed, e.opts.K, e.stats, e.dist)
 	dsp.SetAttr("records", int64(e.stats.DeltaScanned))
 	dsp.End()
 	if err != nil {
@@ -381,7 +385,7 @@ func (e *executor) scanSteps(ctx context.Context, steps []PlanStep, done planMap
 		ssp := stage.StartChild("partition")
 		defer ssp.End()
 		ssp.SetAttr("partition", int64(st.Partition))
-		p, err := ix.Cl.OpenPartition(ix.Parts, st.Partition)
+		p, err := ix.Cl.OpenPartition(e.gen.Parts, st.Partition)
 		if err != nil {
 			return err
 		}

@@ -1,0 +1,324 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"climber/internal/cluster"
+)
+
+// This file is the generation subsystem behind online reindex: a database
+// directory holds one *active generation* — a skeleton file plus partition
+// files — named by a tiny fsynced MANIFEST pointer file. Reindex builds a
+// complete new generation in a sibling gen-NNNN directory and commits it by
+// atomically renaming the MANIFEST; readers that were mid-query keep a
+// refcounted handle on the old generation until they finish, exactly like
+// readers of a path-copying persistent data structure keep the old version.
+//
+// On-disk layout:
+//
+//	dir/MANIFEST          names the active generation ("gen-0007"); absent
+//	                      for a database still on its build-time layout
+//	                      (generation 0: index.clms + cluster/node*/ files)
+//	dir/index.clms        generation 0 skeleton + partition manifest
+//	dir/cluster/node*/    generation 0 partition and block files
+//	dir/gen-NNNN/         generation N root: its own index.clms and
+//	dir/gen-NNNN/node*/   partition files
+//	dir/wal.clmw          the write-ahead log, shared across generations
+//
+// The partition manifest inside index.clms stores paths relative to the
+// generation root (see SaveSnapshot), so a generation directory — and a
+// backup hard-linked from one — is relocatable as a unit.
+
+// IndexPathIn returns the skeleton/manifest file path of the generation
+// rooted at genRoot. Generation 0's root is the database directory itself.
+//
+//climber:genpath
+func IndexPathIn(genRoot string) string { return filepath.Join(genRoot, "index.clms") }
+
+// GenDir returns the root directory of generation n under the database
+// directory. n must be positive; generation 0 is the database directory.
+//
+//climber:genpath
+func GenDir(dir string, n int) string { return filepath.Join(dir, genName(n)) }
+
+// genName formats a generation directory name.
+//
+//climber:genpath
+func genName(n int) string { return fmt.Sprintf("gen-%04d", n) }
+
+// manifestPath returns the MANIFEST pointer file path.
+//
+//climber:genpath
+func manifestPath(dir string) string { return filepath.Join(dir, "MANIFEST") }
+
+// genNodeDir returns the node subdirectory of a generation root.
+func genNodeDir(genRoot string, node int) string {
+	return filepath.Join(genRoot, fmt.Sprintf("node%02d", node))
+}
+
+// genPartitionPath returns the partition file path of partition pid inside a
+// generation root, mirroring the build-time shuffle's round-robin layout.
+//
+//climber:genpath
+func genPartitionPath(genRoot string, node, pid int, name string) string {
+	return filepath.Join(genNodeDir(genRoot, node), fmt.Sprintf("%s-part%05d.clmp", name, pid))
+}
+
+// Generation is one immutable snapshot of the index: the skeleton, the
+// partition files it references, and the delta of appends routed under that
+// skeleton. Queries acquire a generation for their whole lifetime, so a
+// reindex swap never changes what one query observes; the refcount tells the
+// swapper when the last reader of a replaced generation is gone and its
+// files may be deleted.
+type Generation struct {
+	// Skel and Parts are immutable after the generation is published
+	// (partition *contents* still grow through compaction, which rewrites
+	// files atomically; Paths and the skeleton never change).
+	Skel  *Skeleton
+	Parts *cluster.PartitionSet
+
+	// delta is the in-memory index of appends routed under this
+	// generation's skeleton but not yet compacted into its partition files.
+	deltaMu sync.RWMutex
+	delta   DeltaSource
+
+	// refs counts live handles: one base reference held by the Index while
+	// the generation is current, plus one per in-flight query. drained
+	// closes when the count first reaches zero — after the generation has
+	// been swapped out and its last reader finished.
+	refs      atomic.Int64
+	drainOnce sync.Once
+	drained   chan struct{}
+}
+
+// NewGeneration wraps a skeleton and partition set as a generation holding
+// its base reference.
+func NewGeneration(skel *Skeleton, parts *cluster.PartitionSet) *Generation {
+	g := &Generation{Skel: skel, Parts: parts, drained: make(chan struct{})}
+	g.refs.Store(1)
+	return g
+}
+
+// Release drops one reference. When the last one goes — possible only after
+// SwapGeneration released the base reference — Drained is closed.
+func (g *Generation) Release() {
+	if g.refs.Add(-1) == 0 {
+		g.drainOnce.Do(func() { close(g.drained) })
+	}
+}
+
+// Drained is closed once the generation has been swapped out and its last
+// in-flight reader released it; from then on its files have no reader and
+// may be deleted.
+func (g *Generation) Drained() <-chan struct{} { return g.drained }
+
+// SetDelta installs (or, with nil, removes) the generation's delta source.
+func (g *Generation) SetDelta(d DeltaSource) {
+	g.deltaMu.Lock()
+	g.delta = d
+	g.deltaMu.Unlock()
+}
+
+// Delta returns the generation's delta source, or nil.
+func (g *Generation) Delta() DeltaSource {
+	g.deltaMu.RLock()
+	d := g.delta
+	g.deltaMu.RUnlock()
+	return d
+}
+
+// AcquireGeneration returns the current generation with a reference held;
+// the caller must Release it. The load-increment-recheck loop makes the
+// acquisition safe against a concurrent swap: if the generation changed
+// under us, the speculative reference is returned and the load retried.
+func (ix *Index) AcquireGeneration() *Generation {
+	for {
+		g := ix.gen.Load()
+		g.refs.Add(1)
+		if ix.gen.Load() == g {
+			return g
+		}
+		g.Release()
+	}
+}
+
+// SwapGeneration atomically publishes ng as the current generation and
+// releases the Index's base reference on the previous one, which is
+// returned so the caller can wait for Drained before deleting its files.
+// Callers must serialise SwapGeneration with every write path (climber.DB
+// runs it under the ingestion semaphore).
+func (ix *Index) SwapGeneration(ng *Generation) *Generation {
+	old := ix.gen.Swap(ng)
+	old.Release()
+	return old
+}
+
+// Gen returns the current generation without acquiring a reference — for
+// metadata reads only (the Go objects outlive any swap; only files are
+// reclaimed, and file access requires AcquireGeneration).
+func (ix *Index) Gen() *Generation { return ix.gen.Load() }
+
+// Skeleton returns the current generation's skeleton.
+func (ix *Index) Skeleton() *Skeleton { return ix.gen.Load().Skel }
+
+// Partitions returns the current generation's partition set.
+func (ix *Index) Partitions() *cluster.PartitionSet { return ix.gen.Load().Parts }
+
+// crashHook, when set by a test, observes every durability step of the
+// generation-swap protocol (partition writes, fsyncs, the MANIFEST rename)
+// immediately *before* the step executes. The kill-anywhere crash matrix
+// sets a hook that SIGKILLs the process at an enumerated step and asserts
+// that reopening observes a fully-old or fully-new generation, never a mix.
+var (
+	crashHookMu sync.RWMutex
+	crashHook   func(step string)
+)
+
+// SetCrashStepHook installs fn as the swap-protocol step observer; nil
+// removes it. Test-only.
+func SetCrashStepHook(fn func(step string)) {
+	crashHookMu.Lock()
+	crashHook = fn
+	crashHookMu.Unlock()
+}
+
+// crashStep announces a named durability step to the installed hook.
+func crashStep(step string) {
+	crashHookMu.RLock()
+	fn := crashHook
+	crashHookMu.RUnlock()
+	if fn != nil {
+		fn(step)
+	}
+}
+
+// syncDir fsyncs a directory so a preceding create/rename of one of its
+// entries is durable.
+func syncDir(dir string) error {
+	f, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("core: open dir for sync: %w", err)
+	}
+	defer f.Close()
+	if err := f.Sync(); err != nil {
+		return fmt.Errorf("core: sync dir %s: %w", dir, err)
+	}
+	return nil
+}
+
+// syncFile fsyncs an already-written file by path.
+func syncFile(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("core: open for sync: %w", err)
+	}
+	defer f.Close()
+	if err := f.Sync(); err != nil {
+		return fmt.Errorf("core: sync %s: %w", path, err)
+	}
+	return nil
+}
+
+// WriteManifestPointer atomically points dir's MANIFEST at the named
+// generation directory — the commit point of a reindex. The write is
+// tmp + fsync + rename + parent-dir fsync: a crash strictly before the
+// rename leaves the previous pointer (or none), a crash at or after it
+// leaves the new one; no interleaving exposes a torn pointer.
+func WriteManifestPointer(dir string, num int) error {
+	name := genName(num)
+	mp := manifestPath(dir)
+	tmp := mp + ".tmp"
+	crashStep("manifest-write")
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("core: create manifest: %w", err)
+	}
+	if _, err := f.WriteString(name + "\n"); err != nil {
+		f.Close()
+		return fmt.Errorf("core: write manifest: %w", err)
+	}
+	crashStep("manifest-fsync")
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("core: sync manifest: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("core: close manifest: %w", err)
+	}
+	crashStep("manifest-rename")
+	if err := os.Rename(tmp, mp); err != nil {
+		return fmt.Errorf("core: commit manifest: %w", err)
+	}
+	crashStep("root-dir-sync")
+	if err := syncDir(dir); err != nil {
+		return err
+	}
+	crashStep("commit-done")
+	return nil
+}
+
+// ActiveGeneration resolves dir's active generation from its MANIFEST
+// pointer: the generation root directory and number. A database without a
+// MANIFEST is on its build-time layout — generation 0, rooted at dir
+// itself.
+func ActiveGeneration(dir string) (root string, num int, err error) {
+	b, err := os.ReadFile(manifestPath(dir))
+	if errors.Is(err, fs.ErrNotExist) {
+		return dir, 0, nil
+	}
+	if err != nil {
+		return "", 0, fmt.Errorf("core: read manifest: %w", err)
+	}
+	name := strings.TrimSpace(string(b))
+	var n int
+	if _, serr := fmt.Sscanf(name, "gen-%d", &n); serr != nil || n <= 0 || name != genName(n) {
+		return "", 0, fmt.Errorf("core: corrupt manifest pointer %q", name)
+	}
+	return GenDir(dir, n), n, nil
+}
+
+// CleanStaleGenerations removes generation remains that the active pointer
+// does not reference: gen-NNNN directories other than the active one (debris
+// of a reindex that crashed mid-build or mid-cleanup) and, when a gen-NNNN
+// generation is active, the superseded generation-0 files (index.clms and
+// the cluster/ tree). It is best-effort — the first removal error is
+// returned, but a failure leaves only unreferenced files behind.
+func CleanStaleGenerations(dir string, activeNum int) error {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return fmt.Errorf("core: scan for stale generations: %w", err)
+	}
+	var firstErr error
+	keep := func(e error) {
+		if firstErr == nil && e != nil {
+			firstErr = e
+		}
+	}
+	for _, ent := range entries {
+		if !ent.IsDir() || !strings.HasPrefix(ent.Name(), "gen-") {
+			continue
+		}
+		var n int
+		if _, serr := fmt.Sscanf(ent.Name(), "gen-%d", &n); serr != nil || ent.Name() != genName(n) {
+			continue // not ours
+		}
+		if n == activeNum {
+			continue
+		}
+		keep(os.RemoveAll(filepath.Join(dir, ent.Name())))
+	}
+	if activeNum > 0 {
+		if err := os.Remove(IndexPathIn(dir)); err != nil && !errors.Is(err, fs.ErrNotExist) {
+			keep(err)
+		}
+		keep(os.RemoveAll(filepath.Join(dir, "cluster")))
+	}
+	return firstErr
+}

@@ -7,6 +7,7 @@ import (
 	"io"
 	"math"
 	"os"
+	"path/filepath"
 
 	"climber/internal/cluster"
 	"climber/internal/grouping"
@@ -318,32 +319,48 @@ func DecodeSkeleton(r io.Reader) (*Skeleton, error) {
 	}, nil
 }
 
-// SaveIndex persists an index's metadata — the skeleton plus the partition
-// manifest — to one file. Partition files stay where the cluster wrote
-// them.
+// SaveIndex persists an index's metadata — the current generation's skeleton
+// plus its partition manifest — to one file. Partition files stay where the
+// cluster wrote them.
+func SaveIndex(ix *Index, path string) error {
+	g := ix.AcquireGeneration()
+	defer g.Release()
+	return SaveSnapshot(g.Skel, g.Parts, path)
+}
+
+// SaveSnapshot persists a skeleton plus a partition manifest to one file —
+// the serialised form of a generation. Partition paths under the file's own
+// directory are stored relative to it, so a generation directory (and a
+// backup assembled from one) can be relocated or copied wholesale and still
+// open; paths elsewhere are stored as given.
 //
 // The write is atomic (temp file + fsync + rename): the manifest is the
 // WAL-replay baseline and the streaming compactor rewrites it on every
 // compaction, so a kill mid-save must leave either the old or the new
 // manifest, never a truncated one that would make the database unopenable.
-func SaveIndex(ix *Index, path string) error {
+func SaveSnapshot(skel *Skeleton, parts *cluster.PartitionSet, path string) error {
+	root := filepath.Dir(path)
 	tmp := path + ".tmp"
+	crashStep("index-write")
 	f, err := os.Create(tmp)
 	if err != nil {
 		return fmt.Errorf("core: create index file: %w", err)
 	}
 	w := bufio.NewWriter(f)
-	if err := ix.Skel.Encode(w); err != nil {
+	if err := skel.Encode(w); err != nil {
 		f.Close()
 		return fmt.Errorf("core: encode skeleton: %w", err)
 	}
 	bw := &binWriter{w: w}
-	bw.i(ix.Parts.SeriesLen)
-	bw.i(len(ix.Parts.Paths))
-	for i, p := range ix.Parts.Paths {
+	bw.i(parts.SeriesLen)
+	bw.i(len(parts.Paths))
+	for i, p := range parts.Paths {
+		if rel, err := filepath.Rel(root, p); err == nil && filepath.IsLocal(rel) {
+			p = rel
+		}
 		bw.i(len(p))
 		bw.raw([]byte(p))
-		bw.i(ix.Parts.Counts[i])
+		bw.i(parts.Counts[i])
 	}
 	if bw.err != nil {
 		f.Close()
@@ -353,6 +370,7 @@ func SaveIndex(ix *Index, path string) error {
 		f.Close()
 		return fmt.Errorf("core: flush index file: %w", err)
 	}
+	crashStep("index-fsync")
 	if err := f.Sync(); err != nil {
 		f.Close()
 		return fmt.Errorf("core: sync index file: %w", err)
@@ -360,6 +378,7 @@ func SaveIndex(ix *Index, path string) error {
 	if err := f.Close(); err != nil {
 		return fmt.Errorf("core: close index file: %w", err)
 	}
+	crashStep("index-rename")
 	if err := os.Rename(tmp, path); err != nil {
 		return fmt.Errorf("core: replace index file: %w", err)
 	}
@@ -386,6 +405,7 @@ func OpenIndex(cl *cluster.Cluster, path string) (*Index, error) {
 	if br.err != nil || n < 0 || n > 1<<24 {
 		return nil, fmt.Errorf("core: corrupt partition manifest")
 	}
+	root := filepath.Dir(path)
 	for i := 0; i < n; i++ {
 		pl := br.i()
 		if br.err != nil || pl < 0 || pl > 1<<16 {
@@ -393,13 +413,21 @@ func OpenIndex(cl *cluster.Cluster, path string) (*Index, error) {
 		}
 		p := make([]byte, pl)
 		br.raw(p)
-		parts.Paths = append(parts.Paths, string(p))
+		pp := string(p)
+		// Manifests written by SaveSnapshot carry generation-relative
+		// paths; resolve them against the manifest's own directory. Old
+		// absolute-path manifests pass through unchanged.
+		if !filepath.IsAbs(pp) {
+			pp = filepath.Join(root, pp)
+		}
+		parts.Paths = append(parts.Paths, pp)
 		parts.Counts = append(parts.Counts, br.i())
 	}
 	if br.err != nil {
 		return nil, fmt.Errorf("core: read manifest: %w", br.err)
 	}
-	ix := &Index{Skel: skel, Cl: cl, Parts: parts}
+	ix := &Index{Cl: cl}
+	ix.gen.Store(NewGeneration(skel, parts))
 	ix.initNextID()
 	return ix, nil
 }

@@ -33,7 +33,7 @@ func legacySearchContext(ctx context.Context, ix *Index, q []float64, opts Searc
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	skel := ix.Skel
+	skel := ix.Skeleton()
 
 	paaQ := skel.Transformer.Transform(q)
 	rs, ri := skel.Pivots.Dual(paaQ)
@@ -117,7 +117,7 @@ func legacySearchPrefixContext(ctx context.Context, ix *Index, q []float64, opts
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	skel := ix.Skel
+	skel := ix.Skeleton()
 	if len(q) == skel.SeriesLen {
 		return legacySearchContext(ctx, ix, q, opts)
 	}
@@ -187,7 +187,7 @@ func legacySearchPrefixContext(ctx context.Context, ix *Index, q []float64, opts
 func legacySelectTarget(ix *Index, cands []int, rs pivot.Signature, bestOD int) target {
 	best := target{pathLen: -1}
 	for _, gid := range cands {
-		g := ix.Skel.Groups[gid]
+		g := ix.Skeleton().Groups[gid]
 		node, pathLen := g.Trie.Descend(rs)
 		cand := target{group: g, node: node, od: bestOD, pathLen: pathLen}
 		switch {
@@ -247,12 +247,12 @@ func legacyPlanKNN(base target) legacyPlan {
 
 func legacyPlanODSmallest(ix *Index, ri pivot.Signature, bestOD int) legacyPlan {
 	plan := make(legacyPlan)
-	gids, _ := ix.Skel.Assigner.BestByOverlap(ri)
-	if bestOD == ix.Skel.Cfg.PrefixLen {
+	gids, _ := ix.Skeleton().Assigner.BestByOverlap(ri)
+	if bestOD == ix.Skeleton().Cfg.PrefixLen {
 		gids = []int{0}
 	}
 	for _, gid := range gids {
-		for _, pid := range ix.Skel.GroupPartitions(gid) {
+		for _, pid := range ix.Skeleton().GroupPartitions(gid) {
 			plan.addWholePartition(pid)
 		}
 	}
@@ -272,8 +272,8 @@ func legacyPlanAdaptive(ix *Index, base target, rs, ri pivot.Signature, bestOD i
 	}
 
 	var cands []target
-	for _, gid := range ix.Skel.Assigner.GroupsWithinOD(ri, bestOD) {
-		g := ix.Skel.Groups[gid]
+	for _, gid := range ix.Skeleton().Assigner.GroupsWithinOD(ri, bestOD) {
+		g := ix.Skeleton().Groups[gid]
 		node, pathLen := g.Trie.Descend(rs)
 		if g == base.group && node == base.node {
 			node = legacyParentOf(g.Trie, node)
@@ -397,7 +397,7 @@ func legacyExecutePlanDist(ctx context.Context, ix *Index, plan, done legacyPlan
 		if err := ctx.Err(); err != nil {
 			return err
 		}
-		p, err := ix.Cl.OpenPartition(ix.Parts, pid)
+		p, err := ix.Cl.OpenPartition(ix.Partitions(), pid)
 		if err != nil {
 			return err
 		}

@@ -61,7 +61,7 @@ func buildArtifacts(t *testing.T, baseDir string, capacity, workers int) map[str
 
 	out := make(map[string]string)
 	var buf bytes.Buffer
-	if err := ix.Skel.Encode(&buf); err != nil {
+	if err := ix.Skeleton().Encode(&buf); err != nil {
 		t.Fatal(err)
 	}
 	sum := sha256.Sum256(buf.Bytes())
@@ -72,7 +72,7 @@ func buildArtifacts(t *testing.T, baseDir string, capacity, workers int) map[str
 		t.Fatal(err)
 	}
 	out["index.clms"] = hashFile(t, idxPath)
-	for _, p := range ix.Parts.Paths {
+	for _, p := range ix.Partitions().Paths {
 		out["partition/"+filepath.Base(p)] = hashFile(t, p)
 	}
 	return out

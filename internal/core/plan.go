@@ -149,14 +149,14 @@ func (pb *planBuilder) build(widen bool) *ScanPlan {
 // requested variant — the pure "plan construction" half of Algorithm 3,
 // with the adaptive expansion of Section VI and the OD-Smallest ablation as
 // alternative policies. It performs no I/O.
-func (ix *Index) plan(base target, rs, ri pivot.Signature, bestOD int, opts SearchOptions) *ScanPlan {
+func (s *Skeleton) plan(base target, rs, ri pivot.Signature, bestOD int, opts SearchOptions) *ScanPlan {
 	pb := newPlanBuilder()
 	switch opts.Variant {
 	case VariantODSmallest:
-		ix.planODSmallest(pb, ri, bestOD)
+		s.planODSmallest(pb, ri, bestOD)
 		return pb.build(false)
 	case VariantAdaptive2X, VariantAdaptive4X:
-		ix.planAdaptive(pb, base, rs, ri, bestOD, opts)
+		s.planAdaptive(pb, base, rs, ri, bestOD, opts)
 	default:
 		pb.addTarget(base) // plain CLIMBER-kNN: the base target only
 	}
@@ -164,16 +164,16 @@ func (ix *Index) plan(base target, rs, ri pivot.Signature, bestOD int, opts Sear
 }
 
 // planODSmallest plans every partition of every group at the smallest OD.
-func (ix *Index) planODSmallest(pb *planBuilder, ri pivot.Signature, bestOD int) {
-	gids, _ := ix.Skel.Assigner.BestByOverlap(ri)
-	if bestOD == ix.Skel.Cfg.PrefixLen {
+func (s *Skeleton) planODSmallest(pb *planBuilder, ri pivot.Signature, bestOD int) {
+	gids, _ := s.Assigner.BestByOverlap(ri)
+	if bestOD == s.Cfg.PrefixLen {
 		gids = []int{0}
 	}
 	for _, gid := range gids {
-		for _, pid := range ix.Skel.GroupPartitions(gid) {
+		for _, pid := range s.GroupPartitions(gid) {
 			est := 0
-			if pid < len(ix.Skel.PartitionEst) {
-				est = ix.Skel.PartitionEst[pid]
+			if pid < len(s.PartitionEst) {
+				est = s.PartitionEst[pid]
 			}
 			pb.addWholePartition(pid, bestOD, est)
 		}
@@ -185,7 +185,7 @@ func (ix *Index) planODSmallest(pb *planBuilder, ri pivot.Signature, bestOD int)
 // best-matching trie nodes — the deepest match of every group within the
 // smallest OD, then their parents (the 2nd-longest matches) — until the
 // selected nodes' sizes sum past K, bounded by the variant's partition cap.
-func (ix *Index) planAdaptive(pb *planBuilder, base target, rs, ri pivot.Signature, bestOD int, opts SearchOptions) {
+func (s *Skeleton) planAdaptive(pb *planBuilder, base target, rs, ri pivot.Signature, bestOD int, opts SearchOptions) {
 	pb.addTarget(base)
 	if base.node.Count >= opts.K {
 		return // behaves exactly like CLIMBER-kNN (Figure 9 observation 2)
@@ -199,8 +199,8 @@ func (ix *Index) planAdaptive(pb *planBuilder, base target, rs, ri pivot.Signatu
 	// Memorised candidates: deepest node per group within the smallest OD,
 	// plus each node's ancestors as progressively coarser fallbacks.
 	var cands []target
-	for _, gid := range ix.Skel.Assigner.GroupsWithinOD(ri, bestOD) {
-		g := ix.Skel.Groups[gid]
+	for _, gid := range s.Assigner.GroupsWithinOD(ri, bestOD) {
+		g := s.Groups[gid]
 		node, pathLen := g.Trie.Descend(rs)
 		if g == base.group && node == base.node {
 			node = parentOf(g.Trie, node) // base already planned; offer its parent

@@ -37,7 +37,11 @@ func (ix *Index) searchPrefix(ctx context.Context, q []float64, opts SearchOptio
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	skel := ix.Skel
+	// Pin the generation like search does; the full-length fallthrough below
+	// re-acquires, which is cheap and keeps both entry points uniform.
+	g := ix.AcquireGeneration()
+	defer g.Release()
+	skel := g.Skel
 	if opts.K <= 0 {
 		return nil, fmt.Errorf("core: K must be positive, got %d", opts.K)
 	}
@@ -58,7 +62,7 @@ func (ix *Index) searchPrefix(ctx context.Context, q []float64, opts SearchOptio
 	}
 	paaQ := tr.Transform(q)
 	prefixLen := len(q)
-	return ix.runQuery(ctx, paaQ, opts, sink, func(values []float64, bound float64) float64 {
+	return ix.runQuery(ctx, g, paaQ, opts, sink, func(values []float64, bound float64) float64 {
 		return series.SqDistEarlyAbandonBlocked(q, values[:prefixLen], bound)
 	})
 }

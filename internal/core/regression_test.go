@@ -100,7 +100,7 @@ func buildDegenerateIndex(t *testing.T) (*Index, *testDataset) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	return &Index{Skel: skel, Cl: cl, Parts: parts}, &testDataset{ds.Get(0), ds.Len()}
+	return NewIndex(cl, skel, parts), &testDataset{ds.Get(0), ds.Len()}
 }
 
 type testDataset struct {
@@ -128,8 +128,8 @@ func TestSearchDegenerateFallbackOnlyIndex(t *testing.T) {
 		if res.Explain.SelectedGroup != grouping.FallbackGroup {
 			t.Fatalf("%v: selected group %d, want fall-back", v, res.Explain.SelectedGroup)
 		}
-		if res.Explain.BestOD != ix.Skel.Cfg.PrefixLen {
-			t.Fatalf("%v: BestOD = %d, want m=%d", v, res.Explain.BestOD, ix.Skel.Cfg.PrefixLen)
+		if res.Explain.BestOD != ix.Skeleton().Cfg.PrefixLen {
+			t.Fatalf("%v: BestOD = %d, want m=%d", v, res.Explain.BestOD, ix.Skeleton().Cfg.PrefixLen)
 		}
 	}
 	// SearchPrefix navigates the same skeleton path.

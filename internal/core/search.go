@@ -213,25 +213,31 @@ func (ix *Index) search(ctx context.Context, q []float64, opts SearchOptions, si
 	if opts.K <= 0 {
 		return nil, fmt.Errorf("core: K must be positive, got %d", opts.K)
 	}
-	if len(q) != ix.Skel.SeriesLen {
-		return nil, fmt.Errorf("core: query length %d, index expects %d", len(q), ix.Skel.SeriesLen)
+	// Pin the generation for the whole query: skeleton navigation, partition
+	// scans, and the delta merge all read one consistent snapshot even if an
+	// online reindex swaps the index mid-query.
+	g := ix.AcquireGeneration()
+	defer g.Release()
+	if len(q) != g.Skel.SeriesLen {
+		return nil, fmt.Errorf("core: query length %d, index expects %d", len(q), g.Skel.SeriesLen)
 	}
 	// Lines 2-4 of Algorithm 3: transform the query exactly as records were
 	// transformed during Step 4. The scan loop (exec.go) runs on the blocked
 	// early-abandon kernel: multi-lane accumulation with the top-k limit
 	// checked once per block, the vectorisation-friendly shape of the
 	// MESSI/ParIS scan kernels.
-	paaQ := ix.Skel.Transformer.Transform(q)
-	return ix.runQuery(ctx, paaQ, opts, sink, func(values []float64, bound float64) float64 {
+	paaQ := g.Skel.Transformer.Transform(q)
+	return ix.runQuery(ctx, g, paaQ, opts, sink, func(values []float64, bound float64) float64 {
 		return series.SqDistEarlyAbandonBlocked(q, values, bound)
 	})
 }
 
 // runQuery is the engine shared by full-length and prefix queries: navigate
 // the skeleton (planner), execute the ranked plan stage by stage under the
-// budget (executor), and assemble the result.
-func (ix *Index) runQuery(ctx context.Context, paaQ []float64, opts SearchOptions, sink func(Snapshot) bool, dist distFunc) (*SearchResult, error) {
-	skel := ix.Skel
+// budget (executor), and assemble the result. The caller passes the
+// generation it acquired; every read below goes through it.
+func (ix *Index) runQuery(ctx context.Context, g *Generation, paaQ []float64, opts SearchOptions, sink func(Snapshot) bool, dist distFunc) (*SearchResult, error) {
+	skel := g.Skel
 
 	// The "plan" span covers the pure in-memory half of the query: dual
 	// signature, group selection, trie descent, and plan ranking.
@@ -243,8 +249,8 @@ func (ix *Index) runQuery(ctx context.Context, paaQ []float64, opts SearchOption
 
 	// Lines 10-19: per-group trie descent and tie-breaking, then the
 	// variant's plan policy.
-	base := ix.selectTarget(cands, rs, bestOD)
-	plan := ix.plan(base, rs, ri, bestOD, opts)
+	base := skel.selectTarget(cands, rs, bestOD)
+	plan := skel.plan(base, rs, ri, bestOD, opts)
 	planSpan.SetAttr("groups", int64(len(cands)))
 	planSpan.SetAttr("best_od", int64(bestOD))
 	planSpan.SetAttr("steps", int64(len(plan.Steps)))
@@ -256,7 +262,7 @@ func (ix *Index) runQuery(ctx context.Context, paaQ []float64, opts SearchOption
 		TargetPathLen:    base.pathLen,
 		StepsPlanned:     len(plan.Steps),
 	}
-	ex := newExecutor(ix, plan, opts, dist, &stats)
+	ex := newExecutor(ix, g, plan, opts, dist, &stats)
 	if err := ex.run(ctx, sink); err != nil {
 		return nil, err
 	}
@@ -299,10 +305,10 @@ func (ix *Index) runQuery(ctx context.Context, paaQ []float64, opts SearchOption
 // lowest group ID (a deterministic stand-in for the paper's random pick
 // among equally well-matching groups, chosen so repeated runs are
 // comparable).
-func (ix *Index) selectTarget(cands []int, rs pivot.Signature, bestOD int) target {
+func (s *Skeleton) selectTarget(cands []int, rs pivot.Signature, bestOD int) target {
 	best := target{pathLen: -1}
 	for _, gid := range cands {
-		g := ix.Skel.Groups[gid]
+		g := s.Groups[gid]
 		node, pathLen := g.Trie.Descend(rs)
 		cand := target{group: g, node: node, od: bestOD, pathLen: pathLen}
 		switch {

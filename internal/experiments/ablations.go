@@ -41,7 +41,7 @@ func AblationDecay(s Scale, workDir string, out io.Writer) error {
 		if err != nil {
 			return err
 		}
-		t.Add(kind.String(), res.Recall, ms(res.AvgTime), ix.Skel.NumGroups())
+		t.Add(kind.String(), res.Recall, ms(res.AvgTime), ix.Skeleton().NumGroups())
 	}
 	return t.Write(out)
 }

@@ -50,7 +50,7 @@ func Fig12PrefixLen(s Scale, workDir string, out io.Writer) error {
 			return err
 		}
 		points[m] = point{
-			indexBytes: ix.Skel.EncodedSize(),
+			indexBytes: ix.Skeleton().EncodedSize(),
 			buildMs:    ix.Stats.Total.Milliseconds(),
 			queryMs:    float64(res.AvgTime.Microseconds()) / 1000,
 			recall:     res.Recall,

@@ -22,7 +22,7 @@ func buildCosts(s Scale, workDir, dsName string, n int) (map[string][2]int64, er
 	if err != nil {
 		return nil, fmt.Errorf("fig8 %s: climber build: %w", dsName, err)
 	}
-	out["CLIMBER"] = [2]int64{cix.Stats.Total.Milliseconds(), int64(cix.Skel.EncodedSize())}
+	out["CLIMBER"] = [2]int64{cix.Stats.Total.Milliseconds(), int64(cix.Skeleton().EncodedSize())}
 
 	tix, err := tardis.Build(e.cl, e.bs, tardisConfig(s, n), "tardis-"+dsName)
 	if err != nil {

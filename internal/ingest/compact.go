@@ -8,11 +8,18 @@ import (
 	"sync/atomic"
 	"time"
 
+	"climber/internal/cluster"
 	"climber/internal/core"
 )
 
 // ErrClosed is returned by Append and Flush after Close.
 var ErrClosed = errors.New("ingest: ingester is closed")
+
+// ErrRebuildInProgress is returned by Flush, Barrier, and BeginRebuild while
+// an online reindex holds the pipeline's compactions paused. Appends keep
+// flowing — they accumulate in the WAL and the live delta until the rebuild
+// commits or aborts.
+var ErrRebuildInProgress = errors.New("ingest: rebuild in progress")
 
 // Config tunes the ingestion pipeline. The zero value is usable: every
 // field falls back to the documented default.
@@ -63,9 +70,13 @@ type Stats struct {
 // so any number of goroutines may Append concurrently — with each other and
 // with searches.
 type Ingester struct {
-	ix    *core.Index
-	wal   *WAL
-	delta *MemDelta
+	ix  *core.Index
+	wal *WAL
+	// delta is the live uncompacted-records index. It is a pointer swap
+	// target: CommitRebuild replaces it with the re-routed delta of the new
+	// generation, while the background compactor and the stats paths read it
+	// locklessly — hence atomic.
+	delta atomic.Pointer[MemDelta]
 	save  func() error // persists the index manifest (partition counts)
 	cfg   Config
 	// baseRecords is the partition-file record count at Open, before WAL
@@ -80,6 +91,11 @@ type Ingester struct {
 	// delta under its own RWMutex. closed is guarded by sem.
 	sem    chan struct{}
 	closed bool
+	// paused suspends compactions while an online reindex is building its
+	// new generation: draining the delta mid-rebuild would advance the
+	// manifest baseline past records the new generation's files do not hold.
+	// Guarded by sem, like closed.
+	paused bool
 
 	kick     chan struct{} // nudges the compactor when the size threshold trips
 	stop     chan struct{}
@@ -109,7 +125,7 @@ type Ingester struct {
 // save and WAL truncation cannot duplicate records.
 func Open(ix *core.Index, walPath string, save func() error, cfg Config) (*Ingester, error) {
 	cfg = cfg.withDefaults()
-	wal, entries, err := OpenWAL(walPath, ix.Skel.SeriesLen)
+	wal, entries, err := OpenWAL(walPath, ix.Skeleton().SeriesLen)
 	if err != nil {
 		return nil, err
 	}
@@ -136,7 +152,6 @@ func Open(ix *core.Index, walPath string, save func() error, cfg Config) (*Inges
 	g := &Ingester{
 		ix:          ix,
 		wal:         wal,
-		delta:       delta,
 		save:        save,
 		cfg:         cfg,
 		baseRecords: int64(baseline),
@@ -145,6 +160,7 @@ func Open(ix *core.Index, walPath string, save func() error, cfg Config) (*Inges
 		stop:        make(chan struct{}),
 		done:        make(chan struct{}),
 	}
+	g.delta.Store(delta)
 	g.replayedSeries.Store(int64(len(routed)))
 	g.walBytes.Store(wal.Size())
 	go g.run()
@@ -161,7 +177,7 @@ func (g *Ingester) Append(ctx context.Context, data [][]float64) ([]int, error) 
 	if len(data) == 0 {
 		return nil, nil
 	}
-	seriesLen := g.ix.Skel.SeriesLen
+	seriesLen := g.ix.Skeleton().SeriesLen
 	for i, r := range data {
 		if len(r) != seriesLen {
 			return nil, fmt.Errorf("ingest: series %d has length %d, index stores %d", i, len(r), seriesLen)
@@ -198,11 +214,11 @@ func (g *Ingester) Append(ctx context.Context, data [][]float64) ([]int, error) 
 		g.ix.UnreserveIDs(first, len(data))
 		return nil, err
 	}
-	g.delta.Add(routed)
+	g.delta.Load().Add(routed)
 	g.walBytes.Store(g.wal.Size())
 	g.appendCalls.Add(1)
 	g.appendedSeries.Add(int64(len(data)))
-	if g.delta.Len() >= g.cfg.CompactRecords {
+	if g.delta.Load().Len() >= g.cfg.CompactRecords {
 		select {
 		case g.kick <- struct{}{}:
 		default:
@@ -223,7 +239,93 @@ func (g *Ingester) Flush(ctx context.Context) error {
 	if g.closed {
 		return ErrClosed
 	}
+	if g.paused {
+		return ErrRebuildInProgress
+	}
 	return g.compactLocked()
+}
+
+// Barrier synchronously compacts the delta and then runs fn while the write
+// semaphore is still held: no append, compaction, or generation swap can
+// interleave with fn. Backup uses it to copy partition files at a moment
+// when they hold every acked record and nothing is rewriting them.
+func (g *Ingester) Barrier(ctx context.Context, fn func() error) error {
+	if err := g.lock(ctx); err != nil {
+		return err
+	}
+	defer g.unlock()
+	if g.closed {
+		return ErrClosed
+	}
+	if g.paused {
+		return ErrRebuildInProgress
+	}
+	if err := g.compactLocked(); err != nil {
+		return err
+	}
+	return fn()
+}
+
+// BeginRebuild starts the write-side protocol of an online reindex: it runs
+// one final compaction — so the partition files hold every record acked so
+// far and the rebuild can source solely from them — and then pauses further
+// compactions. Appends stay live; until CommitRebuild or AbortRebuild they
+// accumulate in the WAL and the current generation's delta.
+func (g *Ingester) BeginRebuild(ctx context.Context) error {
+	if err := g.lock(ctx); err != nil {
+		return err
+	}
+	defer g.unlock()
+	if g.closed {
+		return ErrClosed
+	}
+	if g.paused {
+		return ErrRebuildInProgress
+	}
+	if err := g.compactLocked(); err != nil {
+		return err
+	}
+	g.paused = true
+	return nil
+}
+
+// CommitRebuild finishes an online reindex begun with BeginRebuild. Under
+// the write semaphore — so no append can slip between the delta snapshot and
+// the swap — it re-routes every record acked during the rebuild through the
+// new generation's skeleton (route, a pure function of (id, values)) into a
+// fresh delta, then calls publish, which must install that delta on the new
+// generation, commit the MANIFEST pointer, and swap the generation in. On
+// success the pipeline's live delta becomes the re-routed one and
+// compactions resume against the new generation; on error the old
+// generation stays current and compactions resume against it, with the WAL
+// and old delta untouched — the failed rebuild is simply discarded.
+func (g *Ingester) CommitRebuild(route func(id int, values []float64) cluster.Route, publish func(nd *MemDelta) error) error {
+	g.lockBlocking()
+	defer g.unlock()
+	defer func() { g.paused = false }()
+	if g.closed {
+		return ErrClosed
+	}
+	recs := g.delta.Load().Snapshot()
+	rerouted := make([]core.Routed, len(recs))
+	for i, r := range recs {
+		rerouted[i] = core.Routed{ID: r.ID, Route: route(r.ID, r.Values), Values: r.Values}
+	}
+	nd := NewMemDelta()
+	nd.Add(rerouted)
+	if err := publish(nd); err != nil {
+		return err
+	}
+	g.delta.Store(nd)
+	return nil
+}
+
+// AbortRebuild resumes compactions after a failed rebuild, leaving the
+// current generation, the WAL, and the delta exactly as they were.
+func (g *Ingester) AbortRebuild() {
+	g.lockBlocking()
+	g.paused = false
+	g.unlock()
 }
 
 // Close stops the background compactor, runs a final compaction so nothing
@@ -290,14 +392,14 @@ func (g *Ingester) Stats() Stats {
 		WALBytes:        g.walBytes.Load(),
 		Compactions:     g.compactions.Load(),
 		CompactedSeries: g.compactedSeries.Load(),
-		DeltaRecords:    g.delta.Len(),
-		DeltaBytes:      g.delta.Bytes(),
+		DeltaRecords:    g.delta.Load().Len(),
+		DeltaBytes:      g.delta.Load().Bytes(),
 		CompactErrors:   g.compactErrors.Load(),
 	}
 }
 
 // DeltaLen returns the number of acked records not yet compacted.
-func (g *Ingester) DeltaLen() int { return g.delta.Len() }
+func (g *Ingester) DeltaLen() int { return g.delta.Load().Len() }
 
 // TotalRecords returns the database's acked record count: the partition
 // records present at open plus every series acked since (replayed or
@@ -327,7 +429,7 @@ func (g *Ingester) run() {
 			return
 		case <-g.kick:
 		case <-ticker.C:
-			if g.delta.Len() < g.cfg.CompactRecords && g.delta.OldestAge() < g.cfg.CompactAge {
+			if d := g.delta.Load(); d.Len() < g.cfg.CompactRecords && d.OldestAge() < g.cfg.CompactAge {
 				continue
 			}
 		}
@@ -361,7 +463,13 @@ func (g *Ingester) run() {
 // delta and a partition file between steps 1 and 4; the search path
 // deduplicates results by ID, and the copies carry identical values.
 func (g *Ingester) compactLocked() error {
-	recs := g.delta.Snapshot()
+	if g.paused {
+		// An online reindex owns the compaction baseline right now; the
+		// background compactor simply tries again after the swap.
+		return nil
+	}
+	delta := g.delta.Load()
+	recs := delta.Snapshot()
 	if len(recs) == 0 {
 		return nil
 	}
@@ -374,7 +482,7 @@ func (g *Ingester) compactLocked() error {
 	if err := g.wal.Reset(); err != nil {
 		return err
 	}
-	g.delta.Reset()
+	delta.Reset()
 	g.walBytes.Store(g.wal.Size())
 	g.compactions.Add(1)
 	g.compactedSeries.Add(int64(len(recs)))

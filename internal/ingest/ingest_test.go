@@ -253,8 +253,8 @@ func TestCrashBetweenCompactAndTruncateIsIdempotent(t *testing.T) {
 	}
 	// No record is stored twice.
 	seen := map[int]int{}
-	for pid := range ix2.Parts.Paths {
-		p, err := ix2.Cl.OpenPartition(ix2.Parts, pid)
+	for pid := range ix2.Partitions().Paths {
+		p, err := ix2.Cl.OpenPartition(ix2.Partitions(), pid)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -275,7 +275,7 @@ func TestCrashBetweenCompactAndTruncateIsIdempotent(t *testing.T) {
 }
 
 // snapshotOf exposes the delta snapshot for the crash-window test.
-func snapshotOf(g *Ingester) []core.Routed { return g.delta.Snapshot() }
+func snapshotOf(g *Ingester) []core.Routed { return g.delta.Load().Snapshot() }
 
 func TestAppendValidation(t *testing.T) {
 	ix, dir := buildIndex(t, 1000)

@@ -20,6 +20,7 @@ package pcache
 
 import (
 	"container/list"
+	"strings"
 	"sync"
 	"sync/atomic"
 
@@ -206,6 +207,27 @@ func (c *Cache) Invalidate(key string) {
 		// detached flight still serves the waiters it already has.
 		f.stale = true
 		delete(c.inflight, key)
+	}
+}
+
+// InvalidatePrefix applies Invalidate semantics to every key under prefix:
+// resident entries are dropped and in-flight loads marked stale + detached.
+// Because cache keys are partition file paths, a directory prefix
+// invalidates a whole retired generation in one call after its last reader
+// drains.
+func (c *Cache) InvalidatePrefix(prefix string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for key, e := range c.entries {
+		if strings.HasPrefix(key, prefix) {
+			c.removeLocked(e)
+		}
+	}
+	for key, f := range c.inflight {
+		if strings.HasPrefix(key, prefix) {
+			f.stale = true
+			delete(c.inflight, key)
+		}
 	}
 }
 

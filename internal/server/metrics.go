@@ -22,6 +22,8 @@ type metrics struct {
 	appends      atomic.Int64   // /append requests answered (incl. errors)
 	appendSeries atomic.Int64   // series inside successful appends
 	flushes      atomic.Int64   // /flush requests answered
+	reindexes    atomic.Int64   // /reindex requests answered (incl. errors)
+	backups      atomic.Int64   // /backup requests answered (incl. errors)
 	badRequests  atomic.Int64   // 400s from decode/validation
 	rejected     atomic.Int64   // 429s from admission control
 	canceled     atomic.Int64   // queries aborted by client disconnect
@@ -50,6 +52,8 @@ type ServerStats struct {
 	Appends         int64   `json:"appends"`
 	AppendSeries    int64   `json:"append_series"`
 	Flushes         int64   `json:"flushes"`
+	Reindexes       int64   `json:"reindexes"`
+	Backups         int64   `json:"backups"`
 	BadRequests     int64   `json:"bad_requests"`
 	Rejected        int64   `json:"rejected"`
 	Canceled        int64   `json:"canceled"`
@@ -69,6 +73,8 @@ func (m *metrics) snapshot(uptime time.Duration) ServerStats {
 		Appends:         m.appends.Load(),
 		AppendSeries:    m.appendSeries.Load(),
 		Flushes:         m.flushes.Load(),
+		Reindexes:       m.reindexes.Load(),
+		Backups:         m.backups.Load(),
 		BadRequests:     m.badRequests.Load(),
 		Rejected:        m.rejected.Load(),
 		Canceled:        m.canceled.Load(),
@@ -130,6 +136,8 @@ func (m *metrics) renderProm(w *strings.Builder, buildInfo string, slowTotal int
 	counter("climber_append_requests_total", "Answered /append requests.", m.appends.Load())
 	counter("climber_append_series_total", "Series inside successful appends.", m.appendSeries.Load())
 	counter("climber_flush_requests_total", "Answered /flush requests.", m.flushes.Load())
+	counter("climber_reindex_requests_total", "Answered /reindex requests.", m.reindexes.Load())
+	counter("climber_backup_requests_total", "Answered /backup requests.", m.backups.Load())
 	counter("climber_ingest_appended_series_total", "Series acked by the ingestion pipeline.", ing.AppendedSeries)
 	counter("climber_ingest_replayed_series_total", "WAL entries replayed into the delta at open.", ing.ReplayedSeries)
 	counter("climber_compactions_total", "Completed delta-to-partition compactions.", ing.Compactions)

@@ -10,6 +10,8 @@
 //	POST /search/prefix one query shorter than the indexed length
 //	POST /append        ingest series   {"series": [[...], ...]}
 //	POST /flush         force compaction of acked writes into partitions
+//	POST /reindex       rebuild the index online; queries keep serving
+//	POST /backup        hard-link a consistent snapshot {"dir": "name"}
 //	GET  /info          database shape (series length, groups, partitions)
 //	GET  /stats         server + cache + ingestion counters, JSON
 //	GET  /healthz       liveness probe
@@ -39,11 +41,13 @@ package server
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 	"log/slog"
 	"net/http"
+	"path/filepath"
 	"runtime"
 	"strings"
 	"sync/atomic"
@@ -97,6 +101,10 @@ type Config struct {
 	SlowSample float64
 	// Logger receives the slow-query lines. Default: slog.Default().
 	Logger *slog.Logger
+	// BackupRoot is the directory under which POST /backup creates its
+	// snapshots. Empty disables the endpoint (403): backups write to the
+	// server's filesystem, so the operator must opt in to a location.
+	BackupRoot string
 }
 
 func (c Config) withDefaults() Config {
@@ -166,7 +174,7 @@ func New(db *climber.DB, cfg Config) *Server {
 		db:        db,
 		cfg:       cfg.withDefaults(),
 		seriesLen: db.Info().SeriesLen,
-		minPrefix: db.Index().Skel.Cfg.Segments,
+		minPrefix: db.Index().Skeleton().Cfg.Segments,
 		started:   time.Now(),
 	}
 	s.lim = api.NewLimiter(s.cfg.MaxInFlight, s.cfg.QueueTimeout, api.LimiterCounters{
@@ -182,7 +190,7 @@ func New(db *climber.DB, cfg Config) *Server {
 		s.m.stageLat[st] = api.NewHistogram()
 	}
 	s.slow = obs.NewSlowLog(s.cfg.SlowLogSize, s.cfg.SlowThreshold, s.cfg.SlowSample, s.cfg.Logger)
-	cfg0 := db.Index().Skel.Cfg
+	cfg0 := db.Index().Skeleton().Cfg
 	s.buildInfo = fmt.Sprintf("version=%q,series_len=\"%d\",segments=\"%d\",prefix_len=\"%d\"",
 		climber.Version, s.seriesLen, cfg0.Segments, cfg0.PrefixLen)
 	return s
@@ -200,6 +208,8 @@ func (s *Server) Handler() http.Handler {
 	mux.Handle("POST /search/prefix", s.instrument("/search/prefix", &s.m.prefixes, s.m.latency, s.handlePrefix))
 	mux.Handle("POST /append", s.instrument("/append", &s.m.appends, s.m.appendLat, s.handleAppend))
 	mux.HandleFunc("POST /flush", s.handleFlush)
+	mux.HandleFunc("POST /reindex", s.handleReindex)
+	mux.HandleFunc("POST /backup", s.handleBackup)
 	mux.HandleFunc("GET /info", s.handleInfo)
 	mux.HandleFunc("GET /stats", s.handleStats)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -614,6 +624,68 @@ func (s *Server) handleFlush(w http.ResponseWriter, r *http.Request) {
 	api.WriteJSON(w, http.StatusOK, map[string]string{"status": "flushed"})
 }
 
+// handleReindex runs an online reindex synchronously: when the 200 arrives,
+// the new generation is durable and serving. The rebuild does not hold an
+// admission slot — it is a minutes-scale background job and DB.Reindex
+// already rejects a second concurrent attempt — so queries keep flowing at
+// full concurrency while it runs. 409 means a reindex is already running.
+func (s *Server) handleReindex(w http.ResponseWriter, r *http.Request) {
+	s.m.reindexes.Add(1)
+	err := s.db.Reindex(r.Context())
+	if errors.Is(err, climber.ErrReindexInProgress) {
+		api.WriteError(w, http.StatusConflict, err)
+		return
+	}
+	if !s.finishQuery(w, err) {
+		return
+	}
+	api.WriteJSON(w, http.StatusOK, map[string]any{
+		"status":     "reindexed",
+		"generation": s.db.Info().Generation,
+	})
+}
+
+// handleBackup snapshots the database into a fresh directory under the
+// configured BackupRoot. The client names only the final path element; any
+// separator or traversal in the name is a 400, and an unset BackupRoot is a
+// 403 so a default deployment cannot be asked to write arbitrary trees.
+func (s *Server) handleBackup(w http.ResponseWriter, r *http.Request) {
+	s.m.backups.Add(1)
+	if s.cfg.BackupRoot == "" {
+		api.WriteError(w, http.StatusForbidden,
+			errors.New("backups disabled: server started without a backup root"))
+		return
+	}
+	body, ok := s.readBody(w, r)
+	if !ok {
+		return
+	}
+	var req struct {
+		Dir string `json:"dir"`
+	}
+	if err := json.Unmarshal(body, &req); err != nil {
+		s.m.badRequests.Add(1)
+		api.WriteError(w, http.StatusBadRequest, fmt.Errorf("invalid backup request: %w", err))
+		return
+	}
+	if req.Dir == "" || req.Dir != filepath.Base(req.Dir) || req.Dir == ".." || req.Dir == "." {
+		s.m.badRequests.Add(1)
+		api.WriteError(w, http.StatusBadRequest,
+			fmt.Errorf("backup dir must be a bare directory name, got %q", req.Dir))
+		return
+	}
+	dest := filepath.Join(s.cfg.BackupRoot, req.Dir)
+	err := s.db.Backup(r.Context(), dest)
+	if errors.Is(err, climber.ErrReindexInProgress) {
+		api.WriteError(w, http.StatusConflict, err)
+		return
+	}
+	if !s.finishQuery(w, err) {
+		return
+	}
+	api.WriteJSON(w, http.StatusOK, map[string]string{"status": "backed_up", "dir": dest})
+}
+
 func toWire(res []climber.Result) []Result {
 	out := make([]Result, len(res))
 	for i, r := range res {
@@ -630,6 +702,7 @@ func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
 		NumGroups:     info.NumGroups,
 		NumPartitions: info.NumPartitions,
 		SkeletonBytes: info.SkeletonBytes,
+		Generation:    info.Generation,
 	})
 }
 

@@ -166,6 +166,8 @@ type rmetrics struct {
 	appends     atomic.Int64              // /append requests answered
 	appendSer   atomic.Int64              // series inside successful appends
 	flushes     atomic.Int64              // /flush requests answered
+	reindexes   atomic.Int64              // /reindex requests answered
+	backups     atomic.Int64              // /backup requests answered
 	badRequests atomic.Int64              // 400s from decode/validation
 	rejected    atomic.Int64              // 429s from admission control
 	canceled    atomic.Int64              // requests aborted by client disconnect
@@ -250,6 +252,8 @@ func (r *Router) Handler() http.Handler {
 	mux.Handle("POST /search/prefix", r.instrument("/search/prefix", &r.m.prefixes, r.m.latency, r.handlePrefix))
 	mux.Handle("POST /append", r.instrument("/append", &r.m.appends, r.m.appendLat, r.handleAppend))
 	mux.HandleFunc("POST /flush", r.handleFlush)
+	mux.HandleFunc("POST /reindex", r.handleReindex)
+	mux.HandleFunc("POST /backup", r.handleBackup)
 	mux.HandleFunc("GET /info", r.handleInfo)
 	mux.HandleFunc("GET /stats", r.handleStats)
 	mux.HandleFunc("GET /healthz", r.handleHealthz)
@@ -1044,6 +1048,29 @@ func (r *Router) handleAppend(w http.ResponseWriter, req *http.Request) {
 	api.WriteJSON(w, http.StatusOK, api.AppendResponse{IDs: ids})
 }
 
+// fanoutPost is the shared shape of the administrative endpoints (/flush,
+// /reindex, /backup): POST body to every shard concurrently; all must
+// succeed. It returns the first shard error, nil when every shard answered.
+func (r *Router) fanoutPost(req *http.Request, path string, body []byte) error {
+	var wg sync.WaitGroup
+	errs := make([]error, len(r.topo.Shards))
+	for i := range r.topo.Shards {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = r.forward(req.Context(), i, path, body)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			r.m.shardErrs[i].Add(1)
+			return fmt.Errorf("shard %s: %w", r.topo.Shards[i].ID, err)
+		}
+	}
+	return nil
+}
+
 // handleFlush fans the flush out to every shard; all must succeed.
 func (r *Router) handleFlush(w http.ResponseWriter, req *http.Request) {
 	release, status, err := r.lim.Admit(req.Context())
@@ -1053,29 +1080,40 @@ func (r *Router) handleFlush(w http.ResponseWriter, req *http.Request) {
 	}
 	defer release()
 	r.m.flushes.Add(1)
-	var wg sync.WaitGroup
-	errs := make([]error, len(r.topo.Shards))
-	for i := range r.topo.Shards {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			_, errs[i] = r.forward(req.Context(), i, "/flush", []byte("{}"))
-		}(i)
-	}
-	wg.Wait()
-	var firstErr error
-	for i, err := range errs {
-		if err != nil {
-			r.m.shardErrs[i].Add(1)
-			if firstErr == nil {
-				firstErr = fmt.Errorf("shard %s: %w", r.topo.Shards[i].ID, err)
-			}
-		}
-	}
-	if !r.finish(w, firstErr) {
+	if !r.finish(w, r.fanoutPost(req, "/flush", []byte("{}"))) {
 		return
 	}
 	api.WriteJSON(w, http.StatusOK, map[string]string{"status": "flushed"})
+}
+
+// handleReindex fans an online reindex out to every shard; all must
+// succeed. A shard already reindexing answers 409, which relays to the
+// client as a 4xx via finish's shard-status mapping. No admission slot is
+// held: a reindex runs for minutes and must not starve the query budget.
+func (r *Router) handleReindex(w http.ResponseWriter, req *http.Request) {
+	r.m.reindexes.Add(1)
+	if !r.finish(w, r.fanoutPost(req, "/reindex", []byte("{}"))) {
+		return
+	}
+	api.WriteJSON(w, http.StatusOK, map[string]string{"status": "reindexed"})
+}
+
+// handleBackup forwards the backup request verbatim to every shard: each
+// writes a snapshot named by the request under its own configured backup
+// root. All must succeed; a shard without a backup root answers 403, which
+// relays as a 4xx.
+func (r *Router) handleBackup(w http.ResponseWriter, req *http.Request) {
+	r.m.backups.Add(1)
+	body, status, err := api.ReadBody(w, req, r.cfg.MaxBodyBytes, r.cfg.BodyReadTimeout)
+	if err != nil {
+		r.m.badRequests.Add(1)
+		api.WriteError(w, status, err)
+		return
+	}
+	if !r.finish(w, r.fanoutPost(req, "/backup", body)) {
+		return
+	}
+	api.WriteJSON(w, http.StatusOK, map[string]string{"status": "backed_up"})
 }
 
 func (r *Router) handleInfo(w http.ResponseWriter, req *http.Request) {
@@ -1154,6 +1192,8 @@ func (m *rmetrics) snapshot(uptime time.Duration) RouterStats {
 		Appends:           m.appends.Load(),
 		AppendSeries:      m.appendSer.Load(),
 		Flushes:           m.flushes.Load(),
+		Reindexes:         m.reindexes.Load(),
+		Backups:           m.backups.Load(),
 		BadRequests:       m.badRequests.Load(),
 		Rejected:          m.rejected.Load(),
 		Canceled:          m.canceled.Load(),
@@ -1188,6 +1228,8 @@ func (r *Router) handleMetrics(w http.ResponseWriter, req *http.Request) {
 	counter("climber_router_append_requests_total", "Answered /append requests.", m.appends.Load())
 	counter("climber_router_append_series_total", "Series inside successful appends.", m.appendSer.Load())
 	counter("climber_router_flush_requests_total", "Answered /flush requests.", m.flushes.Load())
+	counter("climber_router_reindex_requests_total", "Answered /reindex requests.", m.reindexes.Load())
+	counter("climber_router_backup_requests_total", "Answered /backup requests.", m.backups.Load())
 	counter("climber_router_bad_requests_total", "Requests rejected with 400.", m.badRequests.Load())
 	counter("climber_router_rejected_total", "Requests rejected with 429 by admission control.", m.rejected.Load())
 	counter("climber_router_canceled_total", "Requests aborted by client disconnect.", m.canceled.Load())

@@ -84,6 +84,8 @@ type RouterStats struct {
 	Appends           int64   `json:"appends"`
 	AppendSeries      int64   `json:"append_series"`
 	Flushes           int64   `json:"flushes"`
+	Reindexes         int64   `json:"reindexes"`
+	Backups           int64   `json:"backups"`
 	BadRequests       int64   `json:"bad_requests"`
 	Rejected          int64   `json:"rejected"`
 	Canceled          int64   `json:"canceled"`
