@@ -196,6 +196,12 @@ type CacheStats struct {
 	// query-time model charges); with a warm cache it grows far slower
 	// than the number of partition opens.
 	PartitionsLoaded int64
+	// ResidentBytes is the cache's current charge against its byte budget:
+	// directory metadata plus decoded or mapped partition bytes.
+	// MappedBytes is the subset served by read-only memory mappings (see
+	// WithMmap); for those the kernel can reclaim pages under pressure, so
+	// MappedBytes bounds page-cache footprint rather than heap.
+	ResidentBytes, MappedBytes int64
 }
 
 // Explanation is the engine's record of how one query navigated the
@@ -231,6 +237,7 @@ type options struct {
 	nodes      int
 	workers    int
 	cacheBytes int64
+	mmap       bool
 	ingest     ingest.Config
 	readOnly   bool
 }
@@ -301,6 +308,19 @@ func WithBuildWorkers(n int) Option { return func(o *options) { o.cfg.Workers = 
 // the whole working set resident.
 func WithPartitionCacheBytes(n int64) Option {
 	return func(o *options) { o.cacheBytes = n }
+}
+
+// WithMmap makes cached partition loads memory-map the immutable partition
+// files read-only instead of decoding them onto the heap. Scans then rank
+// records straight from the mapped bytes — zero per-record allocation, and
+// the resident set is file-backed pages the kernel can drop under memory
+// pressure. Results are bit-identical to the heap-decoded and file-backed
+// paths (all three rank through the same raw float32 kernel). On platforms
+// without mmap support — or if an individual mapping fails — loads silently
+// degrade to the heap copy. The option only affects cached loads, so it is
+// a no-op unless WithPartitionCacheBytes enables the cache.
+func WithMmap(on bool) Option {
+	return func(o *options) { o.mmap = on }
 }
 
 // WithCompactionRecords sets how many acked-but-uncompacted records the
@@ -439,6 +459,7 @@ func newCluster(dir string, o options) (*cluster.Cluster, error) {
 	}
 	if o.cacheBytes > 0 {
 		cl.EnablePartitionCache(o.cacheBytes)
+		cl.EnableMmap(o.mmap)
 	}
 	return cl, nil
 }
@@ -668,15 +689,19 @@ func (db *DB) SearchExplainContext(ctx context.Context, q []float64, k int, opts
 	return resultsOf(sr.Results), statsOf(sr.Stats), sr.Explain, nil
 }
 
-// CacheStats reports the cumulative partition-cache counters of this DB.
+// CacheStats reports the cumulative partition-cache counters of this DB,
+// plus the cache's current resident and memory-mapped byte volumes.
 func (db *DB) CacheStats() CacheStats {
 	s := &db.cl.Stats
+	resident, mapped := db.cl.CacheResidentBytes()
 	return CacheStats{
 		Hits:             s.PartitionCacheHits.Load(),
 		Misses:           s.PartitionCacheMisses.Load(),
 		Evictions:        s.PartitionCacheEvictions.Load(),
 		BytesSaved:       s.PartitionCacheBytesSaved.Load(),
 		PartitionsLoaded: s.PartitionsLoaded.Load(),
+		ResidentBytes:    resident,
+		MappedBytes:      mapped,
 	}
 }
 

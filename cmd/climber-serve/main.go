@@ -61,6 +61,7 @@ func main() {
 		dir          = flag.String("dir", "", "database directory (required)")
 		addr         = flag.String("addr", ":8080", "listen address")
 		cacheBytes   = flag.Int64("cache-bytes", 256<<20, "partition cache budget in bytes (0 disables the cache)")
+		mmap         = flag.Bool("mmap", false, "memory-map cached partition files instead of decoding them onto the heap (requires -cache-bytes)")
 		maxInflight  = flag.Int("max-inflight", 0, "admission limit on concurrently executing queries (0 = 4 x GOMAXPROCS)")
 		queueTimeout = flag.Duration("queue-timeout", 2*time.Second, "how long an over-limit request may wait for a slot before 429")
 		maxK         = flag.Int("max-k", 10000, "largest accepted per-query answer size k")
@@ -84,6 +85,7 @@ func main() {
 
 	db, err := climber.Open(*dir,
 		climber.WithPartitionCacheBytes(*cacheBytes),
+		climber.WithMmap(*mmap),
 		climber.WithCompactionRecords(*compactRecs),
 		climber.WithCompactionAge(*compactAge))
 	if err != nil {

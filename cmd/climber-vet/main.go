@@ -1,7 +1,7 @@
 // Command climber-vet is the repository's invariant multichecker: it runs
 // every analyzer under internal/analysis — ctxflow, lockio, syncack,
-// statsmerge, ctxleak, tracespan, doccomment, genswap — over the given
-// package patterns, plus
+// statsmerge, ctxleak, tracespan, doccomment, genswap, mmapsafe — over the
+// given package patterns, plus
 // the repository-level markdown link gate, and exits non-zero on any
 // finding. CI runs it in the lint job; locally:
 //
@@ -30,6 +30,7 @@ import (
 	"climber/internal/analysis/docs"
 	"climber/internal/analysis/genswap"
 	"climber/internal/analysis/lockio"
+	"climber/internal/analysis/mmapsafe"
 	"climber/internal/analysis/statsmerge"
 	"climber/internal/analysis/syncack"
 	"climber/internal/analysis/tracespan"
@@ -46,6 +47,7 @@ func analyzers() []*vet.Analyzer {
 		tracespan.Analyzer,
 		docs.Analyzer,
 		genswap.Analyzer,
+		mmapsafe.Analyzer,
 	}
 }
 

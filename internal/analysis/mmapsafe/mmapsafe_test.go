@@ -1,0 +1,12 @@
+package mmapsafe_test
+
+import (
+	"testing"
+
+	"climber/internal/analysis/analysistest"
+	"climber/internal/analysis/mmapsafe"
+)
+
+func TestMmapsafe(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), mmapsafe.Analyzer, "mmapsafetest")
+}

@@ -88,6 +88,11 @@ type Cluster struct {
 	// pcache, when set, serves OpenPartition from shared in-memory
 	// partitions instead of per-query file opens.
 	pcache atomic.Pointer[pcache.Cache]
+
+	// mmap, when set, makes cached partition loads memory-map the file
+	// instead of copying it onto the heap (falling back to the copy when
+	// the platform or filesystem cannot map).
+	mmap atomic.Bool
 }
 
 // New creates the cluster and its per-node directories.
@@ -128,6 +133,25 @@ func (c *Cluster) EnablePartitionCache(budget int64) {
 
 // PartitionCache returns the installed cache, or nil when caching is off.
 func (c *Cluster) PartitionCache() *pcache.Cache { return c.pcache.Load() }
+
+// EnableMmap switches cached partition loads between memory mapping (the
+// zero-copy read path) and heap copies. It affects future loads only;
+// already-resident partitions keep their current backing until evicted or
+// invalidated.
+func (c *Cluster) EnableMmap(on bool) { c.mmap.Store(on) }
+
+// MmapEnabled reports whether cached partition loads memory-map.
+func (c *Cluster) MmapEnabled() bool { return c.mmap.Load() }
+
+// CacheResidentBytes returns the partition cache's resident byte volume and
+// the memory-mapped share of it; both are zero while the cache is disabled.
+func (c *Cluster) CacheResidentBytes() (resident, mapped int64) {
+	pc := c.pcache.Load()
+	if pc == nil {
+		return 0, 0
+	}
+	return pc.Bytes(), pc.MappedBytes()
+}
 
 // Close releases the cluster's resources: the partition cache (if enabled)
 // is purged and uninstalled, dropping every resident partition. The cluster

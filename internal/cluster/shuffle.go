@@ -110,23 +110,23 @@ func (c *Cluster) Shuffle(bs *BlockSet, numPartitions int, name string,
 
 // PartitionHandle is a reader's reference to one open partition. Without a
 // partition cache it owns a file-backed partition and Close releases the
-// file, exactly as before; with the cache enabled it aliases a shared
-// in-memory partition and Close returns the reference to the cache (a
-// no-op — the partition stays resident for the next query) instead of
-// closing anything.
+// file, exactly as before; with the cache enabled it holds one reference to
+// a shared resident partition — Close returns that reference, and the
+// partition normally stays resident for the next query. If the cache
+// dropped the partition (eviction, invalidation) while this handle was
+// scanning, the handle's reference is what kept the bytes — including a
+// memory mapping — alive, and Close is where they are finally freed.
 type PartitionHandle struct {
 	*storage.Partition
 	cached bool
 	hit    bool
 }
 
-// Close releases the handle. Cached handles leave the shared partition
-// resident; uncached handles close the underlying file.
+// Close releases the handle's partition reference. For cached handles the
+// shared partition usually stays resident (the cache holds its own
+// reference); uncached handles tear down their private partition.
 func (h *PartitionHandle) Close() error {
-	if h.cached {
-		return nil
-	}
-	return h.Partition.Close()
+	return h.Partition.Release()
 }
 
 // Cached reports whether the handle aliases the shared partition cache.
@@ -154,7 +154,7 @@ func (c *Cluster) OpenPartition(ps *PartitionSet, id int) (*PartitionHandle, err
 		return &PartitionHandle{Partition: p}, nil
 	}
 	p, hit, err := pc.Get(path, func() (*storage.Partition, error) {
-		p, err := storage.LoadPartition(path)
+		p, err := c.loadResident(path)
 		if err != nil {
 			return nil, err
 		}
@@ -165,6 +165,21 @@ func (c *Cluster) OpenPartition(ps *PartitionSet, id int) (*PartitionHandle, err
 		return nil, err
 	}
 	return &PartitionHandle{Partition: p, cached: true, hit: hit}, nil
+}
+
+// loadResident brings one partition file into memory for the cache: a
+// read-only memory mapping when mmap is enabled and the platform supports
+// it, a heap copy otherwise. A mapping failure (filesystem without mmap
+// support, exhausted vm.max_map_count, …) degrades to the heap copy rather
+// than failing the query — the two are interchangeable behind the Partition
+// API.
+func (c *Cluster) loadResident(path string) (*storage.Partition, error) {
+	if c.mmap.Load() && storage.MapSupported() {
+		if p, err := storage.MapPartition(path); err == nil {
+			return p, nil
+		}
+	}
+	return storage.LoadPartition(path)
 }
 
 // accountPartitionLoad charges one partition load to the statistics, in the

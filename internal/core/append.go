@@ -201,7 +201,9 @@ func (ix *Index) appendToPartition(g *Generation, pid int, recs []Routed) error 
 	existing.Close()
 
 	for _, r := range recs {
-		if err := w.Append(r.Route.Cluster, r.ID, r.Values); err != nil {
+		// Routed delta records are immutable once drained, so the writer can
+		// take ownership of the slice instead of copying it.
+		if err := w.AppendOwned(r.Route.Cluster, r.ID, r.Values); err != nil {
 			return err
 		}
 	}

@@ -80,7 +80,10 @@ func TestCancelMidScanStopsPlan(t *testing.T) {
 	compared := 0
 	g := ix.AcquireGeneration()
 	defer g.Release()
-	ex := newExecutor(ix, g, plan, SearchOptions{K: 10}, func(values []float64, bound float64) float64 {
+	// The partition scan ranks records through the raw kernel, so the
+	// cancelling distance function is the rawDist; the decoded dist only
+	// serves the delta merge, which this plan never reaches.
+	ex := newExecutor(ix, g, plan, SearchOptions{K: 10}, nil, func(rec []byte, bound float64) float64 {
 		compared++
 		cancel()
 		return math.Inf(1) // abandoned; keep the accumulator empty

@@ -91,9 +91,12 @@ func (g *Generation) scanDelta(ctx context.Context, executed planMap, k int, sta
 // mergeResults combines the disk scan's top-k with the delta's top-k,
 // deduplicating by ID and keeping the k closest. Any record in the true
 // top-k of the union is in the top-k of whichever population holds it, so
-// the merge is exact; duplicates carry identical distances (delta values
-// round-trip through the same float32 storage precision), so dropping one
-// copy is too.
+// the merge is exact. A record transiently in both populations (appended,
+// not yet compacted) may carry two slightly different distances: the disk
+// copy is ranked by the raw float32 kernel (query rounded to storage
+// precision), the delta copy by the float64 kernel over its decoded values.
+// The sort below orders by (Dist, ID), so dedup deterministically keeps the
+// copy with the smaller distance.
 func mergeResults(disk, delta []series.Result, k int) []series.Result {
 	all := make([]series.Result, 0, len(disk)+len(delta))
 	all = append(all, disk...)

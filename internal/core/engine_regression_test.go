@@ -6,6 +6,7 @@ import (
 
 	"climber/internal/dataset"
 	"climber/internal/series"
+	"climber/internal/storage"
 )
 
 // assertSameResults fails unless two answers are bit-for-bit identical:
@@ -102,6 +103,73 @@ func TestEngineMatchesLegacyBitForBit(t *testing.T) {
 					assertSameEffort(t, tc.name+"/prefix", got.Stats, want.Stats)
 				}
 				_ = qi
+			}
+		})
+	}
+}
+
+// TestEngineBitIdenticalAcrossBackends pins the zero-copy read path: the
+// same query must return bit-for-bit identical answers and charge identical
+// record-comparison effort whether partitions are scanned file-backed
+// (ReaderAt), cached decoded, or cached memory-mapped. The raw kernel runs
+// over the same encoded bytes in all three, so any divergence means a
+// backend leaked into the ranking math.
+func TestEngineBitIdenticalAcrossBackends(t *testing.T) {
+	cfg := testConfig()
+	cfg.Capacity = 50 // many partitions so plans span several backends' loads
+	ix, ds, _, _ := buildTestIndex(t, 2000, cfg)
+	_, qs := dataset.Queries(ds, 8, 99)
+
+	type answer struct {
+		results []series.Result
+		scanned int
+	}
+	run := func(t *testing.T) []answer {
+		t.Helper()
+		out := make([]answer, 0, len(qs)*2)
+		for _, q := range qs {
+			for _, opts := range []SearchOptions{
+				{K: 25, Variant: VariantAdaptive4X},
+				{K: 5, Variant: VariantKNN},
+			} {
+				res, err := ix.Search(q, opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				out = append(out, answer{res.Results, res.Stats.RecordsScanned})
+			}
+		}
+		return out
+	}
+
+	want := run(t) // file-backed ReaderAt scans, no cache
+
+	backends := []struct {
+		name string
+		mmap bool
+	}{{"cached-decoded", false}, {"cached-mmap", true}}
+	for _, b := range backends {
+		t.Run(b.name, func(t *testing.T) {
+			if b.mmap && !storage.MapSupported() {
+				t.Skip("mmap unsupported on this platform")
+			}
+			ix.Cl.EnablePartitionCache(1 << 30)
+			ix.Cl.EnableMmap(b.mmap)
+			defer func() {
+				ix.Cl.EnableMmap(false)
+				if c := ix.Cl.PartitionCache(); c != nil {
+					c.Purge()
+				}
+			}()
+			for pass := 0; pass < 2; pass++ { // cold (load) then warm (hit)
+				got := run(t)
+				for i := range got {
+					assertSameResults(t, b.name, got[i].results, want[i].results)
+					if got[i].scanned != want[i].scanned {
+						t.Fatalf("%s pass %d: scanned %d records, file-backed scanned %d",
+							b.name, pass, got[i].scanned, want[i].scanned)
+					}
+				}
 			}
 		})
 	}

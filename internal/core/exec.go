@@ -71,8 +71,16 @@ func (b Budget) exhausted(partitions, records int) (string, bool) {
 }
 
 // distFunc computes a candidate's squared distance to the query, early
-// abandoning against bound (the current top-k admission threshold).
+// abandoning against bound (the current top-k admission threshold). It is
+// the decoded form, used where records exist as []float64 — today that is
+// the delta merge, whose records never touch disk.
 type distFunc func(values []float64, bound float64) float64
+
+// rawDistFunc is distFunc over a record's encoded value bytes (4 bytes of
+// little-endian float32 per reading) — the zero-copy form the partition
+// scans use, fed directly from mapped or resident partition memory by
+// storage.Partition.ScanClusterRaw.
+type rawDistFunc func(rec []byte, bound float64) float64
 
 // executor runs one ScanPlan through its stages — planned steps, the
 // within-partition widening pass, and the delta merge — accumulating the
@@ -84,12 +92,16 @@ type executor struct {
 	// gen is the generation the caller pinned for the query; partition
 	// opens and the delta merge go through it so a concurrent reindex swap
 	// cannot change what this query observes mid-plan.
-	gen   *Generation
-	plan  *ScanPlan
-	opts  SearchOptions
-	dist  distFunc
-	top   *series.TopK
-	stats *QueryStats
+	gen  *Generation
+	plan *ScanPlan
+	opts SearchOptions
+	// dist ranks decoded (delta) records; rawDist ranks on-disk records in
+	// their encoded form. Both must order candidates identically for the
+	// merged answer to be coherent — see search.go for how the pair is built.
+	dist    distFunc
+	rawDist rawDistFunc
+	top     *series.TopK
+	stats   *QueryStats
 
 	// executed records what was actually scanned, partition → clusters
 	// (nil = every cluster): the coverage the widening and delta stages
@@ -108,9 +120,9 @@ type executor struct {
 	span *obs.Span
 }
 
-func newExecutor(ix *Index, g *Generation, plan *ScanPlan, opts SearchOptions, dist distFunc, stats *QueryStats) *executor {
+func newExecutor(ix *Index, g *Generation, plan *ScanPlan, opts SearchOptions, dist distFunc, rawDist rawDistFunc, stats *QueryStats) *executor {
 	return &executor{
-		ix: ix, gen: g, plan: plan, opts: opts, dist: dist,
+		ix: ix, gen: g, plan: plan, opts: opts, dist: dist, rawDist: rawDist,
 		top:      series.NewTopK(opts.K),
 		stats:    stats,
 		executed: make(planMap, len(plan.Steps)),
@@ -347,7 +359,7 @@ const cancelCheckStride = 256
 // cache, and the bytes charged — the per-trace attribution of effort
 // that aggregate QueryStats cannot give.
 func (e *executor) scanSteps(ctx context.Context, steps []PlanStep, done planMap, countLoads bool, stage *obs.Span) error {
-	ix, top, stats, dist := e.ix, e.top, e.stats, e.dist
+	ix, top, stats, rawDist := e.ix, e.top, e.stats, e.rawDist
 
 	var mu sync.Mutex
 	var boundBits atomic.Uint64
@@ -358,14 +370,17 @@ func (e *executor) scanSteps(ctx context.Context, steps []PlanStep, done planMap
 	}
 	var recordsScanned atomic.Int64
 
-	scan := func(id int, values []float64) error {
+	// scan ranks one record in its encoded form, straight out of partition
+	// memory: rec is only read inside rawDist and never retained, which is
+	// what lets the raw scan hand out zero-copy subslices of a mapped file.
+	scan := func(id int, rec []byte) error {
 		if n := recordsScanned.Add(1); n%cancelCheckStride == 0 {
 			if err := ctx.Err(); err != nil {
 				return err
 			}
 		}
 		bound := math.Float64frombits(boundBits.Load())
-		d := dist(values, bound)
+		d := rawDist(rec, bound)
 		if d >= bound {
 			return nil
 		}
@@ -426,7 +441,7 @@ func (e *executor) scanSteps(ctx context.Context, steps []PlanStep, done planMap
 				if err := ctx.Err(); err != nil {
 					return err
 				}
-				if err := p.ScanCluster(ci.ID, scan); err != nil {
+				if err := p.ScanClusterRaw(ci.ID, scan); err != nil {
 					return err
 				}
 			}
@@ -446,7 +461,7 @@ func (e *executor) scanSteps(ctx context.Context, steps []PlanStep, done planMap
 			if err := ctx.Err(); err != nil {
 				return err
 			}
-			if err := p.ScanCluster(id, scan); err != nil {
+			if err := p.ScanClusterRaw(id, scan); err != nil {
 				return err
 			}
 		}

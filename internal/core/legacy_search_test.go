@@ -56,14 +56,22 @@ func legacySearchContext(ctx context.Context, ix *Index, q []float64, opts Searc
 	}
 
 	top := series.NewTopK(opts.K)
-	// The only deliberate change in this frozen copy: the engine's scan loop
-	// moved onto the blocked early-abandon kernel, and the bit-for-bit
-	// regression pin only holds when both paths accumulate distances in the
-	// same lane order, so the oracle uses the same kernel.
+	// The only deliberate changes in this frozen copy track the engine's
+	// kernel moves, because the bit-for-bit regression pin only holds when
+	// both paths accumulate distances identically: PR 7 moved the scan loop
+	// onto the blocked early-abandon kernel, and the zero-copy read path
+	// moved disk scans onto the raw float32 kernel (the query rounded to
+	// storage precision once, records ranked straight from their encoded
+	// bytes). The delta merge still ranks decoded float64 records in both
+	// paths, so its kernel stays float64.
+	q32 := series.ToFloat32(q)
+	rawDist := func(rec []byte, bound float64) float64 {
+		return series.SqDistEarlyAbandon32Blocked(q32, rec, bound)
+	}
 	dist := func(values []float64, bound float64) float64 {
 		return series.SqDistEarlyAbandonBlocked(q, values, bound)
 	}
-	if err := legacyExecutePlanDist(ctx, ix, plan, nil, top, true, &stats, dist); err != nil {
+	if err := legacyExecutePlanDist(ctx, ix, plan, nil, top, true, &stats, rawDist); err != nil {
 		return nil, err
 	}
 
@@ -74,7 +82,7 @@ func legacySearchContext(ctx context.Context, ix *Index, q []float64, opts Searc
 		for pid := range plan {
 			wplan[pid] = nil
 		}
-		if err := legacyExecutePlanDist(ctx, ix, wplan, plan, top, false, &stats, dist); err != nil {
+		if err := legacyExecutePlanDist(ctx, ix, wplan, plan, top, false, &stats, rawDist); err != nil {
 			return nil, err
 		}
 	}
@@ -148,12 +156,18 @@ func legacySearchPrefixContext(ctx context.Context, ix *Index, q []float64, opts
 
 	top := series.NewTopK(opts.K)
 	prefixLen := len(q)
-	// Same lockstep kernel switch as legacySearchContext: the regression pin
-	// requires both paths to share one accumulation order.
+	// Same lockstep kernel switches as legacySearchContext: the regression
+	// pin requires both paths to share one accumulation order, on disk (raw
+	// float32 over the record's first prefixLen readings) and in the delta
+	// (decoded float64).
+	q32 := series.ToFloat32(q)
+	rawDist := func(rec []byte, bound float64) float64 {
+		return series.SqDistEarlyAbandon32Blocked(q32, rec[:4*prefixLen], bound)
+	}
 	dist := func(values []float64, bound float64) float64 {
 		return series.SqDistEarlyAbandonBlocked(q, values[:prefixLen], bound)
 	}
-	if err := legacyExecutePlanDist(ctx, ix, plan, nil, top, true, &stats, dist); err != nil {
+	if err := legacyExecutePlanDist(ctx, ix, plan, nil, top, true, &stats, rawDist); err != nil {
 		return nil, err
 	}
 	widened := false
@@ -163,7 +177,7 @@ func legacySearchPrefixContext(ctx context.Context, ix *Index, q []float64, opts
 		for pid := range plan {
 			wplan[pid] = nil
 		}
-		if err := legacyExecutePlanDist(ctx, ix, wplan, plan, top, false, &stats, dist); err != nil {
+		if err := legacyExecutePlanDist(ctx, ix, wplan, plan, top, false, &stats, rawDist); err != nil {
 			return nil, err
 		}
 	}
@@ -357,7 +371,7 @@ func legacyPlanSize(plan legacyPlan) int {
 }
 
 func legacyExecutePlanDist(ctx context.Context, ix *Index, plan, done legacyPlan, top *series.TopK, countLoads bool, stats *QueryStats,
-	dist func(values []float64, bound float64) float64) error {
+	rawDist func(rec []byte, bound float64) float64) error {
 	pids := make([]int, 0, len(plan))
 	for pid := range plan {
 		pids = append(pids, pid)
@@ -373,14 +387,14 @@ func legacyExecutePlanDist(ctx context.Context, ix *Index, plan, done legacyPlan
 	}
 	var recordsScanned atomic.Int64
 
-	scan := func(id int, values []float64) error {
+	scan := func(id int, rec []byte) error {
 		if n := recordsScanned.Add(1); n%cancelCheckStride == 0 {
 			if err := ctx.Err(); err != nil {
 				return err
 			}
 		}
 		bound := math.Float64frombits(boundBits.Load())
-		d := dist(values, bound)
+		d := rawDist(rec, bound)
 		if d >= bound {
 			return nil
 		}
@@ -430,7 +444,7 @@ func legacyExecutePlanDist(ctx context.Context, ix *Index, plan, done legacyPlan
 				if err := ctx.Err(); err != nil {
 					return err
 				}
-				if err := p.ScanCluster(ci.ID, scan); err != nil {
+				if err := p.ScanClusterRaw(ci.ID, scan); err != nil {
 					return err
 				}
 			}
@@ -450,7 +464,7 @@ func legacyExecutePlanDist(ctx context.Context, ix *Index, plan, done legacyPlan
 			if err := ctx.Err(); err != nil {
 				return err
 			}
-			if err := p.ScanCluster(id, scan); err != nil {
+			if err := p.ScanClusterRaw(id, scan); err != nil {
 				return err
 			}
 		}

@@ -62,7 +62,14 @@ func (ix *Index) searchPrefix(ctx context.Context, q []float64, opts SearchOptio
 	}
 	paaQ := tr.Transform(q)
 	prefixLen := len(q)
-	return ix.runQuery(ctx, g, paaQ, opts, sink, func(values []float64, bound float64) float64 {
-		return series.SqDistEarlyAbandonBlocked(q, values[:prefixLen], bound)
-	})
+	q32 := series.ToFloat32(q)
+	return ix.runQuery(ctx, g, paaQ, opts, sink,
+		func(values []float64, bound float64) float64 {
+			return series.SqDistEarlyAbandonBlocked(q, values[:prefixLen], bound)
+		},
+		func(rec []byte, bound float64) float64 {
+			// The raw record carries the full indexed length; the prefix
+			// distance reads its first prefixLen readings (4 bytes each).
+			return series.SqDistEarlyAbandon32Blocked(q32, rec[:4*prefixLen], bound)
+		})
 }

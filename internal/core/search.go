@@ -223,20 +223,28 @@ func (ix *Index) search(ctx context.Context, q []float64, opts SearchOptions, si
 	}
 	// Lines 2-4 of Algorithm 3: transform the query exactly as records were
 	// transformed during Step 4. The scan loop (exec.go) runs on the blocked
-	// early-abandon kernel: multi-lane accumulation with the top-k limit
+	// early-abandon kernels: multi-lane accumulation with the top-k limit
 	// checked once per block, the vectorisation-friendly shape of the
-	// MESSI/ParIS scan kernels.
+	// MESSI/ParIS scan kernels. Disk records are ranked in their encoded
+	// float32 form by the raw kernel — the query is rounded to the storage
+	// precision once, here — while delta records (held as float64, never
+	// round-tripped through a partition file) keep the float64 kernel.
 	paaQ := g.Skel.Transformer.Transform(q)
-	return ix.runQuery(ctx, g, paaQ, opts, sink, func(values []float64, bound float64) float64 {
-		return series.SqDistEarlyAbandonBlocked(q, values, bound)
-	})
+	q32 := series.ToFloat32(q)
+	return ix.runQuery(ctx, g, paaQ, opts, sink,
+		func(values []float64, bound float64) float64 {
+			return series.SqDistEarlyAbandonBlocked(q, values, bound)
+		},
+		func(rec []byte, bound float64) float64 {
+			return series.SqDistEarlyAbandon32Blocked(q32, rec, bound)
+		})
 }
 
 // runQuery is the engine shared by full-length and prefix queries: navigate
 // the skeleton (planner), execute the ranked plan stage by stage under the
 // budget (executor), and assemble the result. The caller passes the
 // generation it acquired; every read below goes through it.
-func (ix *Index) runQuery(ctx context.Context, g *Generation, paaQ []float64, opts SearchOptions, sink func(Snapshot) bool, dist distFunc) (*SearchResult, error) {
+func (ix *Index) runQuery(ctx context.Context, g *Generation, paaQ []float64, opts SearchOptions, sink func(Snapshot) bool, dist distFunc, rawDist rawDistFunc) (*SearchResult, error) {
 	skel := g.Skel
 
 	// The "plan" span covers the pure in-memory half of the query: dual
@@ -262,7 +270,7 @@ func (ix *Index) runQuery(ctx context.Context, g *Generation, paaQ []float64, op
 		TargetPathLen:    base.pathLen,
 		StepsPlanned:     len(plan.Steps),
 	}
-	ex := newExecutor(ix, g, plan, opts, dist, &stats)
+	ex := newExecutor(ix, g, plan, opts, dist, rawDist, &stats)
 	if err := ex.run(ctx, sink); err != nil {
 		return nil, err
 	}

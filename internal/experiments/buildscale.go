@@ -1,9 +1,11 @@
 package experiments
 
 import (
+	"encoding/binary"
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"math/rand/v2"
 	"os"
 	"time"
@@ -70,7 +72,9 @@ func timeKernel(iters int, fn func() float64) float64 {
 
 // measureKernels times the scalar scan kernels against their blocked
 // replacements under the scan's dominant regime (full-length accumulation:
-// exact distance, and early-abandon with a loose bound that never trips).
+// exact distance, and early-abandon with a loose bound that never trips),
+// plus the raw float32 kernels the zero-copy read path scans encoded
+// records with.
 func measureKernels() []kernelRun {
 	rng := rand.New(rand.NewPCG(42, 1))
 	const n, iters = 256, 200_000
@@ -79,11 +83,18 @@ func measureKernels() []kernelRun {
 		x[i], y[i] = rng.NormFloat64()*10, rng.NormFloat64()*10
 	}
 	loose := series.SqDist(x, y) + 1
+	x32 := series.ToFloat32(x)
+	rec := make([]byte, 4*n) // y in partition-record encoding
+	for i, v := range y {
+		binary.LittleEndian.PutUint32(rec[4*i:], math.Float32bits(float32(v)))
+	}
 	return []kernelRun{
 		{"SqDist", timeKernel(iters, func() float64 { return series.SqDist(x, y) })},
 		{"SqDistBlocked", timeKernel(iters, func() float64 { return series.SqDistBlocked(x, y) })},
 		{"SqDistEarlyAbandon/loose", timeKernel(iters, func() float64 { return series.SqDistEarlyAbandon(x, y, loose) })},
 		{"SqDistEarlyAbandonBlocked/loose", timeKernel(iters, func() float64 { return series.SqDistEarlyAbandonBlocked(x, y, loose) })},
+		{"SqDist32Blocked", timeKernel(iters, func() float64 { return series.SqDist32Blocked(x32, rec) })},
+		{"SqDistEarlyAbandon32Blocked/loose", timeKernel(iters, func() float64 { return series.SqDistEarlyAbandon32Blocked(x32, rec, loose) })},
 	}
 }
 

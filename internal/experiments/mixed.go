@@ -51,7 +51,7 @@ func MixedWorkload(s Scale, workDir string, out io.Writer) error {
 		climber.WithCompactionAge(500 * time.Millisecond),
 	}
 	if PartitionCacheBytes > 0 {
-		opts = append(opts, climber.WithPartitionCacheBytes(PartitionCacheBytes))
+		opts = append(opts, climber.WithPartitionCacheBytes(PartitionCacheBytes), climber.WithMmap(PartitionCacheMmap))
 	}
 	db, err := climber.BuildDataset(dir, ds, opts...)
 	if err != nil {

@@ -43,7 +43,7 @@ func ShardedWorkload(s Scale, workDir string, out io.Writer) error {
 			climber.WithSeed(cfg.Seed),
 		}
 		if PartitionCacheBytes > 0 {
-			opts = append(opts, climber.WithPartitionCacheBytes(PartitionCacheBytes))
+			opts = append(opts, climber.WithPartitionCacheBytes(PartitionCacheBytes), climber.WithMmap(PartitionCacheMmap))
 		}
 		return opts
 	}

@@ -16,6 +16,16 @@
 // The only mutation of a built index, core.Index.Append, rewrites partition
 // files in place; callers must Invalidate the rewritten path so the next
 // query reloads the fresh file.
+//
+// Resident partitions are reference counted (storage.Partition.Retain /
+// Release): the cache holds one reference per resident entry and every
+// partition returned by Get carries one reference owned by the caller, who
+// must Release it when the scan finishes. Eviction, invalidation, and Purge
+// only drop the cache's reference — a memory-mapped partition is therefore
+// unmapped exactly when the last in-flight scan over it drains, never under
+// one. The byte budget charges MemBytes (mapped pages at file size, heap
+// copies at file size plus directory), so it bounds the cache's resident-set
+// contribution, not a decoded-copy proxy.
 package pcache
 
 import (
@@ -74,8 +84,13 @@ type flight struct {
 	// in flight: the loaded partition may predate the invalidating write,
 	// so it is handed to waiters but never inserted into the cache.
 	stale bool
-	p     *storage.Partition
-	err   error
+	// waiters, guarded by Cache.mu, counts the Gets blocked on done. Each
+	// registered before the loader finishes; the loader takes one partition
+	// reference per waiter before closing done, so every waiter wakes up
+	// already owning its reference.
+	waiters int
+	p       *storage.Partition
+	err     error
 }
 
 // Cache is a concurrency-safe, byte-budgeted LRU of in-memory partitions
@@ -84,20 +99,21 @@ type Cache struct {
 	budget   int64
 	counters Counters
 
-	mu       sync.Mutex
-	bytes    int64
-	entries  map[string]*entry
-	ll       *list.List // front = most recently used
-	inflight map[string]*flight
+	mu          sync.Mutex
+	bytes       int64
+	mappedBytes int64
+	entries     map[string]*entry
+	ll          *list.List // front = most recently used
+	inflight    map[string]*flight
 }
 
 // New creates a cache holding at most budget bytes of *resident* partition
-// data. The budget is enforced at insert time, so it bounds the cache's
-// steady-state footprint, not the process peak: loads in flight (one
-// partition per concurrent cold Get) and evicted partitions still
-// referenced by running scans are not counted against it. budget must be
-// positive — a zero budget means "no cache"; callers express that by not
-// constructing one.
+// data, measured by storage.Partition.MemBytes. The budget is enforced at
+// insert time, so it bounds the cache's steady-state footprint, not the
+// process peak: loads in flight (one partition per concurrent cold Get) and
+// evicted partitions still referenced by running scans are not counted
+// against it. budget must be positive — a zero budget means "no cache";
+// callers express that by not constructing one.
 func New(budget int64, counters Counters) *Cache {
 	counters.fill()
 	return &Cache{
@@ -114,23 +130,35 @@ func New(budget int64, counters Counters) *Cache {
 // single loaded partition (singleflight). hit reports whether the call
 // avoided invoking load. A load error is returned to every waiter and
 // nothing is cached.
+//
+// Every returned partition carries one reference owned by the caller, taken
+// before Get returns; the caller must storage.Partition.Release (or Close)
+// it when done. The load function must return a fresh partition owning its
+// initial reference — exactly what OpenPartition/LoadPartition/MapPartition
+// produce — and that reference is the one handed to the loading caller.
 func (c *Cache) Get(key string, load func() (*storage.Partition, error)) (p *storage.Partition, hit bool, err error) {
 	c.mu.Lock()
 	if e, ok := c.entries[key]; ok {
 		c.ll.MoveToFront(e.elem)
-		size := e.size
 		p = e.p
+		// The cache's own reference keeps e.p alive here, so the caller's
+		// reference must be taken before the lock drops — after it, an
+		// eviction could tear the partition down.
+		p.Retain()
+		disk := p.SizeBytes()
 		c.mu.Unlock()
 		c.counters.Hits.Add(1)
-		c.counters.BytesSaved.Add(size)
+		c.counters.BytesSaved.Add(disk)
 		return p, true, nil
 	}
 	if f, ok := c.inflight[key]; ok {
+		f.waiters++
 		c.mu.Unlock()
 		<-f.done
 		if f.err != nil {
 			return nil, false, f.err
 		}
+		// The loader already took this waiter's reference.
 		c.counters.Hits.Add(1)
 		c.counters.BytesSaved.Add(f.p.SizeBytes())
 		return f.p, true, nil
@@ -147,8 +175,17 @@ func (c *Cache) Get(key string, load func() (*storage.Partition, error)) (p *sto
 	if c.inflight[key] == f {
 		delete(c.inflight, key)
 	}
-	if err == nil && !f.stale {
-		c.insertLocked(key, p)
+	if err == nil {
+		// One reference per blocked waiter; the loaded partition's initial
+		// reference is this caller's own. The waiter count is final: the
+		// flight is now deregistered (or was detached), so no further Get
+		// can join it.
+		for i := 0; i < f.waiters; i++ {
+			p.Retain()
+		}
+		if !f.stale {
+			c.insertLocked(key, p)
+		}
 	}
 	c.mu.Unlock()
 	f.p, f.err = p, err
@@ -160,18 +197,23 @@ func (c *Cache) Get(key string, load func() (*storage.Partition, error)) (p *sto
 	return p, false, nil
 }
 
-// insertLocked adds a loaded partition and evicts from the LRU tail until
-// the budget holds again. A partition larger than the whole budget is not
-// cached at all — admitting it would immediately flush everything else.
+// insertLocked adds a loaded partition — taking the cache's own reference —
+// and evicts from the LRU tail until the budget holds again. A partition
+// larger than the whole budget is not cached at all — admitting it would
+// immediately flush everything else.
 func (c *Cache) insertLocked(key string, p *storage.Partition) {
-	size := p.SizeBytes()
+	size := p.MemBytes()
 	if size > c.budget {
 		return
 	}
+	p.Retain()
 	e := &entry{key: key, p: p, size: size}
 	e.elem = c.ll.PushFront(e)
 	c.entries[key] = e
 	c.bytes += size
+	if p.Mapped() {
+		c.mappedBytes += p.SizeBytes()
+	}
 	for c.bytes > c.budget {
 		back := c.ll.Back()
 		if back == nil {
@@ -182,10 +224,19 @@ func (c *Cache) insertLocked(key string, p *storage.Partition) {
 	}
 }
 
+// removeLocked detaches an entry and returns the cache's reference. For a
+// mapped partition with no other outstanding references that final Release
+// unmaps it — an eviction is an unmap exactly when no scan still needs the
+// pages. Release runs under c.mu; teardown is a munmap or file close, cheap
+// enough not to be worth the unlock/relock dance.
 func (c *Cache) removeLocked(e *entry) {
 	c.ll.Remove(e.elem)
 	delete(c.entries, e.key)
 	c.bytes -= e.size
+	if e.p.Mapped() {
+		c.mappedBytes -= e.p.SizeBytes()
+	}
+	_ = e.p.Release()
 }
 
 // Invalidate drops the entry cached under key, if any, and marks any
@@ -193,7 +244,8 @@ func (c *Cache) removeLocked(e *entry) {
 // load that raced the invalidating write may have read the old file.
 // Callers that rewrite a partition file must invalidate it so later Gets
 // reload from disk. Queries still scanning the dropped partition keep
-// their consistent in-memory snapshot.
+// their consistent snapshot: only the cache's reference is released, and a
+// mapped partition stays mapped until those scans drain.
 func (c *Cache) Invalidate(key string) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -232,9 +284,10 @@ func (c *Cache) InvalidatePrefix(prefix string) {
 }
 
 // Purge drops every resident entry and marks every in-flight load stale so
-// its result is not cached, releasing all partition memory the cache pins.
-// Queries still scanning a dropped partition keep their consistent
-// in-memory snapshot; the cache itself stays usable afterwards. Purge is
+// its result is not cached, releasing every partition reference the cache
+// pins. Queries still scanning a dropped partition keep their consistent
+// snapshot until they release their own references; the cache itself stays
+// usable afterwards. Purge is
 // how DB.Close releases the cache deterministically instead of waiting for
 // the garbage collector to notice the DB is gone.
 func (c *Cache) Purge() {
@@ -265,11 +318,22 @@ func (c *Cache) Len() int {
 	return len(c.entries)
 }
 
-// Bytes returns the resident partition data volume.
+// Bytes returns the resident partition data volume (MemBytes of every
+// cached partition), the quantity the budget bounds.
 func (c *Cache) Bytes() int64 {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.bytes
+}
+
+// MappedBytes returns the file bytes of the cached partitions that are
+// memory mappings — the mapped share of Bytes, exported as a gauge so
+// operators can see how much of the budget is page-cache-backed rather than
+// heap.
+func (c *Cache) MappedBytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.mappedBytes
 }
 
 // Budget returns the configured byte budget.

@@ -1,0 +1,169 @@
+package pcache
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"climber/internal/storage"
+)
+
+// The satellite fix this pins: the budget charges what a partition actually
+// keeps resident (MemBytes — file bytes plus decoded directory), for both
+// kinds of resident partition, and MappedBytes reports the mapped share.
+func TestBytesChargesDecodedAndMappedKinds(t *testing.T) {
+	dir := t.TempDir()
+	decPath, _ := writePartition(t, dir, "dec.clmp", 20)
+	mapPath, mapSize := writePartition(t, dir, "map.clmp", 30)
+	c := New(1<<20, Counters{})
+
+	dec, _, err := c.Get(decPath, func() (*storage.Partition, error) { return storage.LoadPartition(decPath) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dec.Release()
+	want := dec.MemBytes()
+	if got := c.Bytes(); got != want {
+		t.Fatalf("decoded-only Bytes() = %d, want %d", got, want)
+	}
+	if got := c.MappedBytes(); got != 0 {
+		t.Fatalf("decoded-only MappedBytes() = %d, want 0", got)
+	}
+
+	if !storage.MapSupported() {
+		t.Skip("platform cannot map partitions")
+	}
+	m, _, err := c.Get(mapPath, func() (*storage.Partition, error) { return storage.MapPartition(mapPath) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Release()
+	if !m.Mapped() || !m.InMemory() {
+		t.Fatalf("MapPartition: Mapped=%v InMemory=%v, want true/true", m.Mapped(), m.InMemory())
+	}
+	want += m.MemBytes()
+	if got := c.Bytes(); got != want {
+		t.Fatalf("mixed Bytes() = %d, want %d", got, want)
+	}
+	if got := c.MappedBytes(); got != mapSize {
+		t.Fatalf("MappedBytes() = %d, want file size %d", got, mapSize)
+	}
+
+	c.Invalidate(mapPath)
+	if got := c.MappedBytes(); got != 0 {
+		t.Fatalf("MappedBytes() after invalidate = %d, want 0", got)
+	}
+}
+
+// Eviction of a mapped partition must not unmap under a reader: the evicted
+// handle keeps scanning its pages, and the unmap happens exactly when the
+// last reference drains.
+func TestEvictionUnmapsOnlyAfterLastRelease(t *testing.T) {
+	if !storage.MapSupported() {
+		t.Skip("platform cannot map partitions")
+	}
+	dir := t.TempDir()
+	p0Path, _ := writePartition(t, dir, "p0.clmp", 25)
+	p1Path, _ := writePartition(t, dir, "p1.clmp", 25)
+	c := New(memBytesOf(t, p0Path)+1, Counters{}) // room for one partition
+
+	p0, _, err := c.Get(p0Path, func() (*storage.Partition, error) { return storage.MapPartition(p0Path) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Loading p1 evicts p0 — the cache's reference goes, ours remains.
+	p1, _, err := c.Get(p1Path, func() (*storage.Partition, error) { return storage.MapPartition(p1Path) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p1.Release()
+	if c.Contains(p0Path) {
+		t.Fatal("p0 should have been evicted")
+	}
+	if got := c.counters.Evictions.Load(); got != 1 {
+		t.Fatalf("evictions = %d, want 1", got)
+	}
+	if !p0.InMemory() {
+		t.Fatal("evicted partition must stay mapped while a reader holds it")
+	}
+	// The mapping must still be readable end to end.
+	n := 0
+	if err := p0.ScanAll(func(int, []float64) error { n++; return nil }); err != nil {
+		t.Fatalf("scan of evicted mapped partition: %v", err)
+	}
+	if n != p0.Count() {
+		t.Fatalf("scanned %d records, want %d", n, p0.Count())
+	}
+	// Dropping the last reference tears the mapping down.
+	if err := p0.Release(); err != nil {
+		t.Fatalf("final release: %v", err)
+	}
+	if p0.InMemory() {
+		t.Fatal("last release must unmap the partition")
+	}
+}
+
+// The -race unmap-safety test: many goroutines Get a mapped partition and
+// scan it raw while the main goroutine keeps invalidating the entry (the
+// cache reloads and re-maps it over and over). Every scan must read valid
+// mapped memory — the per-caller reference from Get is what defers each
+// unmap past the scans it would otherwise yank pages from under.
+func TestConcurrentRawScanDuringInvalidate(t *testing.T) {
+	if !storage.MapSupported() {
+		t.Skip("platform cannot map partitions")
+	}
+	dir := t.TempDir()
+	path, _ := writePartition(t, dir, "p0.clmp", 60)
+	c := New(1<<20, Counters{})
+	mapLoader := func() (*storage.Partition, error) { return storage.MapPartition(path) }
+
+	const goroutines = 8
+	const scansPer = 40
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < scansPer; i++ {
+				p, _, err := c.Get(path, mapLoader)
+				if err != nil {
+					errs <- err
+					return
+				}
+				n := 0
+				err = p.ScanClusterRaw(0, func(id int, rec []byte) error {
+					if len(rec) != 4*p.SeriesLen() {
+						return fmt.Errorf("record %d: %d value bytes, want %d", id, len(rec), 4*p.SeriesLen())
+					}
+					n++
+					return nil
+				})
+				if err == nil && n == 0 {
+					err = fmt.Errorf("cluster 0 scanned empty")
+				}
+				p.Release()
+				if err != nil {
+					errs <- err
+					return
+				}
+			}
+		}()
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	for {
+		select {
+		case <-done:
+			close(errs)
+			for err := range errs {
+				t.Fatal(err)
+			}
+			return
+		case err := <-errs:
+			t.Fatal(err)
+		default:
+			c.Invalidate(path)
+		}
+	}
+}

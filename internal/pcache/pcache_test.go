@@ -44,6 +44,18 @@ func loader(path string, loads *atomic.Int64) func() (*storage.Partition, error)
 	}
 }
 
+// memBytesOf returns the cache charge of one partition file — the budget
+// unit since charging switched from file size to MemBytes.
+func memBytesOf(t *testing.T, path string) int64 {
+	t.Helper()
+	p, err := storage.LoadPartition(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	return p.MemBytes()
+}
+
 func TestGetCachesAndCountsHits(t *testing.T) {
 	dir := t.TempDir()
 	path, size := writePartition(t, dir, "p0.clmp", 10)
@@ -82,8 +94,8 @@ func TestGetCachesAndCountsHits(t *testing.T) {
 	if got := c.counters.BytesSaved.Load(); got != size {
 		t.Fatalf("bytes saved = %d, want %d", got, size)
 	}
-	if got := c.Bytes(); got != size {
-		t.Fatalf("resident bytes = %d, want %d", got, size)
+	if got := c.Bytes(); got != p1.MemBytes() {
+		t.Fatalf("resident bytes = %d, want MemBytes %d", got, p1.MemBytes())
 	}
 }
 
@@ -133,11 +145,10 @@ func TestSingleflight(t *testing.T) {
 func TestEvictionOrderAndBudget(t *testing.T) {
 	dir := t.TempDir()
 	paths := make([]string, 4)
-	var size int64
 	for i := range paths {
-		paths[i], size = writePartition(t, dir, fmt.Sprintf("p%d.clmp", i), 10)
+		paths[i], _ = writePartition(t, dir, fmt.Sprintf("p%d.clmp", i), 10)
 	}
-	c := New(3*size, Counters{}) // room for exactly three partitions
+	c := New(3*memBytesOf(t, paths[0]), Counters{}) // room for exactly three partitions
 	var loads atomic.Int64
 
 	for _, p := range paths[:3] {
@@ -177,9 +188,9 @@ func TestEvictionOrderAndBudget(t *testing.T) {
 // rather than flushing the entire cache.
 func TestOversizedPartitionNotCached(t *testing.T) {
 	dir := t.TempDir()
-	small, smallSize := writePartition(t, dir, "small.clmp", 5)
+	small, _ := writePartition(t, dir, "small.clmp", 5)
 	big, _ := writePartition(t, dir, "big.clmp", 1000)
-	c := New(smallSize+1, Counters{})
+	c := New(memBytesOf(t, small)+1, Counters{})
 	var loads atomic.Int64
 
 	if _, _, err := c.Get(small, loader(small, &loads)); err != nil {

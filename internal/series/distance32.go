@@ -1,0 +1,110 @@
+package series
+
+import (
+	"encoding/binary"
+	"math"
+)
+
+// Float32 scan kernels: the zero-copy companions of the blocked float64
+// kernels in distance.go. Partition files store readings as little-endian
+// float32, and the memory-resident read path scans them straight out of the
+// mapped (or loaded) file bytes — no per-record []float64 decode, no
+// allocation. The query is converted once per query with ToFloat32; each
+// reading is decoded inline, the subtraction runs in float32 (the storage
+// precision — the on-disk readings never had more), and the squared
+// differences are accumulated in float64 lanes so long series do not lose
+// low-order bits to a float32 accumulator.
+//
+// Accuracy: relative to the float64 decode path (which subtracts a float64
+// query from widened float32 readings), these kernels additionally round the
+// query to float32 before subtracting. Both paths already incur the float32
+// storage rounding; see ARCHITECTURE.md "Memory-resident read path" for the
+// measured impact. Within this file the kernels are deterministic: blocked
+// and early-abandoning variants see the same additions in the same order, so
+// results are bit-identical across every storage backend feeding them the
+// same bytes.
+
+// ToFloat32 converts a float64 query vector to the float32 precision the
+// partition files store, once per query, for use with the *32Blocked kernels.
+func ToFloat32(x []float64) []float32 {
+	out := make([]float32, len(x))
+	for i, v := range x {
+		out[i] = float32(v)
+	}
+	return out
+}
+
+// SqDist32Blocked returns the squared Euclidean distance between a float32
+// query and one record's raw value bytes (len(rec) must be exactly
+// 4*len(q) little-endian float32 readings; it panics otherwise, mirroring
+// the length panic of the float64 kernels). Accumulation runs in distLanes
+// independent float64 lanes folded once at the end, the same geometry as
+// SqDistBlocked.
+func SqDist32Blocked(q []float32, rec []byte) float64 {
+	if len(rec) != 4*len(q) {
+		panic("series: record bytes do not match query length")
+	}
+	var s0, s1, s2, s3 float64
+	i := 0
+	for ; i+distLanes <= len(q); i += distLanes {
+		o := 4 * i
+		d0 := q[i] - math.Float32frombits(binary.LittleEndian.Uint32(rec[o:]))
+		d1 := q[i+1] - math.Float32frombits(binary.LittleEndian.Uint32(rec[o+4:]))
+		d2 := q[i+2] - math.Float32frombits(binary.LittleEndian.Uint32(rec[o+8:]))
+		d3 := q[i+3] - math.Float32frombits(binary.LittleEndian.Uint32(rec[o+12:]))
+		s0 += float64(d0) * float64(d0)
+		s1 += float64(d1) * float64(d1)
+		s2 += float64(d2) * float64(d2)
+		s3 += float64(d3) * float64(d3)
+	}
+	for ; i < len(q); i++ {
+		d := q[i] - math.Float32frombits(binary.LittleEndian.Uint32(rec[4*i:]))
+		s0 += float64(d) * float64(d)
+	}
+	return (s0 + s1) + (s2 + s3)
+}
+
+// SqDistEarlyAbandon32Blocked is the early-abandoning companion of
+// SqDist32Blocked: same lanes, limit checked once per abandonBlock readings.
+// If abandoned, the returned value is some number > limit (not the true
+// distance). When the limit is never crossed the result is bit-identical to
+// SqDist32Blocked. It panics when len(rec) != 4*len(q).
+func SqDistEarlyAbandon32Blocked(q []float32, rec []byte, limit float64) float64 {
+	if len(rec) != 4*len(q) {
+		panic("series: record bytes do not match query length")
+	}
+	var s0, s1, s2, s3 float64
+	i := 0
+	for ; i+abandonBlock <= len(q); i += abandonBlock {
+		for j := i; j < i+abandonBlock; j += distLanes {
+			o := 4 * j
+			d0 := q[j] - math.Float32frombits(binary.LittleEndian.Uint32(rec[o:]))
+			d1 := q[j+1] - math.Float32frombits(binary.LittleEndian.Uint32(rec[o+4:]))
+			d2 := q[j+2] - math.Float32frombits(binary.LittleEndian.Uint32(rec[o+8:]))
+			d3 := q[j+3] - math.Float32frombits(binary.LittleEndian.Uint32(rec[o+12:]))
+			s0 += float64(d0) * float64(d0)
+			s1 += float64(d1) * float64(d1)
+			s2 += float64(d2) * float64(d2)
+			s3 += float64(d3) * float64(d3)
+		}
+		if s := (s0 + s1) + (s2 + s3); s > limit {
+			return s
+		}
+	}
+	for ; i+distLanes <= len(q); i += distLanes {
+		o := 4 * i
+		d0 := q[i] - math.Float32frombits(binary.LittleEndian.Uint32(rec[o:]))
+		d1 := q[i+1] - math.Float32frombits(binary.LittleEndian.Uint32(rec[o+4:]))
+		d2 := q[i+2] - math.Float32frombits(binary.LittleEndian.Uint32(rec[o+8:]))
+		d3 := q[i+3] - math.Float32frombits(binary.LittleEndian.Uint32(rec[o+12:]))
+		s0 += float64(d0) * float64(d0)
+		s1 += float64(d1) * float64(d1)
+		s2 += float64(d2) * float64(d2)
+		s3 += float64(d3) * float64(d3)
+	}
+	for ; i < len(q); i++ {
+		d := q[i] - math.Float32frombits(binary.LittleEndian.Uint32(rec[4*i:]))
+		s0 += float64(d) * float64(d)
+	}
+	return (s0 + s1) + (s2 + s3)
+}

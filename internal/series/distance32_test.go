@@ -1,0 +1,163 @@
+package series
+
+import (
+	"encoding/binary"
+	"math"
+	"math/rand/v2"
+	"testing"
+)
+
+// encodeRec32 packs a float64 series into the raw record-value layout the
+// partition files use: little-endian float32, 4 bytes per reading.
+func encodeRec32(vals []float64) []byte {
+	out := make([]byte, 4*len(vals))
+	for i, v := range vals {
+		binary.LittleEndian.PutUint32(out[4*i:], math.Float32bits(float32(v)))
+	}
+	return out
+}
+
+// sqDist32Scalar is the reference semantics of the float32 kernels: both
+// operands at float32 precision, subtraction in float32, accumulation of the
+// widened squares in a single float64 — the scalar analogue the blocked
+// kernel must match up to re-association.
+func sqDist32Scalar(q []float32, rec []byte) float64 {
+	var s float64
+	for i, v := range q {
+		d := v - math.Float32frombits(binary.LittleEndian.Uint32(rec[4*i:]))
+		s += float64(d) * float64(d)
+	}
+	return s
+}
+
+// ToFloat32 is a pure element-wise float64→float32 rounding.
+func TestToFloat32(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	x := randSeries(rng, 100)
+	q := ToFloat32(x)
+	if len(q) != len(x) {
+		t.Fatalf("length %d, want %d", len(q), len(x))
+	}
+	for i, v := range x {
+		if q[i] != float32(v) {
+			t.Fatalf("element %d: got %v, want %v", i, q[i], float32(v))
+		}
+	}
+}
+
+// Property: the blocked float32 kernel computes the scalar float32 sum up to
+// floating-point re-association, across sub-lane, sub-block, and multi-block
+// lengths.
+func TestSqDist32BlockedMatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewPCG(31, 41))
+	for trial := 0; trial < 2000; trial++ {
+		n := 1 + rng.IntN(300)
+		x, y := randSeries(rng, n), randSeries(rng, n)
+		q, rec := ToFloat32(x), encodeRec32(y)
+		exact, blocked := sqDist32Scalar(q, rec), SqDist32Blocked(q, rec)
+		if diff := math.Abs(blocked - exact); diff > 1e-9*math.Max(exact, 1) {
+			t.Fatalf("trial %d (n=%d): blocked %v vs scalar %v (diff %v)", trial, n, blocked, exact, diff)
+		}
+	}
+}
+
+// Property: the float32 kernels agree with the float64 decode path (which
+// widens stored float32 readings and subtracts a float64 query) to within
+// the float32 rounding of the query — the accuracy contract the scan-path
+// switch relies on. The bound is loose by design: it documents that the only
+// divergence is query rounding, not a kernel bug.
+func TestSqDist32BlockedNearFloat64Path(t *testing.T) {
+	rng := rand.New(rand.NewPCG(43, 47))
+	for trial := 0; trial < 500; trial++ {
+		n := 1 + rng.IntN(300)
+		x, y := randSeries(rng, n), randSeries(rng, n)
+		// The float64 decode path: stored readings widened to float64.
+		wide := make([]float64, n)
+		for i, v := range y {
+			wide[i] = float64(float32(v))
+		}
+		f64 := SqDistBlocked(x, wide)
+		f32 := SqDist32Blocked(ToFloat32(x), encodeRec32(y))
+		// Relative error bounded by a few float32 ULPs per reading folded
+		// through the sum of squares.
+		if diff := math.Abs(f32 - f64); diff > 1e-5*math.Max(f64, 1) {
+			t.Fatalf("trial %d (n=%d): float32 %v vs float64 path %v (diff %v)", trial, n, f32, f64, diff)
+		}
+	}
+}
+
+// Property: whenever the limit is never crossed, SqDistEarlyAbandon32Blocked
+// must equal SqDist32Blocked bit for bit — identical lanes, identical
+// addition order — mirroring the float64 blocked-kernel contract. This is
+// what keeps anytime-search results independent of how tight the running
+// bound happens to be when a record survives.
+func TestSqDistEarlyAbandon32BlockedEqualsSqDist32Blocked(t *testing.T) {
+	rng := rand.New(rand.NewPCG(53, 59))
+	for trial := 0; trial < 2000; trial++ {
+		n := 1 + rng.IntN(300)
+		x, y := randSeries(rng, n), randSeries(rng, n)
+		q, rec := ToFloat32(x), encodeRec32(y)
+		exact := SqDist32Blocked(q, rec)
+
+		for _, limit := range []float64{exact, exact * 1.5, exact + 1, math.Inf(1)} {
+			if got := SqDistEarlyAbandon32Blocked(q, rec, limit); got != exact {
+				t.Fatalf("trial %d (n=%d): limit %v not crossed but result %v != blocked exact %v", trial, n, limit, got, exact)
+			}
+		}
+
+		if exact > 0 {
+			limit := exact * rng.Float64() * 0.99
+			if got := SqDistEarlyAbandon32Blocked(q, rec, limit); got <= limit {
+				t.Fatalf("trial %d: abandoned result %v not above limit %v", trial, got, limit)
+			}
+		}
+	}
+}
+
+// The float32 kernels reject record bytes that do not match the query length
+// the same way the float64 kernels reject mismatched slices.
+func TestSqDist32KernelsPanicOnLengthMismatch(t *testing.T) {
+	rng := rand.New(rand.NewPCG(61, 67))
+	x := randSeries(rng, 32)
+	q := ToFloat32(x)
+	shorter, longer := encodeRec32(randSeries(rng, 31)), encodeRec32(randSeries(rng, 33))
+	kernels := map[string]func(rec []byte){
+		"SqDist32Blocked":             func(rec []byte) { SqDist32Blocked(q, rec) },
+		"SqDistEarlyAbandon32Blocked": func(rec []byte) { SqDistEarlyAbandon32Blocked(q, rec, math.Inf(1)) },
+	}
+	for name, kernel := range kernels {
+		mustPanic(t, name+"/shorter-rec", func() { kernel(shorter) })
+		mustPanic(t, name+"/longer-rec", func() { kernel(longer) })
+	}
+}
+
+// BenchmarkSqDist32Blocked is the head-to-head against BenchmarkSqDistBlocked:
+// same series length, but the operand is the raw 4-byte-per-reading record
+// layout the mapped scan path feeds the kernel.
+func BenchmarkSqDist32Blocked(b *testing.B) {
+	x, y := benchPair(256)
+	q, rec := ToFloat32(x), encodeRec32(y)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchSink = SqDist32Blocked(q, rec)
+	}
+}
+
+// BenchmarkSqDist32EarlyAbandonBlocked mirrors the float64 early-abandon
+// benchmark's two regimes over the raw record layout.
+func BenchmarkSqDist32EarlyAbandonBlocked(b *testing.B) {
+	x, y := benchPair(256)
+	q, rec := ToFloat32(x), encodeRec32(y)
+	exact := SqDist32Blocked(q, rec)
+	b.Run("loose-bound", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			benchSink = SqDistEarlyAbandon32Blocked(q, rec, exact+1)
+		}
+	})
+	b.Run("tight-bound", func(b *testing.B) {
+		limit := exact / 100
+		for i := 0; i < b.N; i++ {
+			benchSink = SqDistEarlyAbandon32Blocked(q, rec, limit)
+		}
+	})
+}

@@ -132,6 +132,8 @@ func (m *metrics) renderProm(w *strings.Builder, buildInfo string, slowTotal int
 	counter("climber_partition_cache_evictions_total", "Partitions evicted to hold the byte budget.", cache.Evictions)
 	counter("climber_partition_cache_bytes_saved_total", "Partition-file bytes the cache avoided re-reading.", cache.BytesSaved)
 	counter("climber_partitions_loaded_total", "Real partition disk loads.", cache.PartitionsLoaded)
+	gauge("climber_partition_cache_resident_bytes", "Partition-cache charge against its byte budget (metadata plus decoded or mapped bytes).", cache.ResidentBytes)
+	gauge("climber_partition_cache_mapped_bytes", "Subset of resident bytes served by read-only memory mappings.", cache.MappedBytes)
 
 	counter("climber_append_requests_total", "Answered /append requests.", m.appends.Load())
 	counter("climber_append_series_total", "Series inside successful appends.", m.appendSeries.Load())

@@ -1258,6 +1258,7 @@ func (r *Router) handleMetrics(w http.ResponseWriter, req *http.Request) {
 	for i := range r.topo.Shards {
 		fmt.Fprintf(&b, "climber_router_shard_errors_total{shard=%q} %d\n", r.topo.Shards[i].ID, m.shardErrs[i].Load())
 	}
+	r.renderShardCacheGauges(req.Context(), &b)
 
 	m.latency.Render(&b, "climber_router_query_latency_seconds",
 		"End-to-end routed query latency, every outcome included (200s, 400s, 429s).")
@@ -1271,6 +1272,54 @@ func (r *Router) handleMetrics(w http.ResponseWriter, req *http.Request) {
 
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	_, _ = io.WriteString(w, b.String())
+}
+
+// renderShardCacheGauges polls every reachable shard's /stats and emits
+// per-shard partition-cache residency gauges plus fleet totals — the
+// router-level view of how much memory the shards' zero-copy read paths
+// hold resident (and how much of it is reclaimable mapped pages).
+// Unreachable shards are skipped; their absence is visible through
+// climber_router_shard_up.
+func (r *Router) renderShardCacheGauges(ctx context.Context, b *strings.Builder) {
+	type cacheBytes struct {
+		Cache struct {
+			ResidentBytes int64
+			MappedBytes   int64
+		} `json:"cache"`
+	}
+	byShard := make([]cacheBytes, len(r.topo.Shards))
+	ok := make([]bool, len(r.topo.Shards))
+	var wg sync.WaitGroup
+	for i := range r.topo.Shards {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			raw, err := r.getShard(ctx, i, "/stats", 2*time.Second)
+			if err != nil {
+				return
+			}
+			ok[i] = json.Unmarshal(raw, &byShard[i]) == nil
+		}(i)
+	}
+	wg.Wait()
+	var resident, mapped int64
+	fmt.Fprintf(b, "# HELP climber_router_shard_cache_resident_bytes Per-shard partition-cache resident bytes.\n# TYPE climber_router_shard_cache_resident_bytes gauge\n")
+	for i := range r.topo.Shards {
+		if !ok[i] {
+			continue
+		}
+		fmt.Fprintf(b, "climber_router_shard_cache_resident_bytes{shard=%q} %d\n", r.topo.Shards[i].ID, byShard[i].Cache.ResidentBytes)
+		resident += byShard[i].Cache.ResidentBytes
+		mapped += byShard[i].Cache.MappedBytes
+	}
+	fmt.Fprintf(b, "# HELP climber_router_shard_cache_mapped_bytes Per-shard partition-cache memory-mapped bytes.\n# TYPE climber_router_shard_cache_mapped_bytes gauge\n")
+	for i := range r.topo.Shards {
+		if ok[i] {
+			fmt.Fprintf(b, "climber_router_shard_cache_mapped_bytes{shard=%q} %d\n", r.topo.Shards[i].ID, byShard[i].Cache.MappedBytes)
+		}
+	}
+	fmt.Fprintf(b, "# HELP climber_router_cache_resident_bytes Partition-cache resident bytes summed over reachable shards.\n# TYPE climber_router_cache_resident_bytes gauge\nclimber_router_cache_resident_bytes %d\n", resident)
+	fmt.Fprintf(b, "# HELP climber_router_cache_mapped_bytes Partition-cache mapped bytes summed over reachable shards.\n# TYPE climber_router_cache_mapped_bytes gauge\nclimber_router_cache_mapped_bytes %d\n", mapped)
 }
 
 // encodeJSON marshals v for a forwarded sub-request body.

@@ -1,0 +1,16 @@
+//go:build !(linux || darwin)
+
+package storage
+
+import "errors"
+
+// MapSupported reports whether this platform can memory-map partition files.
+// When false, MapPartition always errors and callers fall back to
+// LoadPartition.
+func MapSupported() bool { return false }
+
+var errMapUnsupported = errors.New("storage: partition mapping is not supported on this platform")
+
+func mapFile(path string) ([]byte, error) { return nil, errMapUnsupported }
+
+func unmapFile(data []byte) error { return nil }

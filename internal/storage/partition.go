@@ -9,6 +9,7 @@ import (
 	"io"
 	"os"
 	"sort"
+	"sync/atomic"
 )
 
 // ClusterID identifies a contiguous record cluster inside a partition file.
@@ -31,14 +32,24 @@ func NewPartitionWriter(seriesLen int) *PartitionWriter {
 	return &PartitionWriter{seriesLen: seriesLen, clusters: make(map[ClusterID][]Record)}
 }
 
-// Append adds one record to a cluster. The values are copied.
+// Append adds one record to a cluster. The values are copied, so the caller
+// may reuse its slice — the right call when appending out of a scan loop
+// whose decode buffer is recycled between records. Callers that hand over an
+// immutable or never-reused slice should use AppendOwned and skip the copy.
 func (pw *PartitionWriter) Append(cluster ClusterID, id int, values []float64) error {
+	v := make([]float64, len(values))
+	copy(v, values)
+	return pw.AppendOwned(cluster, id, v)
+}
+
+// AppendOwned adds one record to a cluster, taking ownership of the values
+// slice instead of copying it. The caller must not modify or reuse values
+// after the call.
+func (pw *PartitionWriter) AppendOwned(cluster ClusterID, id int, values []float64) error {
 	if len(values) != pw.seriesLen {
 		return fmt.Errorf("storage: record length %d, partition expects %d", len(values), pw.seriesLen)
 	}
-	v := make([]float64, len(values))
-	copy(v, values)
-	pw.clusters[cluster] = append(pw.clusters[cluster], Record{ID: id, Values: v})
+	pw.clusters[cluster] = append(pw.clusters[cluster], Record{ID: id, Values: values})
 	pw.count++
 	return nil
 }
@@ -120,18 +131,31 @@ type ClusterInfo struct {
 	offset int64 // byte offset of the cluster's first record
 }
 
-// Partition provides random access to one partition's clusters. It reads
-// through an io.ReaderAt, so a partition can be backed either by an open
-// file (OpenPartition) or by an in-memory copy of the file (LoadPartition);
-// the latter is what the query-path partition cache shares between
-// concurrent queries. All read methods are safe for concurrent use.
+// Partition provides random access to one partition's clusters. It can be
+// backed three ways: an open file read through an io.ReaderAt
+// (OpenPartition), a heap copy of the file bytes (LoadPartition), or a
+// read-only memory mapping of the file (MapPartition) — the resident forms
+// are what the query-path partition cache shares between concurrent queries.
+// All read methods are safe for concurrent use.
+//
+// A Partition is reference counted: it is born with one reference, sharers
+// take more with Retain, and every reference is returned with Release (Close
+// is an alias for the common single-owner case). The backing resources —
+// file handle or memory mapping — are torn down when the last reference
+// drains, which is what makes unmapping safe while scans may still be in
+// flight elsewhere: an eviction or invalidation only drops the cache's
+// reference, and the pages stay mapped until the last scanning reader
+// finishes and releases its own.
 type Partition struct {
 	r         io.ReaderAt
-	closer    io.Closer // nil for in-memory partitions
+	closer    io.Closer // non-nil only for file-backed partitions
+	data      []byte    // resident file bytes (heap copy or mapping); nil when file-backed
+	mapped    bool      // data is a memory mapping, unmapped on final Release
 	size      int64     // full file size in bytes
 	seriesLen int
 	total     int
 	dir       []ClusterInfo // sorted by ID
+	refs      atomic.Int64  // outstanding references; resources freed at zero
 }
 
 // OpenPartition opens a partition file and reads its directory; record data
@@ -156,16 +180,45 @@ func OpenPartition(path string) (*Partition, error) {
 }
 
 // LoadPartition reads an entire partition file into memory and returns a
-// Partition serving every scan from that copy. The result holds no file
-// handle (Close is a no-op) and is safe to share across goroutines — the
-// partition layout is immutable after construction, which is what makes the
-// shared query-path cache sound.
+// Partition serving every scan from that heap copy. The result holds no file
+// handle and is safe to share across goroutines — the partition layout is
+// immutable after construction, which is what makes the shared query-path
+// cache sound.
 func LoadPartition(path string) (*Partition, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, fmt.Errorf("storage: load partition: %w", err)
 	}
-	return newPartition(bytes.NewReader(data), int64(len(data)), path)
+	p, err := newPartition(bytes.NewReader(data), int64(len(data)), path)
+	if err != nil {
+		return nil, err
+	}
+	p.data = data
+	return p, nil
+}
+
+// MapPartition memory-maps a partition file read-only and returns a
+// Partition scanning straight over the mapped bytes — the zero-copy resident
+// form: pages are backed by the kernel page cache and shared across
+// processes, and the cache byte budget charges them at file size, making it
+// a true RSS bound. Partition files are immutable once published (writers
+// replace whole files and invalidate), which is what makes a shared mapping
+// sound. The mapping is released when the last reference drains; on
+// platforms without mapping support (MapSupported reports false) an error is
+// returned and callers fall back to LoadPartition.
+func MapPartition(path string) (*Partition, error) {
+	data, err := mapFile(path)
+	if err != nil {
+		return nil, err
+	}
+	p, err := newPartition(bytes.NewReader(data), int64(len(data)), path)
+	if err != nil {
+		_ = unmapFile(data)
+		return nil, err
+	}
+	p.data = data
+	p.mapped = true
+	return p, nil
 }
 
 // newPartition parses the header and cluster directory from r.
@@ -185,6 +238,7 @@ func newPartition(r io.ReaderAt, size int64, path string) (*Partition, error) {
 		size:      size,
 		seriesLen: int(binary.LittleEndian.Uint32(hdr[8:12])),
 	}
+	p.refs.Store(1)
 	nClusters := int(binary.LittleEndian.Uint32(hdr[12:16]))
 	dirBytes := make([]byte, 12*nClusters)
 	if _, err := r.ReadAt(dirBytes, 16); err != nil {
@@ -203,22 +257,77 @@ func newPartition(r io.ReaderAt, size int64, path string) (*Partition, error) {
 	return p, nil
 }
 
-// Close releases the underlying file; it is a no-op for in-memory
-// partitions.
-func (p *Partition) Close() error {
-	if p.closer == nil {
-		return nil
+// Retain takes one additional reference to the partition. Every Retain must
+// be paired with a Release; it panics if the partition was already torn
+// down, because resurrecting a released partition would hand out a dead
+// mapping.
+func (p *Partition) Retain() {
+	if p.refs.Add(1) <= 1 {
+		p.refs.Add(-1)
+		panic("storage: Retain on a released partition")
 	}
-	return p.closer.Close()
 }
 
-// InMemory reports whether the partition serves reads from a resident copy
-// rather than a file handle.
-func (p *Partition) InMemory() bool { return p.closer == nil }
+// Release returns one reference. The last Release tears the partition down:
+// a memory mapping is unmapped, a file handle is closed, a heap copy becomes
+// collectable. Releasing more references than were taken panics — that is a
+// lifecycle bug that would otherwise surface as a scan over unmapped memory.
+func (p *Partition) Release() error {
+	n := p.refs.Add(-1)
+	if n > 0 {
+		return nil
+	}
+	if n < 0 {
+		panic("storage: partition released more often than retained")
+	}
+	var err error
+	if p.mapped {
+		err = unmapFile(p.data)
+	}
+	// Poison the read state so a use-after-release fails loudly (nil deref /
+	// nil-slice bounds panic) instead of silently reading freed memory.
+	p.data = nil
+	p.r = nil
+	if p.closer != nil {
+		if cerr := p.closer.Close(); err == nil {
+			err = cerr
+		}
+		p.closer = nil
+	}
+	return err
+}
 
-// SizeBytes returns the partition file's full size in bytes — the memory
-// footprint of an in-memory partition, used for cache budgeting.
+// Close releases the caller's (sole) reference — the familiar spelling for
+// single-owner partitions from OpenPartition. Shared partitions pair Retain
+// with Release instead.
+func (p *Partition) Close() error { return p.Release() }
+
+// InMemory reports whether the partition serves reads from resident bytes
+// (a heap copy or a memory mapping) rather than a file handle.
+func (p *Partition) InMemory() bool { return p.data != nil }
+
+// Mapped reports whether the resident bytes are a memory mapping.
+func (p *Partition) Mapped() bool { return p.mapped }
+
+// SizeBytes returns the partition file's full size in bytes.
 func (p *Partition) SizeBytes() int64 { return p.size }
+
+// clusterInfoBytes is the in-memory size of one decoded directory entry,
+// charged by MemBytes on top of the file bytes.
+const clusterInfoBytes = 24
+
+// MemBytes returns the partition's resident memory footprint, the unit the
+// partition cache budgets: the retained file bytes — a heap copy for
+// LoadPartition, mapped pages for MapPartition (resident pages are what the
+// budget is bounding, so both count at file size) — plus the decoded cluster
+// directory. A file-backed partition charges only its directory.
+func (p *Partition) MemBytes() int64 {
+	mem := int64(clusterInfoBytes * len(p.dir))
+	if p.data != nil {
+		mem += p.size
+	}
+	return mem
+}
 
 // SeriesLen returns the length of the stored series.
 func (p *Partition) SeriesLen() int { return p.seriesLen }
@@ -247,30 +356,65 @@ func (p *Partition) findCluster(id ClusterID) (ClusterInfo, bool) {
 	return ClusterInfo{}, false
 }
 
+// scanBuf is the reusable decode scratch one scan threads across clusters,
+// so a multi-cluster scan allocates its record buffer and values slice once
+// instead of once per cluster.
+type scanBuf struct {
+	rec  []byte
+	vals []float64
+}
+
 // ScanCluster streams the records of one cluster through fn. A missing
 // cluster ID is not an error — the partition simply holds no records for
 // that trie node. The values slice passed to fn is reused; fn must copy to
 // retain.
 func (p *Partition) ScanCluster(id ClusterID, fn func(id int, values []float64) error) error {
+	return p.scanCluster(id, &scanBuf{}, fn)
+}
+
+func (p *Partition) scanCluster(id ClusterID, sb *scanBuf, fn func(id int, values []float64) error) error {
 	ci, ok := p.findCluster(id)
 	if !ok {
 		return nil
 	}
-	var r io.Reader = io.NewSectionReader(p.r, ci.offset, int64(ci.Count)*int64(RecordBytes(p.seriesLen)))
-	if !p.InMemory() {
-		// Buffering batches syscalls for file-backed partitions; for an
-		// in-memory partition it would only add a copy on the cache-hit
-		// hot path, so reads decode straight from the resident bytes.
-		r = bufio.NewReaderSize(r, 1<<16)
+	if sb.vals == nil {
+		sb.vals = make([]float64, p.seriesLen)
 	}
-	return scanRecords(r, p.seriesLen, ci.Count, fn)
+	recBytes := int64(RecordBytes(p.seriesLen))
+	if p.data != nil {
+		// Resident partition: decode straight out of the retained bytes —
+		// no reader, no per-record copy of the encoded form.
+		for off, end := ci.offset, ci.offset+int64(ci.Count)*recBytes; off < end; off += recBytes {
+			rid := decodeRecord(p.data[off:off+recBytes], sb.vals)
+			if err := fn(rid, sb.vals); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if sb.rec == nil {
+		sb.rec = make([]byte, recBytes)
+	}
+	// Buffering batches syscalls for file-backed partitions.
+	r := bufio.NewReaderSize(io.NewSectionReader(p.r, ci.offset, int64(ci.Count)*recBytes), 1<<16)
+	for i := 0; i < ci.Count; i++ {
+		if _, err := io.ReadFull(r, sb.rec); err != nil {
+			return fmt.Errorf("storage: read record %d/%d: %w", i, ci.Count, err)
+		}
+		rid := decodeRecord(sb.rec, sb.vals)
+		if err := fn(rid, sb.vals); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // ScanClusters streams the records of each listed cluster, skipping IDs not
 // present in this partition.
 func (p *Partition) ScanClusters(ids []ClusterID, fn func(id int, values []float64) error) error {
+	sb := &scanBuf{}
 	for _, id := range ids {
-		if err := p.ScanCluster(id, fn); err != nil {
+		if err := p.scanCluster(id, sb, fn); err != nil {
 			return err
 		}
 	}
@@ -279,8 +423,68 @@ func (p *Partition) ScanClusters(ids []ClusterID, fn func(id int, values []float
 
 // ScanAll streams every record in the partition in directory order.
 func (p *Partition) ScanAll(fn func(id int, values []float64) error) error {
+	sb := &scanBuf{}
 	for _, ci := range p.dir {
-		if err := p.ScanCluster(ci.ID, fn); err != nil {
+		if err := p.scanCluster(ci.ID, sb, fn); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ScanClusterRaw streams one cluster's records through fn in their encoded
+// form: rec is the record's raw value bytes — 4*SeriesLen() little-endian
+// float32 readings, the operand of the series.SqDist32* kernels — with the
+// record ID already decoded. On a resident partition rec aliases the
+// partition's bytes directly (zero copy, zero allocation per record); on a
+// file-backed partition it aliases a scratch buffer reused between records.
+// Either way rec is valid only during the callback and only while the caller
+// holds its partition reference: it must not be stored, appended, or
+// otherwise retained (the mmapsafe vet analyzer enforces this — scan helpers
+// that consume rec in place are marked //climber:mmapscan).
+func (p *Partition) ScanClusterRaw(id ClusterID, fn func(id int, rec []byte) error) error {
+	return p.scanClusterRaw(id, &scanBuf{}, fn)
+}
+
+func (p *Partition) scanClusterRaw(id ClusterID, sb *scanBuf, fn func(id int, rec []byte) error) error {
+	ci, ok := p.findCluster(id)
+	if !ok {
+		return nil
+	}
+	recBytes := int64(RecordBytes(p.seriesLen))
+	if p.data != nil {
+		for off, end := ci.offset, ci.offset+int64(ci.Count)*recBytes; off < end; off += recBytes {
+			rec := p.data[off : off+recBytes]
+			rid := int(binary.LittleEndian.Uint64(rec[0:8]))
+			if err := fn(rid, rec[8:]); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if sb.rec == nil {
+		sb.rec = make([]byte, recBytes)
+	}
+	r := bufio.NewReaderSize(io.NewSectionReader(p.r, ci.offset, int64(ci.Count)*recBytes), 1<<16)
+	for i := 0; i < ci.Count; i++ {
+		if _, err := io.ReadFull(r, sb.rec); err != nil {
+			return fmt.Errorf("storage: read record %d/%d: %w", i, ci.Count, err)
+		}
+		rid := int(binary.LittleEndian.Uint64(sb.rec[0:8]))
+		if err := fn(rid, sb.rec[8:]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ScanClustersRaw streams each listed cluster through fn in encoded form,
+// skipping IDs not present in this partition. The rec slice obeys the same
+// callback-scoped lifetime as ScanClusterRaw.
+func (p *Partition) ScanClustersRaw(ids []ClusterID, fn func(id int, rec []byte) error) error {
+	sb := &scanBuf{}
+	for _, id := range ids {
+		if err := p.scanClusterRaw(id, sb, fn); err != nil {
 			return err
 		}
 	}
